@@ -1,0 +1,11 @@
+"""Ablation: Expand features (Section 3.2.3).
+
+Compares the Expand feature map with plain concatenation in MLPout.
+"""
+
+
+def test_ablation_expand(run_and_record):
+    report = run_and_record("ablation_expand")
+    assert report.experiment_id == "ablation_expand"
+    assert report.text.strip()
+    assert "summaries" in report.data

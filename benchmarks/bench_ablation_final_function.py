@@ -1,0 +1,12 @@
+"""Ablation: final function (Section 5.3.1).
+
+Compares median, mean and trimmed-mean as the final function F of the
+Cnt2Crd technique.
+"""
+
+
+def test_ablation_final_function(run_and_record):
+    report = run_and_record("ablation_final_function")
+    assert report.experiment_id == "ablation_final_function"
+    assert report.text.strip()
+    assert "summaries" in report.data

@@ -1,0 +1,12 @@
+"""Ablation: training loss (Section 3.2.4).
+
+Trains CRN with the q-error, MSE and MAE losses and compares the
+resulting containment accuracy.
+"""
+
+
+def test_ablation_loss(run_and_record):
+    report = run_and_record("ablation_loss")
+    assert report.experiment_id == "ablation_loss"
+    assert report.text.strip()
+    assert "summaries" in report.data

@@ -1,0 +1,11 @@
+"""Ablation: set-encoder pooling (Section 3.2.2).
+
+Compares average pooling with sum pooling in the CRN set encoders.
+"""
+
+
+def test_ablation_pooling(run_and_record):
+    report = run_and_record("ablation_pooling")
+    assert report.experiment_id == "ablation_pooling"
+    assert report.text.strip()
+    assert "summaries" in report.data

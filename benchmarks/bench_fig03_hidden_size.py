@@ -1,0 +1,12 @@
+"""Figure 3: validation mean q-error vs hidden layer size.
+
+Sweeps the CRN hidden-layer size H and reports the best validation
+q-error for each setting, reproducing the tuning curve of Figure 3.
+"""
+
+
+def test_fig03_hidden_size(run_and_record):
+    report = run_and_record("fig03_hidden_size")
+    assert report.experiment_id == "fig03_hidden_size"
+    assert report.text.strip()
+    assert "rows" in report.data

@@ -1,0 +1,12 @@
+"""Figure 4: convergence of the validation mean q-error.
+
+Reports the per-epoch validation q-error of the main CRN training run,
+reproducing the convergence curve of Figure 4.
+"""
+
+
+def test_fig04_convergence(run_and_record):
+    report = run_and_record("fig04_convergence")
+    assert report.experiment_id == "fig04_convergence"
+    assert report.text.strip()
+    assert "history" in report.data

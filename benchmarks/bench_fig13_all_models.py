@@ -1,0 +1,12 @@
+"""Figure 13: crd_test2 errors for every model.
+
+Evaluates every cardinality estimator (including the improved models and
+MSCN1000) on crd_test2.
+"""
+
+
+def test_fig13_all_models(run_and_record):
+    report = run_and_record("fig13_all_models")
+    assert report.experiment_id == "fig13_all_models"
+    assert report.text.strip()
+    assert "summaries" in report.data

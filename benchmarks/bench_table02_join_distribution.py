@@ -1,0 +1,11 @@
+"""Table 2: join distribution of the containment workloads.
+
+Regenerates cnt_test1 / cnt_test2 and reports their per-join-count sizes.
+"""
+
+
+def test_table02_join_distribution(run_and_record):
+    report = run_and_record("table02_join_distribution")
+    assert report.experiment_id == "table02_join_distribution"
+    assert report.text.strip()
+    assert "distributions" in report.data

@@ -1,0 +1,12 @@
+"""Table 3 / Figure 5: containment errors on cnt_test1.
+
+Compares CRN with Crd2Cnt(PostgreSQL) and Crd2Cnt(MSCN) on the
+in-distribution containment workload (0-2 joins).
+"""
+
+
+def test_table03_cnt_test1(run_and_record):
+    report = run_and_record("table03_cnt_test1")
+    assert report.experiment_id == "table03_cnt_test1"
+    assert report.text.strip()
+    assert "summaries" in report.data

@@ -1,0 +1,12 @@
+"""Table 4 / Figure 6: containment errors on cnt_test2.
+
+Compares the containment estimators on queries with zero to five joins,
+testing generalization beyond the training join count.
+"""
+
+
+def test_table04_cnt_test2(run_and_record):
+    report = run_and_record("table04_cnt_test2")
+    assert report.experiment_id == "table04_cnt_test2"
+    assert report.text.strip()
+    assert "summaries" in report.data

@@ -1,0 +1,11 @@
+"""Table 5: join distribution of the cardinality workloads.
+
+Regenerates crd_test1 / crd_test2 / scale and reports their per-join sizes.
+"""
+
+
+def test_table05_join_distribution(run_and_record):
+    report = run_and_record("table05_join_distribution")
+    assert report.experiment_id == "table05_join_distribution"
+    assert report.text.strip()
+    assert "distributions" in report.data

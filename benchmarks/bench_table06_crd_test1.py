@@ -1,0 +1,12 @@
+"""Table 6 / Figure 9: cardinality errors on crd_test1.
+
+Compares Cnt2Crd(CRN) with PostgreSQL and MSCN on the in-distribution
+cardinality workload (0-2 joins).
+"""
+
+
+def test_table06_crd_test1(run_and_record):
+    report = run_and_record("table06_crd_test1")
+    assert report.experiment_id == "table06_crd_test1"
+    assert report.text.strip()
+    assert "summaries" in report.data

@@ -1,0 +1,12 @@
+"""Table 7 / Figure 10: cardinality errors on crd_test2.
+
+Compares the cardinality estimators on queries with zero to five joins,
+the paper's main generalization experiment.
+"""
+
+
+def test_table07_crd_test2(run_and_record):
+    report = run_and_record("table07_crd_test2")
+    assert report.experiment_id == "table07_crd_test2"
+    assert report.text.strip()
+    assert "summaries" in report.data

@@ -1,0 +1,12 @@
+"""Table 8: cardinality errors on crd_test2, 3-5 joins only.
+
+Restricts the crd_test2 comparison to queries with three to five joins,
+where the baselines degrade most.
+"""
+
+
+def test_table08_crd_test2_3to5(run_and_record):
+    report = run_and_record("table08_crd_test2_3to5")
+    assert report.experiment_id == "table08_crd_test2_3to5"
+    assert report.text.strip()
+    assert "summaries" in report.data

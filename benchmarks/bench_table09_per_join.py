@@ -1,0 +1,12 @@
+"""Table 9 / Figure 11: q-error per join count.
+
+Reports mean and median q-errors separately for every join count on
+crd_test2, reproducing the per-join breakdown.
+"""
+
+
+def test_table09_per_join(run_and_record):
+    report = run_and_record("table09_per_join")
+    assert report.experiment_id == "table09_per_join"
+    assert report.text.strip()
+    assert "per_join" in report.data

@@ -1,0 +1,12 @@
+"""Table 10 / Figure 12: cardinality errors on the scale workload.
+
+Evaluates on the workload produced by a different query generator,
+including the sample-enhanced MSCN variant (MSCN1000).
+"""
+
+
+def test_table10_scale(run_and_record):
+    report = run_and_record("table10_scale")
+    assert report.experiment_id == "table10_scale"
+    assert report.text.strip()
+    assert "summaries" in report.data

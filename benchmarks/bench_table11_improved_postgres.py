@@ -1,0 +1,12 @@
+"""Table 11: PostgreSQL vs Improved PostgreSQL.
+
+Applies the Cnt2Crd(Crd2Cnt(.)) construction to the PostgreSQL baseline
+and compares it against the unmodified model on crd_test2.
+"""
+
+
+def test_table11_improved_postgres(run_and_record):
+    report = run_and_record("table11_improved_postgres")
+    assert report.experiment_id == "table11_improved_postgres"
+    assert report.text.strip()
+    assert "summaries" in report.data

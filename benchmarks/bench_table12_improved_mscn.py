@@ -1,0 +1,12 @@
+"""Table 12: MSCN vs Improved MSCN.
+
+Applies the Cnt2Crd(Crd2Cnt(.)) construction to the MSCN baseline and
+compares it against the unmodified model on crd_test2.
+"""
+
+
+def test_table12_improved_mscn(run_and_record):
+    report = run_and_record("table12_improved_mscn")
+    assert report.experiment_id == "table12_improved_mscn"
+    assert report.text.strip()
+    assert "summaries" in report.data

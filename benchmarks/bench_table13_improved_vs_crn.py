@@ -1,0 +1,12 @@
+"""Table 13: improved models vs Cnt2Crd(CRN).
+
+Compares the two improved baselines with the CRN-based estimator on
+crd_test2.
+"""
+
+
+def test_table13_improved_vs_crn(run_and_record):
+    report = run_and_record("table13_improved_vs_crn")
+    assert report.experiment_id == "table13_improved_vs_crn"
+    assert report.text.strip()
+    assert "summaries" in report.data

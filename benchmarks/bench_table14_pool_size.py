@@ -1,0 +1,12 @@
+"""Table 14: accuracy and prediction time vs queries-pool size.
+
+Sweeps the queries-pool size and reports median/mean q-error together
+with the average per-query prediction time.
+"""
+
+
+def test_table14_pool_size(run_and_record):
+    report = run_and_record("table14_pool_size")
+    assert report.experiment_id == "table14_pool_size"
+    assert report.text.strip()
+    assert "rows" in report.data

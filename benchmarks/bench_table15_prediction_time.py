@@ -1,0 +1,11 @@
+"""Table 15: average prediction time per model.
+
+Measures the single-query prediction latency of every model.
+"""
+
+
+def test_table15_prediction_time(run_and_record):
+    report = run_and_record("table15_prediction_time")
+    assert report.experiment_id == "table15_prediction_time"
+    assert report.text.strip()
+    assert "timings" in report.data

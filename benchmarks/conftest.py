@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+experiment registry.  The expensive artifacts (synthetic database, trained CRN
+and MSCN models, queries pool, workloads) are built once per process and
+shared through :func:`repro.evaluation.get_harness`.
+
+The experiment scale is selected with the ``REPRO_BENCH_PROFILE`` environment
+variable (``smoke`` by default so the suite completes in a few minutes;
+``default`` reproduces the numbers recorded in EXPERIMENTS.md; ``paper`` is the
+paper-scale configuration and is not intended for CI).
+
+Each benchmark stores the rendered report under ``benchmarks/results/`` so the
+reproduced tables can be inspected after the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation import ExperimentHarness, get_harness
+from repro.evaluation.experiments import run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    """The shared experiment harness (profile from REPRO_BENCH_PROFILE)."""
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "smoke")
+    return get_harness(profile)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def run_and_record(harness, results_dir, benchmark):
+    """Run one registry experiment exactly once, record its report, return it.
+
+    pytest-benchmark is configured for a single round: the experiments train
+    models and evaluate full workloads, so repeating them for statistical
+    timing would multiply the runtime without adding information.
+    """
+
+    def runner(experiment_id: str):
+        report = benchmark.pedantic(
+            run_experiment, args=(experiment_id, harness), rounds=1, iterations=1
+        )
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(f"{report.title}\n\n{report.text}\n")
+        print(f"\n{report}\n")
+        return report
+
+    return runner

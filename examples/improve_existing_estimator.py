@@ -1,0 +1,78 @@
+"""Improving an existing cardinality estimator without changing it (Section 7).
+
+The paper's second practical message: any existing estimator M can be improved
+by wrapping it as ``Improved M = Cnt2Crd(Crd2Cnt(M))`` with a queries pool.
+This example wraps the PostgreSQL-style statistics estimator and the MSCN
+learned estimator, and compares each against its improved version on a
+multi-join workload, reporting the paper's percentile table.
+
+Run with::
+
+    python examples/improve_existing_estimator.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    MSCNConfig,
+    MSCNTrainingConfig,
+    PostgresCardinalityEstimator,
+    train_mscn,
+)
+from repro.core import ErrorSummary, ImprovedEstimator, QueriesPool, q_errors
+from repro.datasets import (
+    SyntheticIMDbConfig,
+    build_crd_test2,
+    build_queries_pool_queries,
+    build_synthetic_imdb,
+    build_training_pairs,
+    mscn_training_set,
+)
+from repro.db import TrueCardinalityOracle
+from repro.evaluation import format_error_table
+
+
+def main() -> None:
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=1000))
+    oracle = TrueCardinalityOracle(database)
+
+    # The models to improve: the statistics baseline and a learned MSCN model.
+    postgres = PostgresCardinalityEstimator(database)
+    print("Training the MSCN baseline ...")
+    pairs = build_training_pairs(database, count=1500, oracle=oracle)
+    mscn = train_mscn(
+        database,
+        mscn_training_set(database, pairs, oracle=oracle),
+        MSCNConfig(hidden_size=64),
+        MSCNTrainingConfig(epochs=25),
+    ).estimator()
+
+    # The queries pool: previously executed queries with known cardinalities.
+    pool = QueriesPool.from_labeled_queries(
+        build_queries_pool_queries(database, count=150, oracle=oracle)
+    )
+
+    # Improved M = Cnt2Crd(Crd2Cnt(M)); the base models are left untouched.
+    improved_postgres = ImprovedEstimator(postgres, pool)
+    improved_mscn = ImprovedEstimator(mscn, pool)
+
+    print("Building the evaluation workload (0-5 joins) ...")
+    workload = build_crd_test2(database, scale=0.1, oracle=oracle)
+    queries = [labeled.query for labeled in workload.queries]
+    truths = [labeled.cardinality for labeled in workload.queries]
+
+    summaries = {}
+    for estimator in (postgres, improved_postgres, mscn, improved_mscn):
+        errors = q_errors(estimator.estimate_cardinalities(queries), truths, epsilon=1.0)
+        summaries[estimator.name] = ErrorSummary.from_errors(estimator.name, errors)
+
+    print()
+    print(format_error_table(summaries, title=f"q-errors on {workload.name} ({len(workload)} queries)"))
+    print(
+        "\nThe improved variants use the same underlying models; the gain comes entirely\n"
+        "from the containment-based technique and the queries pool (paper Tables 11-12)."
+    )
+
+
+if __name__ == "__main__":
+    main()

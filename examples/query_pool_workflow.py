@@ -1,0 +1,95 @@
+"""A DBMS-style queries-pool workflow: execute, record, estimate, update.
+
+The scenario the paper's Section 5 envisions: the DBMS keeps executing queries
+anyway, so it records each executed query with its actual cardinality in the
+queries pool; new incoming queries are then estimated from their containment
+relationships with the recorded ones.  This example simulates that loop:
+
+1. a "day one" batch of queries is executed and recorded in the pool;
+2. new queries arrive and are estimated with Cnt2Crd(CRN), without executing
+   them;
+3. the database is updated (new data arrives), the pool cardinalities are
+   refreshed and the CRN model is incrementally re-trained (Section 9).
+
+Run with::
+
+    python examples/query_pool_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    CRNConfig,
+    Cnt2CrdEstimator,
+    QueriesPool,
+    QueryFeaturizer,
+    TrainingConfig,
+    q_error,
+    train_crn,
+)
+from repro.datasets import (
+    GeneratorConfig,
+    QueryGenerator,
+    SyntheticIMDbConfig,
+    build_synthetic_imdb,
+    build_training_pairs,
+)
+from repro.db import TrueCardinalityOracle
+from repro.extensions import incremental_update, refresh_queries_pool
+
+
+def main() -> None:
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=800, seed=7))
+    oracle = TrueCardinalityOracle(database)
+    featurizer = QueryFeaturizer(database)
+
+    print("Training CRN on day-one data ...")
+    pairs = build_training_pairs(database, count=1500, oracle=oracle)
+    result = train_crn(
+        featurizer,
+        pairs,
+        crn_config=CRNConfig(hidden_size=64),
+        training_config=TrainingConfig(epochs=20, batch_size=64),
+    )
+    crn = result.estimator()
+
+    # --- 1. The DBMS executes a batch of queries and records them. -------- #
+    generator = QueryGenerator(database, GeneratorConfig(max_joins=4, seed=101))
+    pool = QueriesPool()
+    executed = generator.generate_queries(120)
+    for query in executed:
+        pool.add(query, oracle.cardinality(query))  # "execution" = exact count
+    print(f"queries pool now holds {len(pool)} executed queries")
+
+    # --- 2. New queries arrive and are estimated without executing them. -- #
+    estimator = Cnt2CrdEstimator(crn, pool)
+    incoming_generator = QueryGenerator(database, GeneratorConfig(max_joins=4, seed=202))
+    incoming = [q for q in incoming_generator.generate_queries(40) if pool.has_match(q)][:8]
+    print("\nincoming queries (estimate vs true cardinality):")
+    for query in incoming:
+        estimate = estimator.estimate_cardinality(query)
+        truth = oracle.cardinality(query)
+        print(
+            f"  est {estimate:>12,.0f}   true {truth:>12,}   q-error {q_error(estimate, max(truth, 1)):6.1f}"
+        )
+
+    # --- 3. The database is updated; refresh the pool and the model. ------ #
+    print("\nSimulating a database update (new titles arrive) ...")
+    updated = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=1000, seed=8))
+    refreshed_pool = refresh_queries_pool(pool, updated)
+    new_pairs = build_training_pairs(updated, count=400, seed=55)
+    updated_result = incremental_update(result, updated, new_pairs, epochs=3)
+    updated_estimator = Cnt2CrdEstimator(updated_result.estimator(), refreshed_pool)
+    updated_oracle = TrueCardinalityOracle(updated)
+
+    print("after the update (estimate vs true cardinality on the new snapshot):")
+    for query in incoming[:4]:
+        estimate = updated_estimator.estimate_cardinality(query)
+        truth = updated_oracle.cardinality(query)
+        print(
+            f"  est {estimate:>12,.0f}   true {truth:>12,}   q-error {q_error(estimate, max(truth, 1)):6.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

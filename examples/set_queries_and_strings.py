@@ -1,0 +1,85 @@
+"""Beyond plain conjunctive queries: UNION / EXCEPT / OR and string predicates.
+
+Demonstrates the Section 9 extensions:
+
+* cardinalities and containment rates of compound (UNION / EXCEPT / OR)
+  queries via the identities over intersection cardinalities;
+* equality predicates on string columns through dictionary encoding / hashing.
+
+Run with::
+
+    python examples/set_queries_and_strings.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import OracleCardinalityEstimator
+from repro.datasets import SyntheticIMDbConfig, build_synthetic_imdb
+from repro.db import Database, QueryExecutor
+from repro.db.schema import Column, ColumnRole, ColumnType, DatabaseSchema, TableSchema
+from repro.extensions import (
+    CompoundCardinalityEstimator,
+    CompoundContainmentEstimator,
+    ExceptQuery,
+    OrQuery,
+    StringDictionary,
+    UnionQuery,
+    string_equality_predicate,
+)
+from repro.sql import parse_query
+from repro.sql.query import Query, TableRef
+
+
+def compound_queries_demo() -> None:
+    """EXCEPT / UNION / OR over the synthetic IMDb database."""
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=800))
+    estimator = CompoundCardinalityEstimator(OracleCardinalityEstimator(database))
+    containment = CompoundContainmentEstimator(OracleCardinalityEstimator(database))
+
+    recent = parse_query("SELECT * FROM title t WHERE t.production_year > 2010")
+    episodes = parse_query("SELECT * FROM title t WHERE t.kind_id = 3")
+    old = parse_query("SELECT * FROM title t WHERE t.production_year < 1960")
+
+    print("compound cardinalities (Section 9 identities, oracle base estimator):")
+    print(f"  |recent UNION episodes|  = {estimator.estimate_cardinality(UnionQuery(recent, episodes)):>8,.0f}")
+    print(f"  |recent EXCEPT episodes| = {estimator.estimate_cardinality(ExceptQuery(recent, episodes)):>8,.0f}")
+    print(f"  |recent OR episodes|     = {estimator.estimate_cardinality(OrQuery(recent, episodes)):>8,.0f}")
+    print(f"  |recent OR old|          = {estimator.estimate_cardinality(OrQuery(recent, old)):>8,.0f}")
+    rate = containment.estimate_containment(OrQuery(recent, old), episodes)
+    print(f"  (recent OR old) ⊂% episodes = {rate:.1%}")
+
+
+def string_predicates_demo() -> None:
+    """Equality predicates on a string column via dictionary encoding."""
+    genres = ["drama", "comedy", "drama", "horror", "drama", "comedy", "sci-fi", "drama"]
+    dictionary = StringDictionary()
+    schema = DatabaseSchema(
+        tables=(
+            TableSchema(
+                name="films",
+                alias="f",
+                columns=(
+                    Column("id", ColumnType.INTEGER, ColumnRole.PRIMARY_KEY),
+                    Column("genre", ColumnType.STRING),
+                ),
+            ),
+        )
+    )
+    database = Database.from_arrays(
+        schema,
+        {"films": {"id": np.arange(len(genres)), "genre": dictionary.encode_column(genres)}},
+    )
+    executor = QueryExecutor(database)
+
+    print("\nstring predicates (dictionary-encoded 'genre' column):")
+    for literal in ("drama", "comedy", "western"):
+        predicate = string_equality_predicate("f", "genre", literal, dictionary)
+        query = Query.create([TableRef("films", "f")], predicates=[predicate])
+        print(f"  genre = {literal!r:10s} -> {executor.cardinality(query)} rows")
+
+
+if __name__ == "__main__":
+    compound_queries_demo()
+    string_predicates_demo()

@@ -1,0 +1,49 @@
+"""Debug helper: inspect per-pool-query estimates for high-join queries."""
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    CRNConfig,
+    Cnt2CrdEstimator,
+    QueriesPool,
+    QueryFeaturizer,
+    TrainingConfig,
+    train_crn,
+)
+from repro.datasets import (
+    SyntheticIMDbConfig,
+    build_crd_test2,
+    build_queries_pool_queries,
+    build_synthetic_imdb,
+    build_training_pairs,
+)
+from repro.db import TrueCardinalityOracle
+
+t0 = time.time()
+db = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=2000))
+oracle = TrueCardinalityOracle(db)
+feat = QueryFeaturizer(db)
+pairs = build_training_pairs(db, count=6000, oracle=oracle)
+result = train_crn(feat, pairs, CRNConfig(hidden_size=128, seed=1),
+                   TrainingConfig(epochs=40, batch_size=128, early_stopping_patience=10))
+print(f"[{time.time()-t0:.0f}s] val q-error {result.best_validation_q_error:.2f}")
+crn = result.estimator()
+pool = QueriesPool.from_labeled_queries(build_queries_pool_queries(db, count=300, oracle=oracle))
+est = Cnt2CrdEstimator(crn, pool)
+
+crd2 = build_crd_test2(db, scale=0.1, oracle=oracle)
+high = [q for q in crd2.queries if q.num_joins == 5][:3]
+for labeled in high:
+    print("=" * 80)
+    print("query:", labeled.query)
+    print("true cardinality:", labeled.cardinality)
+    estimates = est.pool_estimates(labeled.query)
+    print(f"matching pool entries: {len(pool.matching_entries(labeled.query))}, usable: {len(estimates)}")
+    for pe in estimates[:12]:
+        true_x = oracle.containment_rate(pe.pool_entry.query, labeled.query)
+        true_y = oracle.containment_rate(labeled.query, pe.pool_entry.query)
+        print(f"  |Qold|={pe.pool_entry.cardinality:>10}  x={pe.x_rate:.4f} (true {true_x:.5f})  "
+              f"y={pe.y_rate:.4f} (true {true_y:.5f})  -> est {pe.estimate:,.0f}")
+    print("final estimate:", est.estimate_cardinality(labeled.query))

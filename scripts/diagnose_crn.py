@@ -1,0 +1,84 @@
+"""Diagnostic: where does CRN's containment estimate break down?
+
+Trains a CRN on the standard 0-2-join pair corpus, then prints predicted vs
+true containment rates for the pair types the Cnt2Crd technique relies on,
+separately per join count:
+
+* (Q, frame)  -- y_rate pairs against the predicate-free frame (truth 1 if Q non-empty)
+* (frame, Q)  -- x_rate pairs (truth |Q| / |frame|, typically small)
+* (Q, Q')     -- pairs of two generated queries with the same FROM clause
+
+Kept under scripts/ for reproducibility of the hyperparameter choices in
+DESIGN.md; not part of the library.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import CRNConfig, QueryFeaturizer, TrainingConfig, train_crn
+from repro.datasets import (
+    GeneratorConfig,
+    QueryGenerator,
+    SyntheticIMDbConfig,
+    build_synthetic_imdb,
+    build_training_pairs,
+)
+from repro.db import TrueCardinalityOracle
+from repro.sql.query import Query
+
+
+def main(num_titles=2000, pairs=8000, hidden=128, epochs=40):
+    t0 = time.time()
+    db = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=num_titles))
+    oracle = TrueCardinalityOracle(db)
+    feat = QueryFeaturizer(db)
+    training_pairs = build_training_pairs(db, count=pairs, oracle=oracle)
+    result = train_crn(
+        feat, training_pairs,
+        CRNConfig(hidden_size=hidden, seed=1),
+        TrainingConfig(epochs=epochs, batch_size=128, early_stopping_patience=10),
+    )
+    print(f"[{time.time()-t0:.0f}s] trained, best val q-error {result.best_validation_q_error:.2f}")
+    crn = result.estimator()
+
+    generator = QueryGenerator(db, GeneratorConfig(max_joins=5, seed=77))
+    for num_joins in range(0, 6):
+        rows = []
+        frame_card = None
+        for _ in range(12):
+            q = generator.generate_query(num_joins=num_joins)
+            if oracle.cardinality(q) == 0:
+                continue
+            frame = q.without_predicates()
+            frame_card = oracle.cardinality(frame)
+            y_true = oracle.containment_rate(q, frame)
+            y_pred = crn.estimate_containment(q, frame)
+            x_true = oracle.containment_rate(frame, q)
+            x_pred = crn.estimate_containment(frame, q)
+            q2 = generator.generate_similar_query(q)
+            p_true = oracle.containment_rate(q, q2)
+            p_pred = crn.estimate_containment(q, q2)
+            rows.append((y_true, y_pred, x_true, x_pred, p_true, p_pred))
+        if not rows:
+            continue
+        arr = np.array(rows)
+        print(f"joins={num_joins} |frame|={frame_card}")
+        print(f"   y (Q in frame): true median {np.median(arr[:,0]):.3f}  pred median {np.median(arr[:,1]):.4f}")
+        print(f"   x (frame in Q): true median {np.median(arr[:,2]):.2e}  pred median {np.median(arr[:,3]):.2e}")
+        print(f"   pair (Q in Q'): true median {np.median(arr[:,4]):.3f}  pred median {np.median(arr[:,5]):.4f}")
+
+
+def _table_ref(db, alias):
+    from repro.sql.query import TableRef
+
+    return TableRef(db.schema.table_by_alias(alias).name, alias)
+
+
+if __name__ == "__main__":
+    kwargs = {}
+    for arg in sys.argv[1:]:
+        key, value = arg.split("=")
+        kwargs[key] = int(value)
+    main(**kwargs)

@@ -1,0 +1,94 @@
+"""Ad-hoc tuning script: check CRN quality vs the Crd2Cnt baselines.
+
+Not part of the library; used during development to pick the default profile's
+hyperparameters, and kept for reproducibility of that choice.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import MSCNConfig, MSCNTrainingConfig, PostgresCardinalityEstimator, train_mscn
+from repro.core import (
+    CRNConfig,
+    Cnt2CrdEstimator,
+    Crd2CntEstimator,
+    QueriesPool,
+    QueryFeaturizer,
+    TrainingConfig,
+    q_errors,
+    train_crn,
+)
+from repro.datasets import (
+    SyntheticIMDbConfig,
+    build_cnt_test1,
+    build_cnt_test2,
+    build_crd_test2,
+    build_queries_pool_queries,
+    build_synthetic_imdb,
+    build_training_pairs,
+    mscn_training_set,
+)
+from repro.db import TrueCardinalityOracle
+
+
+def main(num_titles=2000, pairs=6000, hidden=128, epochs=60):
+    t0 = time.time()
+    db = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=num_titles))
+    oracle = TrueCardinalityOracle(db)
+    feat = QueryFeaturizer(db)
+    training_pairs = build_training_pairs(db, count=pairs, oracle=oracle)
+    rates = np.array([p.containment_rate for p in training_pairs])
+    print(f"[{time.time()-t0:6.1f}s] db rows={db.total_rows} pairs={len(training_pairs)} "
+          f"rate hist={np.histogram(rates, bins=[0,0.001,0.25,0.5,0.75,0.999,1.01])[0]}")
+
+    result = train_crn(
+        feat, training_pairs,
+        CRNConfig(hidden_size=hidden, seed=1),
+        TrainingConfig(epochs=epochs, batch_size=128, early_stopping_patience=15),
+        verbose=True,
+    )
+    print(f"[{time.time()-t0:6.1f}s] CRN best val q-error {result.best_validation_q_error:.3f} "
+          f"(epoch {result.best_epoch}/{result.epochs_run})")
+    crn = result.estimator()
+
+    mscn_queries = mscn_training_set(db, training_pairs, oracle=oracle)
+    mscn_result = train_mscn(db, mscn_queries, MSCNConfig(hidden_size=hidden),
+                             MSCNTrainingConfig(epochs=epochs, batch_size=128))
+    mscn = mscn_result.estimator()
+    pg = PostgresCardinalityEstimator(db)
+    print(f"[{time.time()-t0:6.1f}s] MSCN best val q-error {mscn_result.best_validation_q_error:.2f} "
+          f"on {len(mscn_queries)} queries")
+
+    for wl_name, builder in (("cnt_test1", build_cnt_test1), ("cnt_test2", build_cnt_test2)):
+        wl = builder(db, scale=0.15, oracle=oracle)
+        truths = [p.containment_rate for p in wl.pairs]
+        pairs_list = [(p.first, p.second) for p in wl.pairs]
+        for name, est in (("Crd2Cnt(PG)", Crd2CntEstimator(pg)), ("Crd2Cnt(MSCN)", Crd2CntEstimator(mscn)), ("CRN", crn)):
+            qe = q_errors(est.estimate_containments(pairs_list), truths, epsilon=1e-3)
+            print(f"[{time.time()-t0:6.1f}s] {wl_name:10s} {name:15s} median={np.median(qe):8.2f} "
+                  f"p75={np.percentile(qe,75):8.2f} p95={np.percentile(qe,95):10.2f} mean={qe.mean():10.2f}")
+
+    pool = QueriesPool.from_labeled_queries(build_queries_pool_queries(db, count=300, oracle=oracle))
+    crd2 = build_crd_test2(db, scale=0.2, oracle=oracle)
+    truths = [q.cardinality for q in crd2.queries]
+    queries = [q.query for q in crd2.queries]
+    groups = [q.num_joins for q in crd2.queries]
+    for name, est in (("PostgreSQL", pg), ("MSCN", mscn), ("Cnt2Crd(CRN)", Cnt2CrdEstimator(crn, pool))):
+        ests = est.estimate_cardinalities(queries)
+        qe = q_errors(ests, truths, epsilon=1.0)
+        print(f"[{time.time()-t0:6.1f}s] crd_test2  {name:15s} median={np.median(qe):8.2f} "
+              f"p90={np.percentile(qe,90):10.2f} mean={qe.mean():12.2f}")
+        for nj in sorted(set(groups)):
+            idx = [i for i, g in enumerate(groups) if g == nj]
+            sub = q_errors([ests[i] for i in idx], [truths[i] for i in idx], epsilon=1.0)
+            print(f"      joins={nj}: median={np.median(sub):10.2f} mean={sub.mean():12.2f}")
+
+
+if __name__ == "__main__":
+    kwargs = {}
+    for arg in sys.argv[1:]:
+        key, value = arg.split("=")
+        kwargs[key] = int(value)
+    main(**kwargs)

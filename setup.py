@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments without the ``wheel`` package / network access (legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Baseline cardinality estimators the paper compares against.
+
+* :mod:`repro.baselines.postgres` -- the statistics-based PostgreSQL-style
+  estimator (ANALYZE statistics, independence and uniformity assumptions).
+* :mod:`repro.baselines.mscn` -- the MSCN learned estimator of Kipf et al.,
+  including the sample-bitmap variant ("MSCN with 1000 samples").
+* :mod:`repro.baselines.sampling` -- random sampling and index-based join
+  sampling estimators.
+"""
+
+from repro.baselines.mscn import (
+    CardinalityNormalizer,
+    MSCNConfig,
+    MSCNEstimator,
+    MSCNFeaturizer,
+    MSCNModel,
+    MSCNTrainingConfig,
+    MSCNTrainingResult,
+    train_mscn,
+)
+from repro.baselines.postgres import PostgresCardinalityEstimator
+from repro.baselines.sampling import IndexBasedJoinSamplingEstimator, RandomSamplingEstimator
+
+__all__ = [
+    "CardinalityNormalizer",
+    "IndexBasedJoinSamplingEstimator",
+    "MSCNConfig",
+    "MSCNEstimator",
+    "MSCNFeaturizer",
+    "MSCNModel",
+    "MSCNTrainingConfig",
+    "MSCNTrainingResult",
+    "PostgresCardinalityEstimator",
+    "RandomSamplingEstimator",
+    "train_mscn",
+]

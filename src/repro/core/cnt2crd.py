@@ -1,0 +1,150 @@
+"""The Cnt2Crd transformation and the cardinality estimation technique (Section 5).
+
+Given a containment rate estimator and a queries pool of previously executed
+queries with known cardinalities, a new query's cardinality is estimated as
+
+    |Qnew| ≈ F over matching pool queries Qold of
+             (Qold ⊂% Qnew) / (Qnew ⊂% Qold) * |Qold|
+
+skipping pool queries for which the denominator rate is (close to) zero, and
+collapsing the per-pool-query estimates with the final function ``F``
+(median by default, Section 5.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.estimators import CardinalityEstimator, ContainmentEstimator
+from repro.core.final_functions import FinalFunction, get_final_function
+from repro.core.queries_pool import PoolEntry, QueriesPool
+from repro.sql.query import Query
+
+
+class NoMatchingPoolQueryError(LookupError):
+    """Raised when no pool query can be used to estimate a query's cardinality.
+
+    This happens when the pool has no entry with the query's FROM clause, or
+    when every matching entry's ``Qnew ⊂% Qold`` rate is below the epsilon
+    threshold.  Callers can avoid it by seeding the pool with predicate-free
+    "frame" queries (Section 5.2) or by configuring a fallback estimator.
+    """
+
+
+@dataclass(frozen=True)
+class PoolEstimate:
+    """One per-pool-query estimate produced by the Cnt2Crd technique."""
+
+    pool_entry: PoolEntry
+    x_rate: float
+    y_rate: float
+    estimate: float
+
+
+class Cnt2CrdEstimator(CardinalityEstimator):
+    """A cardinality estimator built from a containment estimator and a queries pool.
+
+    Args:
+        containment_estimator: the model used for both containment directions.
+        pool: the queries pool of previously executed queries.
+        final_function: the function ``F`` collapsing per-pool-query estimates
+            (a name from :mod:`repro.core.final_functions` or a callable).
+        epsilon: pool queries whose ``Qnew ⊂% Qold`` rate is at most this
+            threshold are skipped (the paper's ``y_rate <= epsilon`` guard).
+            The default treats rates below 0.1% as zero: dividing by a smaller
+            learned rate would amplify its relative error into an arbitrarily
+            large cardinality estimate.
+        fallback: optional cardinality estimator used when no pool query
+            matches; when omitted, :class:`NoMatchingPoolQueryError` is raised.
+    """
+
+    def __init__(
+        self,
+        containment_estimator: ContainmentEstimator,
+        pool: QueriesPool,
+        final_function: str | FinalFunction = "median",
+        epsilon: float = 1e-3,
+        fallback: CardinalityEstimator | None = None,
+    ) -> None:
+        self.containment_estimator = containment_estimator
+        self.pool = pool
+        self.final_function = (
+            get_final_function(final_function) if isinstance(final_function, str) else final_function
+        )
+        self.epsilon = epsilon
+        self.fallback = fallback
+        self.name = f"Cnt2Crd({containment_estimator.name})"
+
+    # ------------------------------------------------------------------ #
+    # estimation
+
+    def pool_estimates(self, query: Query) -> list[PoolEstimate]:
+        """The per-pool-query estimates for ``query`` (the technique's inner loop).
+
+        Containment rates for all matching pool queries are estimated in one
+        batched call so learned estimators can vectorize the work.
+        """
+        entries = [
+            entry
+            for entry in self.pool.matching_entries(query)
+            # A pool query with an empty result cannot contribute: its estimate
+            # is always x/y * 0 = 0, and with exact rates the y_rate guard
+            # would skip it anyway (Qnew ⊂% Qold = 0 when Qold is empty).
+            if entry.cardinality > 0
+        ]
+        if not entries:
+            return []
+        pairs: list[tuple[Query, Query]] = []
+        for entry in entries:
+            pairs.append((entry.query, query))  # x_rate = Qold ⊂% Qnew
+            pairs.append((query, entry.query))  # y_rate = Qnew ⊂% Qold
+        rates = self.containment_estimator.estimate_containments(pairs)
+        estimates: list[PoolEstimate] = []
+        for index, entry in enumerate(entries):
+            x_rate = rates[2 * index]
+            y_rate = rates[2 * index + 1]
+            if y_rate <= self.epsilon:
+                continue
+            estimates.append(
+                PoolEstimate(
+                    pool_entry=entry,
+                    x_rate=x_rate,
+                    y_rate=y_rate,
+                    estimate=x_rate / y_rate * entry.cardinality,
+                )
+            )
+        return estimates
+
+    def estimate_cardinality(self, query: Query) -> float:
+        entries = self.pool.matching_entries(query)
+        if not entries:
+            if self.fallback is not None:
+                return self.fallback.estimate_cardinality(query)
+            raise NoMatchingPoolQueryError(
+                f"no pool query shares the FROM clause {query.from_signature()}"
+            )
+        estimates = self.pool_estimates(query)
+        if not estimates:
+            # Matching pool queries exist but the new query is estimated to be
+            # contained ~0% in all of them, which (with frame queries in the
+            # pool) only happens when the new query's result is empty.
+            return 0.0
+        return float(self.final_function([estimate.estimate for estimate in estimates]))
+
+
+def cnt2crd(
+    containment_estimator: ContainmentEstimator,
+    pool: QueriesPool,
+    final_function: str | FinalFunction = "median",
+    epsilon: float = 1e-3,
+    fallback: CardinalityEstimator | None = None,
+) -> Cnt2CrdEstimator:
+    """Functional alias for :class:`Cnt2CrdEstimator` (matches the paper's notation)."""
+    return Cnt2CrdEstimator(
+        containment_estimator,
+        pool,
+        final_function=final_function,
+        epsilon=epsilon,
+        fallback=fallback,
+    )

@@ -1,0 +1,51 @@
+"""Estimator interfaces.
+
+Two estimator families appear in the paper:
+
+* **Cardinality estimators** map a single query to an estimated result
+  cardinality (PostgreSQL, MSCN, and the paper's Cnt2Crd-based technique).
+* **Containment estimators** map an ordered query pair ``(Q1, Q2)`` to an
+  estimated containment rate ``Q1 ⊂% Q2`` in ``[0, 1]`` (CRN, and any
+  cardinality estimator routed through the Crd2Cnt transformation).
+
+Both interfaces provide batch methods with naive default implementations so
+vectorized models (CRN, MSCN) can override them for speed while simple
+baselines do not have to.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.sql.query import Query
+
+
+class CardinalityEstimator(abc.ABC):
+    """Estimates the result cardinality of a single query."""
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "cardinality-estimator"
+
+    @abc.abstractmethod
+    def estimate_cardinality(self, query: Query) -> float:
+        """Return the estimated number of result rows of ``query``."""
+
+    def estimate_cardinalities(self, queries: Sequence[Query]) -> list[float]:
+        """Estimate a batch of queries (default: one at a time)."""
+        return [self.estimate_cardinality(query) for query in queries]
+
+
+class ContainmentEstimator(abc.ABC):
+    """Estimates the containment rate of an ordered query pair."""
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "containment-estimator"
+
+    @abc.abstractmethod
+    def estimate_containment(self, first: Query, second: Query) -> float:
+        """Return the estimated rate ``first ⊂% second`` as a fraction in [0, 1]."""
+
+    def estimate_containments(self, pairs: Sequence[tuple[Query, Query]]) -> list[float]:
+        """Estimate a batch of ordered pairs (default: one at a time)."""
+        return [self.estimate_containment(first, second) for first, second in pairs]

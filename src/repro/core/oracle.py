@@ -1,0 +1,39 @@
+"""Oracle (ground-truth) estimators.
+
+These wrap exact execution behind the estimator interfaces.  They are not part
+of the paper's evaluation -- no practical system can afford exact execution at
+estimation time -- but they serve as sanity references: the Cnt2Crd technique
+fed with oracle containment rates should reproduce true cardinalities almost
+exactly, which the integration tests verify.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimators import CardinalityEstimator, ContainmentEstimator
+from repro.db.database import Database
+from repro.db.intersection import TrueCardinalityOracle
+from repro.sql.query import Query
+
+
+class OracleCardinalityEstimator(CardinalityEstimator):
+    """A cardinality estimator that returns exact cardinalities."""
+
+    name = "Oracle"
+
+    def __init__(self, database: Database, oracle: TrueCardinalityOracle | None = None) -> None:
+        self.oracle = oracle or TrueCardinalityOracle(database)
+
+    def estimate_cardinality(self, query: Query) -> float:
+        return float(self.oracle.cardinality(query))
+
+
+class OracleContainmentEstimator(ContainmentEstimator):
+    """A containment estimator that returns exact containment rates."""
+
+    name = "OracleContainment"
+
+    def __init__(self, database: Database, oracle: TrueCardinalityOracle | None = None) -> None:
+        self.oracle = oracle or TrueCardinalityOracle(database)
+
+    def estimate_containment(self, first: Query, second: Query) -> float:
+        return self.oracle.containment_rate(first, second)

@@ -1,0 +1,126 @@
+"""The queries pool (Section 5.2).
+
+The pool stores previously executed queries together with their actual
+cardinalities (not their results) as part of the database's meta information.
+It is indexed by FROM-clause signature because the Cnt2Crd technique only
+matches a new query with old queries sharing its FROM clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.datasets.pairs import LabeledQuery
+from repro.db.database import Database
+from repro.db.intersection import TrueCardinalityOracle
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """One pool record: an executed query and its actual cardinality."""
+
+    query: Query
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise ValueError("cardinality must be non-negative")
+
+
+class QueriesPool:
+    """A FROM-clause-indexed pool of executed queries with known cardinalities."""
+
+    def __init__(self, entries: Iterable[PoolEntry] = ()) -> None:
+        self._by_from: dict[tuple[tuple[str, str], ...], list[PoolEntry]] = {}
+        self._size = 0
+        for entry in entries:
+            self.add(entry.query, entry.cardinality)
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    @classmethod
+    def from_labeled_queries(cls, labeled: Sequence[LabeledQuery]) -> "QueriesPool":
+        """Build a pool from queries already labelled with true cardinalities."""
+        return cls(PoolEntry(item.query, item.cardinality) for item in labeled)
+
+    @classmethod
+    def from_executed_queries(
+        cls,
+        database: Database,
+        queries: Sequence[Query],
+        oracle: TrueCardinalityOracle | None = None,
+    ) -> "QueriesPool":
+        """Execute ``queries`` on ``database`` and record their cardinalities.
+
+        This mirrors the paper's first pool-construction approach: the DBMS
+        executes queries anyway, and the pool simply records them.
+        """
+        oracle = oracle or TrueCardinalityOracle(database)
+        return cls(PoolEntry(query, oracle.cardinality(query)) for query in queries)
+
+    def add(self, query: Query, cardinality: int) -> None:
+        """Record an executed query with its actual cardinality.
+
+        Re-adding an identical query updates its cardinality instead of
+        duplicating it.
+        """
+        signature = query.from_signature()
+        bucket = self._by_from.setdefault(signature, [])
+        for index, entry in enumerate(bucket):
+            if entry.query == query:
+                bucket[index] = PoolEntry(query, cardinality)
+                return
+        bucket.append(PoolEntry(query, cardinality))
+        self._size += 1
+
+    # ------------------------------------------------------------------ #
+    # lookup
+
+    def matching_entries(self, query: Query) -> list[PoolEntry]:
+        """All pool entries whose FROM clause matches ``query``'s FROM clause."""
+        return list(self._by_from.get(query.from_signature(), ()))
+
+    def has_match(self, query: Query) -> bool:
+        """Whether at least one pool entry shares ``query``'s FROM clause."""
+        return bool(self._by_from.get(query.from_signature()))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[PoolEntry]:
+        for bucket in self._by_from.values():
+            yield from bucket
+
+    def from_signatures(self) -> list[tuple[tuple[str, str], ...]]:
+        """All distinct FROM-clause signatures present in the pool."""
+        return list(self._by_from)
+
+    def subset(self, size: int) -> "QueriesPool":
+        """Return a smaller pool with roughly ``size`` entries.
+
+        Entries are taken round-robin across FROM signatures so the subset
+        stays "equally distributed among all the possible FROM clauses"
+        (Section 6.2), which is what the Table 14 pool-size sweep varies.
+        """
+        if size <= 0:
+            raise ValueError("subset size must be positive")
+        if size >= len(self):
+            return QueriesPool(iter(self))
+        buckets = [list(bucket) for bucket in self._by_from.values()]
+        selected: list[PoolEntry] = []
+        round_index = 0
+        while len(selected) < size:
+            progressed = False
+            for bucket in buckets:
+                if round_index < len(bucket):
+                    selected.append(bucket[round_index])
+                    progressed = True
+                    if len(selected) >= size:
+                        break
+            if not progressed:
+                break
+            round_index += 1
+        return QueriesPool(selected)

@@ -1,0 +1,101 @@
+"""Labelled query pairs and labelled queries.
+
+The CRN model trains on ``(Q1, Q2, Q1 ⊂% Q2)`` triples; the MSCN baseline and
+the cardinality evaluation train/evaluate on ``(Q, |Q|)`` pairs.  Both labels
+come from exact execution on the (synthetic) database via the
+:class:`~repro.db.intersection.TrueCardinalityOracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.db.database import Database
+from repro.db.intersection import TrueCardinalityOracle
+from repro.sql.intersection import intersect_queries
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class QueryPair:
+    """A pair of queries with its true containment rate.
+
+    Attributes:
+        first: the contained-side query (``Q1``).
+        second: the containing-side query (``Q2``).
+        containment_rate: the true rate ``Q1 ⊂% Q2`` as a fraction in [0, 1].
+    """
+
+    first: Query
+    second: Query
+    containment_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.containment_rate <= 1.0 + 1e-9:
+            raise ValueError(f"containment rate must lie in [0, 1], got {self.containment_rate}")
+
+    @property
+    def num_joins(self) -> int:
+        """Number of joins of the pair (both queries share a FROM clause)."""
+        return max(self.first.num_joins, self.second.num_joins)
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """A query with its true result cardinality."""
+
+    query: Query
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise ValueError("cardinality must be non-negative")
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join clauses in the query."""
+        return self.query.num_joins
+
+
+def label_pairs(
+    database: Database,
+    pairs: Sequence[tuple[Query, Query]],
+    oracle: TrueCardinalityOracle | None = None,
+) -> list[QueryPair]:
+    """Label ``pairs`` with their true containment rates on ``database``."""
+    oracle = oracle or TrueCardinalityOracle(database)
+    labelled: list[QueryPair] = []
+    for first, second in pairs:
+        rate = oracle.containment_rate(first, second)
+        labelled.append(QueryPair(first=first, second=second, containment_rate=rate))
+    return labelled
+
+
+def label_queries(
+    database: Database,
+    queries: Iterable[Query],
+    oracle: TrueCardinalityOracle | None = None,
+) -> list[LabeledQuery]:
+    """Label ``queries`` with their true cardinalities on ``database``."""
+    oracle = oracle or TrueCardinalityOracle(database)
+    return [LabeledQuery(query=query, cardinality=oracle.cardinality(query)) for query in queries]
+
+
+def mscn_training_set(
+    database: Database,
+    pairs: Sequence[QueryPair],
+    oracle: TrueCardinalityOracle | None = None,
+) -> list[LabeledQuery]:
+    """Derive the MSCN training set from the CRN pair training set (Section 4.1.2).
+
+    For every pair ``(Q1, Q2)`` in the CRN training data, the MSCN model is
+    trained on ``Q1 ∩ Q2`` and ``Q1``, each with its actual cardinality, so
+    both models see the same information.  Duplicates are removed.
+    """
+    oracle = oracle or TrueCardinalityOracle(database)
+    queries: dict[Query, None] = {}
+    for pair in pairs:
+        queries.setdefault(intersect_queries(pair.first, pair.second), None)
+        queries.setdefault(pair.first, None)
+    return label_queries(database, queries.keys(), oracle=oracle)

@@ -1,0 +1,385 @@
+"""Builders for the paper's training and evaluation workloads.
+
+The paper evaluates on five workloads (Sections 4.2 and 6.1):
+
+* ``cnt_test1`` -- 1200 query *pairs* with 0-2 joins (in-distribution
+  containment test, Table 2).
+* ``cnt_test2`` -- 1200 query *pairs* with 0-5 joins (containment
+  generalization test, Table 2).
+* ``crd_test1`` -- 450 *queries* with 0-2 joins (in-distribution cardinality
+  test, Table 5).
+* ``crd_test2`` -- 450 *queries* with 0-5 joins (cardinality generalization
+  test, Table 5).
+* ``scale`` -- 500 *queries* with 0-4 joins from a *different* generator
+  (cross-generator generalization, Table 5).
+
+All builders accept a ``scale`` factor so tests and CI can run proportionally
+smaller workloads with the same join distribution (e.g. ``scale=0.1`` builds a
+120-pair cnt_test1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.datasets.generator import GeneratorConfig, QueryGenerator
+from repro.datasets.pairs import LabeledQuery, QueryPair, label_pairs, label_queries
+from repro.datasets.scale import ScaleGeneratorConfig, ScaleWorkloadGenerator
+from repro.db.database import Database
+from repro.db.intersection import TrueCardinalityOracle
+from repro.sql.query import Query
+
+#: Paper join distributions (Table 2 and Table 5), as {num_joins: count}.
+CNT_TEST1_DISTRIBUTION: dict[int, int] = {0: 400, 1: 400, 2: 400}
+CNT_TEST2_DISTRIBUTION: dict[int, int] = {0: 200, 1: 200, 2: 200, 3: 200, 4: 200, 5: 200}
+CRD_TEST1_DISTRIBUTION: dict[int, int] = {0: 150, 1: 150, 2: 150}
+CRD_TEST2_DISTRIBUTION: dict[int, int] = {0: 75, 1: 75, 2: 75, 3: 75, 4: 75, 5: 75}
+SCALE_DISTRIBUTION: dict[int, int] = {0: 115, 1: 115, 2: 107, 3: 88, 4: 75}
+
+#: The JOB-style star schema exposes five joinable fact tables around ``title``,
+#: so the largest supported join count is 5.
+MAX_SUPPORTED_JOINS = 5
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Specification of a workload: name, per-join-count sizes, and seed."""
+
+    name: str
+    distribution: Mapping[int, int]
+    seed: int = 0
+
+    def scaled(self, scale: float) -> "WorkloadSpec":
+        """Return a spec with every per-join count multiplied by ``scale`` (>= 1 query)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        scaled = {
+            joins: max(1, int(round(count * scale)))
+            for joins, count in self.distribution.items()
+            if count > 0
+        }
+        return WorkloadSpec(name=self.name, distribution=scaled, seed=self.seed)
+
+    @property
+    def total(self) -> int:
+        """Total number of queries/pairs in the workload."""
+        return sum(self.distribution.values())
+
+
+@dataclass(frozen=True)
+class PairWorkload:
+    """A named containment workload: query pairs with true containment rates."""
+
+    name: str
+    pairs: tuple[QueryPair, ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def by_num_joins(self) -> dict[int, list[QueryPair]]:
+        """Group the pairs by join count."""
+        groups: dict[int, list[QueryPair]] = {}
+        for pair in self.pairs:
+            groups.setdefault(pair.num_joins, []).append(pair)
+        return groups
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named cardinality workload: queries with true cardinalities."""
+
+    name: str
+    queries: tuple[LabeledQuery, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def by_num_joins(self) -> dict[int, list[LabeledQuery]]:
+        """Group the queries by join count."""
+        groups: dict[int, list[LabeledQuery]] = {}
+        for labeled in self.queries:
+            groups.setdefault(labeled.num_joins, []).append(labeled)
+        return groups
+
+    def restrict_joins(self, min_joins: int, max_joins: int) -> "Workload":
+        """Return the sub-workload whose queries have ``min_joins <= joins <= max_joins``."""
+        queries = tuple(
+            labeled for labeled in self.queries if min_joins <= labeled.num_joins <= max_joins
+        )
+        return Workload(name=f"{self.name}[{min_joins}-{max_joins} joins]", queries=queries)
+
+
+def join_distribution(workload: "Workload | PairWorkload") -> dict[int, int]:
+    """Return the ``{num_joins: count}`` distribution of a workload (Tables 2 and 5)."""
+    if isinstance(workload, PairWorkload):
+        return {joins: len(items) for joins, items in sorted(workload.by_num_joins().items())}
+    return {joins: len(items) for joins, items in sorted(workload.by_num_joins().items())}
+
+
+# --------------------------------------------------------------------------- #
+# pair (containment) workloads
+
+
+def build_training_pairs(
+    database: Database,
+    count: int = 1000,
+    max_joins: int = 2,
+    seed: int = 1,
+    oracle: TrueCardinalityOracle | None = None,
+    max_zero_rate_fraction: float = 0.3,
+) -> list[QueryPair]:
+    """Build the CRN training corpus: labelled pairs with 0..``max_joins`` joins.
+
+    The paper generates 100,000 pairs with zero to two joins (Section 3.1.2);
+    ``count`` scales that down for laptop-scale runs.
+
+    Args:
+        database: the database pairs are labelled against.
+        count: number of labelled pairs to produce.
+        max_joins: largest join count in the training pairs (2 in the paper).
+        seed: generator seed.
+        oracle: shared true-cardinality oracle.
+        max_zero_rate_fraction: cap on the fraction of pairs whose true
+            containment rate is exactly zero.  On the laptop-scale synthetic
+            database, disjoint-result pairs are far more common than on the
+            full IMDb; letting them dominate the corpus teaches the model
+            little beyond "predict zero", so the excess is resampled.
+    """
+    oracle = oracle or TrueCardinalityOracle(database)
+    generator = QueryGenerator(database, GeneratorConfig(max_joins=max_joins, seed=seed))
+    zero_budget = int(np.ceil(count * max_zero_rate_fraction)) if max_zero_rate_fraction < 1 else count
+    labelled: list[QueryPair] = []
+    attempts = 0
+    while len(labelled) < count and attempts < 40:
+        attempts += 1
+        remaining = count - len(labelled)
+        for first, second in generator.generate_pairs(remaining):
+            rate = oracle.containment_rate(first, second)
+            if rate == 0.0:
+                if zero_budget <= 0:
+                    continue
+                zero_budget -= 1
+            labelled.append(QueryPair(first=first, second=second, containment_rate=rate))
+            if len(labelled) >= count:
+                break
+    return labelled
+
+
+def build_pair_workload(
+    database: Database,
+    spec: WorkloadSpec,
+    oracle: TrueCardinalityOracle | None = None,
+) -> PairWorkload:
+    """Build a pair workload following ``spec``'s per-join-count distribution."""
+    oracle = oracle or TrueCardinalityOracle(database)
+    all_pairs: list[QueryPair] = []
+    for offset, (num_joins, count) in enumerate(sorted(spec.distribution.items())):
+        if count <= 0:
+            continue
+        generator = QueryGenerator(
+            database,
+            GeneratorConfig(
+                max_joins=max(num_joins, 1), min_joins=num_joins, seed=spec.seed + 1000 * offset
+            ),
+        )
+        raw_pairs = generator.generate_pairs(count, num_joins=num_joins)
+        all_pairs.extend(label_pairs(database, raw_pairs, oracle=oracle))
+    return PairWorkload(name=spec.name, pairs=tuple(all_pairs))
+
+
+def build_cnt_test1(
+    database: Database,
+    scale: float = 1.0,
+    seed: int = 11,
+    oracle: TrueCardinalityOracle | None = None,
+) -> PairWorkload:
+    """The ``cnt_test1`` workload: pairs with 0-2 joins (Section 4.2)."""
+    spec = WorkloadSpec("cnt_test1", CNT_TEST1_DISTRIBUTION, seed=seed).scaled(scale)
+    return build_pair_workload(database, spec, oracle=oracle)
+
+
+def build_cnt_test2(
+    database: Database,
+    scale: float = 1.0,
+    seed: int = 13,
+    oracle: TrueCardinalityOracle | None = None,
+) -> PairWorkload:
+    """The ``cnt_test2`` workload: pairs with 0-5 joins (Section 4.2)."""
+    spec = WorkloadSpec("cnt_test2", CNT_TEST2_DISTRIBUTION, seed=seed).scaled(scale)
+    return build_pair_workload(database, spec, oracle=oracle)
+
+
+# --------------------------------------------------------------------------- #
+# query (cardinality) workloads
+
+
+def build_query_workload(
+    database: Database,
+    spec: WorkloadSpec,
+    oracle: TrueCardinalityOracle | None = None,
+    max_empty_fraction: float = 0.2,
+) -> Workload:
+    """Build a cardinality workload following ``spec``'s distribution.
+
+    Cardinality workloads run only the first two steps of the generator
+    (Section 6): initial queries plus similar variants, no pairing step.
+
+    Args:
+        database: the database queries are labelled against.
+        spec: per-join-count sizes and seed.
+        oracle: shared true-cardinality oracle (a fresh one is built if omitted).
+        max_empty_fraction: cap on the fraction of empty-result queries per
+            join count.  At laptop scale, conjunctive queries over the small
+            synthetic database are empty far more often than over the full
+            IMDb, which would make every estimator look alike; excess empty
+            queries are resampled.
+    """
+    oracle = oracle or TrueCardinalityOracle(database)
+    labelled: list[LabeledQuery] = []
+    seen: set[Query] = set()
+    for offset, (num_joins, count) in enumerate(sorted(spec.distribution.items())):
+        if count <= 0:
+            continue
+        generator = QueryGenerator(
+            database,
+            GeneratorConfig(
+                max_joins=max(num_joins, 1), min_joins=num_joins, seed=spec.seed + 1000 * offset
+            ),
+        )
+        empty_budget = int(np.ceil(count * max_empty_fraction)) if max_empty_fraction < 1 else count
+        collected = 0
+        attempts = 0
+        while collected < count and attempts < count * 80 + 200:
+            attempts += 1
+            base = generator.generate_query(num_joins=num_joins)
+            candidates = [base] + generator.generate_similar_queries(base, count=1)
+            for query in candidates:
+                if collected >= count:
+                    break
+                if query in seen:
+                    continue
+                cardinality = oracle.cardinality(query)
+                if cardinality == 0:
+                    if empty_budget <= 0:
+                        continue
+                    empty_budget -= 1
+                seen.add(query)
+                labelled.append(LabeledQuery(query=query, cardinality=cardinality))
+                collected += 1
+    return Workload(name=spec.name, queries=tuple(labelled))
+
+
+def build_crd_test1(
+    database: Database,
+    scale: float = 1.0,
+    seed: int = 17,
+    oracle: TrueCardinalityOracle | None = None,
+) -> Workload:
+    """The ``crd_test1`` workload: queries with 0-2 joins (Section 6.1)."""
+    spec = WorkloadSpec("crd_test1", CRD_TEST1_DISTRIBUTION, seed=seed).scaled(scale)
+    return build_query_workload(database, spec, oracle=oracle)
+
+
+def build_crd_test2(
+    database: Database,
+    scale: float = 1.0,
+    seed: int = 19,
+    oracle: TrueCardinalityOracle | None = None,
+) -> Workload:
+    """The ``crd_test2`` workload: queries with 0-5 joins (Section 6.1)."""
+    spec = WorkloadSpec("crd_test2", CRD_TEST2_DISTRIBUTION, seed=seed).scaled(scale)
+    return build_query_workload(database, spec, oracle=oracle)
+
+
+def build_scale_workload(
+    database: Database,
+    scale: float = 1.0,
+    seed: int = 23,
+    oracle: TrueCardinalityOracle | None = None,
+    max_empty_fraction: float = 0.2,
+) -> Workload:
+    """The ``scale`` workload: queries from a different generator (Section 6.1)."""
+    oracle = oracle or TrueCardinalityOracle(database)
+    spec = WorkloadSpec("scale", SCALE_DISTRIBUTION, seed=seed).scaled(scale)
+    labelled: list[LabeledQuery] = []
+    seen: set[Query] = set()
+    for offset, (num_joins, count) in enumerate(sorted(spec.distribution.items())):
+        generator = ScaleWorkloadGenerator(
+            database,
+            ScaleGeneratorConfig(max_joins=max(num_joins, 1), seed=spec.seed + 1000 * offset),
+        )
+        empty_budget = int(np.ceil(count * max_empty_fraction)) if max_empty_fraction < 1 else count
+        collected = 0
+        attempts = 0
+        while collected < count and attempts < count * 80 + 200:
+            attempts += 1
+            query = generator.generate_query(num_joins=num_joins)
+            if query in seen:
+                continue
+            cardinality = oracle.cardinality(query)
+            if cardinality == 0:
+                if empty_budget <= 0:
+                    continue
+                empty_budget -= 1
+            seen.add(query)
+            labelled.append(LabeledQuery(query=query, cardinality=cardinality))
+            collected += 1
+    return Workload(name=spec.name, queries=tuple(labelled))
+
+
+def build_queries_pool_queries(
+    database: Database,
+    count: int = 300,
+    seed: int = 29,
+    max_joins: int = MAX_SUPPORTED_JOINS,
+    oracle: TrueCardinalityOracle | None = None,
+    include_frames: bool = True,
+    max_empty_fraction: float = 0.1,
+) -> list[LabeledQuery]:
+    """Build the synthetic queries-pool contents (Section 6.2).
+
+    The pool is generated by the same generator as the training data (with a
+    different seed), spread over all possible FROM clauses, and optionally
+    seeded with the predicate-free "frame" query of every FROM clause so each
+    incoming query has at least one match (Section 5.2).  Queries with empty
+    results are mostly excluded (``max_empty_fraction``): they cannot
+    contribute to any Cnt2Crd estimate, so a DBMS would not keep them.
+    """
+    oracle = oracle or TrueCardinalityOracle(database)
+    generator = QueryGenerator(database, GeneratorConfig(max_joins=max_joins, seed=seed))
+    queries: dict[Query, None] = {}
+    if include_frames:
+        # One predicate-free "SELECT * FROM <tables> WHERE <joins>" per FROM
+        # clause guarantees every incoming query finds at least one pool match.
+        for num_joins in range(0, max_joins + 1):
+            for aliases, joins in generator.join_subsets(num_joins):
+                tables = [_table_ref(database, alias) for alias in aliases]
+                queries.setdefault(Query.create(tables, joins, ()), None)
+    # Spread the remaining budget uniformly over join counts.
+    per_join = max(1, (count - len(queries)) // (max_joins + 1) + 1)
+    empty_budget = int(np.ceil(count * max_empty_fraction)) if max_empty_fraction < 1 else count
+    for num_joins in range(0, max_joins + 1):
+        produced = 0
+        attempts = 0
+        while produced < per_join and attempts < per_join * 60 + 60:
+            attempts += 1
+            query = generator.generate_query(num_joins=num_joins)
+            if query in queries:
+                continue
+            if oracle.cardinality(query) == 0:
+                if empty_budget <= 0:
+                    continue
+                empty_budget -= 1
+            queries.setdefault(query, None)
+            produced += 1
+    return label_queries(database, list(queries.keys()), oracle=oracle)
+
+
+def _table_ref(database: Database, alias: str):
+    """Build a :class:`~repro.sql.query.TableRef` for a schema alias."""
+    from repro.sql.query import TableRef
+
+    return TableRef(database.schema.table_by_alias(alias).name, alias)

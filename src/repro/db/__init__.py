@@ -1,0 +1,38 @@
+"""In-memory relational engine substrate.
+
+The paper evaluates on PostgreSQL over the real IMDb database.  This package
+provides the substrate we substitute for that stack: a columnar in-memory
+database with exact execution of the paper's conjunctive query class, a
+statistics catalog (histograms, most-common values, distinct counts) for the
+PostgreSQL-style baseline estimator, and materialized base-table samples for
+the sampling-enhanced MSCN baseline.
+"""
+
+from repro.db.database import Database
+from repro.db.executor import ExecutionResult, QueryExecutor
+from repro.db.intersection import TrueCardinalityOracle, true_cardinality, true_containment_rate
+from repro.db.sampling import SampleCatalog, TableSample
+from repro.db.schema import Column, ColumnRole, ColumnType, DatabaseSchema, ForeignKey, TableSchema
+from repro.db.statistics import ColumnStatistics, StatisticsCatalog, TableStatistics
+from repro.db.table import Table
+
+__all__ = [
+    "Column",
+    "ColumnRole",
+    "ColumnStatistics",
+    "ColumnType",
+    "Database",
+    "DatabaseSchema",
+    "ExecutionResult",
+    "ForeignKey",
+    "QueryExecutor",
+    "SampleCatalog",
+    "StatisticsCatalog",
+    "Table",
+    "TableSample",
+    "TableSchema",
+    "TableStatistics",
+    "TrueCardinalityOracle",
+    "true_cardinality",
+    "true_containment_rate",
+]

@@ -1,0 +1,117 @@
+"""The :class:`Database`: schema + tables + lazily built catalogs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.db.schema import DatabaseSchema, TableSchema
+from repro.db.table import Table
+
+
+class Database:
+    """An immutable snapshot of a database (Section 3.3: models are trained
+    and evaluated on an immutable snapshot).
+
+    The database owns the schema, the per-table columnar storage and provides
+    access to the derived catalogs used by the baselines:
+
+    * :meth:`statistics` -- the ANALYZE-style statistics catalog used by the
+      PostgreSQL-like estimator.
+    * :meth:`samples` -- materialized base-table samples used by the
+      sampling-enhanced MSCN baseline.
+    """
+
+    def __init__(self, schema: DatabaseSchema, tables: Mapping[str, Table]) -> None:
+        self.schema = schema
+        self._tables: dict[str, Table] = {}
+        for table_schema in schema.tables:
+            if table_schema.name not in tables:
+                raise ValueError(f"missing data for table {table_schema.name!r}")
+            table = tables[table_schema.name]
+            if table.schema.name != table_schema.name:
+                raise ValueError(
+                    f"table object for {table_schema.name!r} has schema {table.schema.name!r}"
+                )
+            self._tables[table_schema.name] = table
+        extra = set(tables) - set(schema.table_names)
+        if extra:
+            raise ValueError(f"tables not present in the schema: {sorted(extra)}")
+        self._statistics = None
+        self._sample_catalogs: dict[tuple[int, int], object] = {}
+
+    @classmethod
+    def from_arrays(
+        cls,
+        schema: DatabaseSchema,
+        data: Mapping[str, Mapping[str, Iterable[float]]],
+    ) -> "Database":
+        """Build a database directly from per-table column arrays."""
+        tables = {
+            table_schema.name: Table(table_schema, data[table_schema.name])
+            for table_schema in schema.tables
+        }
+        return cls(schema, tables)
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        if name not in self._tables:
+            raise KeyError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def table_by_alias(self, alias: str) -> Table:
+        """Return the table whose conventional alias is ``alias``."""
+        return self.table(self.schema.table_by_alias(alias).name)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """All table names."""
+        return self.schema.table_names
+
+    def num_rows(self, name: str) -> int:
+        """Number of rows of table ``name``."""
+        return self.table(name).num_rows
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(table.num_rows for table in self._tables.values())
+
+    def column_range(self, alias: str, column: str) -> tuple[float, float]:
+        """Value range of ``alias.column`` (used for predicate-value normalization)."""
+        return self.table_by_alias(alias).value_range(column)
+
+    def statistics(self):
+        """Return the (cached) statistics catalog for this database."""
+        if self._statistics is None:
+            from repro.db.statistics import StatisticsCatalog
+
+            self._statistics = StatisticsCatalog.analyze(self)
+        return self._statistics
+
+    def samples(self, sample_size: int = 1000, seed: int = 0):
+        """Return a (cached) :class:`~repro.db.sampling.SampleCatalog`.
+
+        Args:
+            sample_size: number of sample rows per base table (the paper's
+                MSCN1000 variant uses 1000).
+            seed: RNG seed for reproducible samples.
+        """
+        key = (sample_size, seed)
+        if key not in self._sample_catalogs:
+            from repro.db.sampling import SampleCatalog
+
+            self._sample_catalogs[key] = SampleCatalog.build(self, sample_size=sample_size, seed=seed)
+        return self._sample_catalogs[key]
+
+    def describe(self) -> str:
+        """Return a short human-readable description of the database."""
+        lines = [f"Database with {len(self._tables)} tables, {self.total_rows} rows total"]
+        for table_schema in self.schema.tables:
+            table = self._tables[table_schema.name]
+            lines.append(
+                f"  {table_schema.name} ({table_schema.alias}): "
+                f"{table.num_rows} rows, {len(table_schema.columns)} columns"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""ANALYZE-style statistics catalog.
+
+This is the substrate behind the PostgreSQL-like baseline estimator: for every
+column it records the row count, minimum/maximum, number of distinct values, a
+most-common-values (MCV) list with frequencies and an equi-depth histogram of
+the remaining values -- the same statistics PostgreSQL's ``ANALYZE`` collects
+and its selectivity functions consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.sql.query import ComparisonOperator, Predicate
+
+#: Number of most-common values kept per column (PostgreSQL's default_statistics_target
+#: keeps 100; a smaller list is plenty at our scale).
+DEFAULT_MCV_SIZE = 50
+
+#: Number of equi-depth histogram buckets per column.
+DEFAULT_HISTOGRAM_BUCKETS = 100
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Statistics of a single column."""
+
+    row_count: int
+    n_distinct: int
+    min_value: float
+    max_value: float
+    mcv_values: np.ndarray
+    mcv_fractions: np.ndarray
+    histogram_bounds: np.ndarray
+    non_mcv_fraction: float
+
+    @classmethod
+    def from_values(
+        cls,
+        values: np.ndarray,
+        mcv_size: int = DEFAULT_MCV_SIZE,
+        histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+    ) -> "ColumnStatistics":
+        """Compute statistics for a column's values."""
+        row_count = int(len(values))
+        if row_count == 0:
+            return cls(0, 0, 0.0, 0.0, np.empty(0), np.empty(0), np.empty(0), 0.0)
+        uniques, counts = np.unique(values, return_counts=True)
+        n_distinct = int(len(uniques))
+
+        order = np.argsort(counts)[::-1]
+        mcv_count = min(mcv_size, n_distinct)
+        mcv_idx = order[:mcv_count]
+        mcv_values = uniques[mcv_idx].astype(np.float64)
+        mcv_fractions = counts[mcv_idx].astype(np.float64) / row_count
+        non_mcv_fraction = float(1.0 - mcv_fractions.sum())
+
+        mcv_set = set(mcv_values.tolist())
+        rest_mask = ~np.isin(values, mcv_values)
+        rest = values[rest_mask]
+        if len(rest) >= 2:
+            buckets = min(histogram_buckets, max(1, len(np.unique(rest)) - 1))
+            quantiles = np.linspace(0.0, 1.0, buckets + 1)
+            histogram_bounds = np.quantile(rest.astype(np.float64), quantiles)
+        else:
+            histogram_bounds = np.empty(0)
+        return cls(
+            row_count=row_count,
+            n_distinct=n_distinct,
+            min_value=float(values.min()),
+            max_value=float(values.max()),
+            mcv_values=mcv_values,
+            mcv_fractions=mcv_fractions,
+            histogram_bounds=histogram_bounds,
+            non_mcv_fraction=non_mcv_fraction,
+        )
+
+    # ------------------------------------------------------------------ #
+    # selectivity estimation (PostgreSQL-style)
+
+    def equality_selectivity(self, value: float) -> float:
+        """Estimated fraction of rows with ``column = value``."""
+        if self.row_count == 0 or self.n_distinct == 0:
+            return 0.0
+        matches = np.flatnonzero(self.mcv_values == value)
+        if len(matches) > 0:
+            return float(self.mcv_fractions[matches[0]])
+        remaining_distinct = max(self.n_distinct - len(self.mcv_values), 1)
+        return max(self.non_mcv_fraction / remaining_distinct, 0.0)
+
+    def range_selectivity(self, operator: ComparisonOperator, value: float) -> float:
+        """Estimated fraction of rows with ``column <op> value`` for ``<`` / ``>``."""
+        if self.row_count == 0:
+            return 0.0
+        if operator is ComparisonOperator.EQ:
+            return self.equality_selectivity(value)
+        mcv_fraction = 0.0
+        for mcv_value, fraction in zip(self.mcv_values, self.mcv_fractions):
+            if operator.evaluate(float(mcv_value), value):
+                mcv_fraction += float(fraction)
+        histogram_fraction = self._histogram_fraction(operator, value) * self.non_mcv_fraction
+        return float(np.clip(mcv_fraction + histogram_fraction, 0.0, 1.0))
+
+    def _histogram_fraction(self, operator: ComparisonOperator, value: float) -> float:
+        bounds = self.histogram_bounds
+        if len(bounds) < 2:
+            # Fall back to a uniform assumption over [min, max].
+            if self.max_value == self.min_value:
+                below = 0.5
+            else:
+                below = (value - self.min_value) / (self.max_value - self.min_value)
+            below = float(np.clip(below, 0.0, 1.0))
+            return below if operator is ComparisonOperator.LT else 1.0 - below
+        num_buckets = len(bounds) - 1
+        if value <= bounds[0]:
+            fraction_below = 0.0
+        elif value >= bounds[-1]:
+            fraction_below = 1.0
+        else:
+            bucket = int(np.searchsorted(bounds, value, side="right")) - 1
+            bucket = min(max(bucket, 0), num_buckets - 1)
+            lower, upper = float(bounds[bucket]), float(bounds[bucket + 1])
+            within = 0.5 if upper == lower else (value - lower) / (upper - lower)
+            fraction_below = (bucket + within) / num_buckets
+        return fraction_below if operator is ComparisonOperator.LT else 1.0 - fraction_below
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for a whole table."""
+
+    name: str
+    row_count: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Return statistics for a column."""
+        if name not in self.columns:
+            raise KeyError(f"no statistics for column {self.name}.{name}")
+        return self.columns[name]
+
+
+class StatisticsCatalog:
+    """Per-database statistics (the output of an ANALYZE pass)."""
+
+    def __init__(self, tables: dict[str, TableStatistics], alias_to_table: dict[str, str]) -> None:
+        self._tables = tables
+        self._alias_to_table = alias_to_table
+
+    @classmethod
+    def analyze(
+        cls,
+        database: Database,
+        mcv_size: int = DEFAULT_MCV_SIZE,
+        histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+    ) -> "StatisticsCatalog":
+        """Collect statistics for every column of every table in ``database``."""
+        tables: dict[str, TableStatistics] = {}
+        for table_schema in database.schema.tables:
+            table = database.table(table_schema.name)
+            columns = {
+                column.name: ColumnStatistics.from_values(
+                    table.column(column.name), mcv_size=mcv_size, histogram_buckets=histogram_buckets
+                )
+                for column in table_schema.columns
+            }
+            tables[table_schema.name] = TableStatistics(
+                name=table_schema.name, row_count=table.num_rows, columns=columns
+            )
+        alias_to_table = {schema.alias: schema.name for schema in database.schema.tables}
+        return cls(tables, alias_to_table)
+
+    def table(self, name: str) -> TableStatistics:
+        """Return statistics for the table called ``name``."""
+        if name not in self._tables:
+            raise KeyError(f"no statistics for table {name!r}")
+        return self._tables[name]
+
+    def table_by_alias(self, alias: str) -> TableStatistics:
+        """Return statistics for the table with conventional alias ``alias``."""
+        if alias not in self._alias_to_table:
+            raise KeyError(f"no table with alias {alias!r}")
+        return self.table(self._alias_to_table[alias])
+
+    def predicate_selectivity(self, table_name: str, predicate: Predicate) -> float:
+        """Estimated selectivity of a single column predicate on ``table_name``."""
+        stats = self.table(table_name).column(predicate.column)
+        if predicate.operator is ComparisonOperator.EQ:
+            return stats.equality_selectivity(predicate.value)
+        return stats.range_selectivity(predicate.operator, predicate.value)

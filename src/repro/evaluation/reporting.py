@@ -1,0 +1,142 @@
+"""Rendering experiment results in the paper's table / figure formats.
+
+Tables are rendered as fixed-width text with the paper's column layout
+(50th/75th/90th/95th/99th percentile, max, mean).  "Figures" -- the box plots
+and per-join bar charts -- are rendered as their underlying data series
+(percentiles per model, or per-join means/medians), since the benchmark
+harness is text-only.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.metrics import REPORTED_PERCENTILES, ErrorSummary
+
+#: Percentiles shown by the paper's box plots (box = 25/75, whiskers = 5/95).
+BOXPLOT_PERCENTILES: tuple[int, ...] = (5, 25, 50, 75, 95)
+
+
+def format_error_table(
+    summaries: Mapping[str, ErrorSummary],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render error summaries as a paper-style percentile table."""
+    headers = [f"{p}th" for p in REPORTED_PERCENTILES] + ["max", "mean"]
+    name_width = max([len(name) for name in summaries] + [len("model")]) + 2
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("model".ljust(name_width) + "".join(header.rjust(12) for header in headers))
+    for name, summary in summaries.items():
+        row = summary.row()
+        cells = "".join(_format_cell(row[header], float_format).rjust(12) for header in headers)
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def format_per_join_table(
+    per_join: Mapping[str, Mapping[int, ErrorSummary]],
+    metric: str = "mean",
+    title: str = "",
+) -> str:
+    """Render per-join-count metrics (Table 9: means, Figure 11: medians)."""
+    if metric not in ("mean", "median"):
+        raise ValueError("metric must be 'mean' or 'median'")
+    join_counts = sorted({joins for groups in per_join.values() for joins in groups})
+    name_width = max([len(name) for name in per_join] + [len("model")]) + 2
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "model".ljust(name_width)
+        + "".join(f"{joins} joins".rjust(12) for joins in join_counts)
+    )
+    for name, groups in per_join.items():
+        cells = []
+        for joins in join_counts:
+            if joins in groups:
+                value = groups[joins].mean if metric == "mean" else groups[joins].median
+                cells.append(_format_cell(value, "{:.2f}").rjust(12))
+            else:
+                cells.append("-".rjust(12))
+        lines.append(name.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def boxplot_series(errors_by_model: Mapping[str, Sequence[float]]) -> dict[str, dict[int, float]]:
+    """The data series behind the paper's box plots (Figures 5, 6, 9, 10, 12, 13).
+
+    Returns, per model, the 5th/25th/50th/75th/95th percentiles of the q-error
+    distribution -- the box boundaries and whiskers of the figures.
+    """
+    series: dict[str, dict[int, float]] = {}
+    for name, errors in errors_by_model.items():
+        values = np.asarray(list(errors), dtype=np.float64)
+        if values.size == 0:
+            raise ValueError(f"model {name!r} has no errors to summarize")
+        series[name] = {p: float(np.percentile(values, p)) for p in BOXPLOT_PERCENTILES}
+    return series
+
+
+def format_boxplot_series(
+    series: Mapping[str, Mapping[int, float]],
+    title: str = "",
+) -> str:
+    """Render box-plot series as a fixed-width text table."""
+    name_width = max([len(name) for name in series] + [len("model")]) + 2
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "model".ljust(name_width)
+        + "".join(f"p{p}".rjust(12) for p in BOXPLOT_PERCENTILES)
+    )
+    for name, percentiles in series.items():
+        cells = "".join(
+            _format_cell(percentiles[p], "{:.2f}").rjust(12) for p in BOXPLOT_PERCENTILES
+        )
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def format_join_distribution(distributions: Mapping[str, Mapping[int, int]], title: str = "") -> str:
+    """Render workload join distributions (Tables 2 and 5)."""
+    join_counts = sorted({joins for counts in distributions.values() for joins in counts})
+    name_width = max([len(name) for name in distributions] + [len("workload")]) + 2
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "workload".ljust(name_width)
+        + "".join(f"{joins} joins".rjust(10) for joins in join_counts)
+        + "overall".rjust(10)
+    )
+    for name, counts in distributions.items():
+        cells = "".join(str(counts.get(joins, 0)).rjust(10) for joins in join_counts)
+        lines.append(name.ljust(name_width) + cells + str(sum(counts.values())).rjust(10))
+    return "\n".join(lines)
+
+
+def format_convergence(history: Sequence[Mapping[str, float]], title: str = "") -> str:
+    """Render a training convergence history (Figure 4) as text."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("epoch".rjust(8) + "train loss".rjust(14) + "validation q-error".rjust(22))
+    for entry in history:
+        lines.append(
+            f"{int(entry['epoch']):8d}"
+            + _format_cell(float(entry["train_loss"]), "{:.4f}").rjust(14)
+            + _format_cell(float(entry["validation_mean_q_error"]), "{:.4f}").rjust(22)
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value: float, float_format: str) -> str:
+    if value >= 1e6:
+        return f"{value:.3g}"
+    return float_format.format(value)

@@ -1,0 +1,104 @@
+"""Prediction-time measurement (Tables 14 and 15 of the paper).
+
+Table 14 sweeps the queries-pool size and reports accuracy together with the
+average per-query prediction time; Table 15 reports the average prediction
+time of every model.  Both need wall-clock measurement of single-query
+estimation calls, which this module provides.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.estimators import CardinalityEstimator
+from repro.core.metrics import ErrorSummary, q_errors
+from repro.datasets.pairs import LabeledQuery
+
+
+@dataclass(frozen=True)
+class TimedEvaluation:
+    """Accuracy plus timing of one estimator over one workload."""
+
+    name: str
+    summary: ErrorSummary
+    mean_prediction_seconds: float
+
+    @property
+    def mean_prediction_milliseconds(self) -> float:
+        """Average per-query prediction time in milliseconds."""
+        return self.mean_prediction_seconds * 1000.0
+
+
+def time_estimator(
+    estimator: CardinalityEstimator,
+    labeled_queries: Sequence[LabeledQuery],
+    epsilon: float = 1.0,
+) -> TimedEvaluation:
+    """Estimate every query one at a time, measuring per-query latency.
+
+    Queries are deliberately estimated individually (not batched) because the
+    paper's Tables 14-15 report the latency of estimating a single incoming
+    query, which is how an optimizer would invoke the model.
+    """
+    if not labeled_queries:
+        raise ValueError("cannot time an estimator on an empty workload")
+    estimates: list[float] = []
+    start = time.perf_counter()
+    for labeled in labeled_queries:
+        estimates.append(estimator.estimate_cardinality(labeled.query))
+    elapsed = time.perf_counter() - start
+    truths = [labeled.cardinality for labeled in labeled_queries]
+    errors = q_errors(estimates, truths, epsilon=epsilon)
+    return TimedEvaluation(
+        name=estimator.name,
+        summary=ErrorSummary.from_errors(estimator.name, errors),
+        mean_prediction_seconds=elapsed / len(labeled_queries),
+    )
+
+
+def time_estimators(
+    estimators: Mapping[str, CardinalityEstimator],
+    labeled_queries: Sequence[LabeledQuery],
+    epsilon: float = 1.0,
+) -> dict[str, TimedEvaluation]:
+    """Time several estimators on the same workload."""
+    return {
+        name: time_estimator(estimator, labeled_queries, epsilon=epsilon)
+        for name, estimator in estimators.items()
+    }
+
+
+def format_timing_table(timings: Mapping[str, TimedEvaluation], title: str = "") -> str:
+    """Render a Table-15-style "average prediction time" table."""
+    name_width = max([len(name) for name in timings] + [len("model")]) + 2
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("model".ljust(name_width) + "prediction time".rjust(18))
+    for name, timed in timings.items():
+        lines.append(name.ljust(name_width) + f"{timed.mean_prediction_milliseconds:.2f}ms".rjust(18))
+    return "\n".join(lines)
+
+
+def format_pool_size_table(
+    rows: Sequence[tuple[int, ErrorSummary, float]], title: str = ""
+) -> str:
+    """Render a Table-14-style pool-size sweep (size, median, mean, time)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "QP size".rjust(10) + "median".rjust(12) + "mean".rjust(12) + "prediction time".rjust(18)
+    )
+    for size, summary, seconds in rows:
+        lines.append(
+            f"{size:10d}"
+            + f"{summary.median:.2f}".rjust(12)
+            + f"{summary.mean:.2f}".rjust(12)
+            + f"{seconds * 1000:.2f}ms".rjust(18)
+        )
+    return "\n".join(lines)

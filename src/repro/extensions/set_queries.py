@@ -1,0 +1,165 @@
+"""Set-operation queries: EXCEPT, UNION and OR (Section 9, "future work").
+
+The paper sketches how the CRN-based machinery extends beyond plain
+conjunctive queries through identities on intersection cardinalities, e.g.::
+
+    |Q1 EXCEPT Q2| = |Q1| - |Q1 ∩ Q2|
+    |Q1 UNION  Q2| = |Q1| + |Q2|            (bag semantics, as in the paper)
+    |Q1 OR     Q2| = |Q1 UNION Q2| - |Q1 ∩ Q2|
+
+and the corresponding containment-rate identities obtained by applying the
+same decomposition to the numerator ``|compound ∩ Q3|`` and renormalizing by
+the compound's own cardinality.  This module implements those identities on
+top of any cardinality / containment estimator pair, recursively, so compound
+operands can themselves be compound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.estimators import CardinalityEstimator, ContainmentEstimator
+from repro.sql.intersection import intersect_queries, same_from_clause
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """``first UNION ALL second`` over identical FROM clauses."""
+
+    first: "CompoundQuery"
+    second: "CompoundQuery"
+
+    def __post_init__(self) -> None:
+        _check_same_from(self.first, self.second, "UNION")
+
+
+@dataclass(frozen=True)
+class ExceptQuery:
+    """``first EXCEPT second`` over identical FROM clauses."""
+
+    first: "CompoundQuery"
+    second: "CompoundQuery"
+
+    def __post_init__(self) -> None:
+        _check_same_from(self.first, self.second, "EXCEPT")
+
+
+@dataclass(frozen=True)
+class OrQuery:
+    """``first OR second``: the WHERE clauses are disjoined (set semantics)."""
+
+    first: "CompoundQuery"
+    second: "CompoundQuery"
+
+    def __post_init__(self) -> None:
+        _check_same_from(self.first, self.second, "OR")
+
+
+#: A compound query: a plain conjunctive query or a set operation over them.
+CompoundQuery = Union[Query, UnionQuery, ExceptQuery, OrQuery]
+
+
+def leading_query(compound: CompoundQuery) -> Query:
+    """The left-most plain query of a compound expression (defines the FROM clause)."""
+    while not isinstance(compound, Query):
+        compound = compound.first
+    return compound
+
+
+def _check_same_from(first: CompoundQuery, second: CompoundQuery, operation: str) -> None:
+    if not same_from_clause(leading_query(first), leading_query(second)):
+        raise ValueError(f"{operation} requires both operands to share the same FROM clause")
+
+
+class CompoundCardinalityEstimator(CardinalityEstimator):
+    """Estimates cardinalities of compound queries via the Section 9 identities.
+
+    Args:
+        base: any cardinality estimator for plain conjunctive queries.
+    """
+
+    def __init__(self, base: CardinalityEstimator) -> None:
+        self.base = base
+        self.name = f"Compound({base.name})"
+
+    def estimate_cardinality(self, query: CompoundQuery) -> float:  # type: ignore[override]
+        if isinstance(query, Query):
+            return self.base.estimate_cardinality(query)
+        if isinstance(query, UnionQuery):
+            return self.estimate_cardinality(query.first) + self.estimate_cardinality(query.second)
+        if isinstance(query, ExceptQuery):
+            difference = self.estimate_cardinality(query.first) - self._intersection_cardinality(
+                query.first, query.second
+            )
+            return max(difference, 0.0)
+        if isinstance(query, OrQuery):
+            union = self.estimate_cardinality(UnionQuery(query.first, query.second))
+            return max(union - self._intersection_cardinality(query.first, query.second), 0.0)
+        raise TypeError(f"unsupported compound query type: {type(query).__name__}")
+
+    def _intersection_cardinality(self, first: CompoundQuery, second: CompoundQuery) -> float:
+        """``|first ∩ second|`` where both operands may be compound.
+
+        Plain-query intersections go straight to the base estimator on the
+        conjoined query; compound operands are decomposed recursively with the
+        same identities applied to the intersection.
+        """
+        if isinstance(first, Query) and isinstance(second, Query):
+            return self.base.estimate_cardinality(intersect_queries(first, second))
+        if isinstance(first, UnionQuery):
+            return self._intersection_cardinality(first.first, second) + self._intersection_cardinality(
+                first.second, second
+            )
+        if isinstance(first, ExceptQuery):
+            both = self._intersection_cardinality(first.first, second)
+            removed = self._intersection_cardinality(
+                first.first, _conjoin(first.second, second)
+            )
+            return max(both - removed, 0.0)
+        if isinstance(first, OrQuery):
+            union = UnionQuery(first.first, first.second)
+            overlap = self._intersection_cardinality(_conjoin(first.first, first.second), second)
+            return max(self._intersection_cardinality(union, second) - overlap, 0.0)
+        # ``first`` is plain but ``second`` is compound: swap (intersection commutes).
+        return self._intersection_cardinality(second, first)
+
+
+def _conjoin(first: CompoundQuery, second: CompoundQuery) -> CompoundQuery:
+    """Conjoin two operands when both are plain; otherwise keep the structure."""
+    if isinstance(first, Query) and isinstance(second, Query):
+        return intersect_queries(first, second)
+    if isinstance(first, Query):
+        return _conjoin(second, first)
+    if isinstance(first, UnionQuery):
+        return UnionQuery(_conjoin(first.first, second), _conjoin(first.second, second))
+    if isinstance(first, ExceptQuery):
+        return ExceptQuery(_conjoin(first.first, second), first.second)
+    if isinstance(first, OrQuery):
+        return OrQuery(_conjoin(first.first, second), _conjoin(first.second, second))
+    raise TypeError(f"unsupported compound query type: {type(first).__name__}")
+
+
+class CompoundContainmentEstimator(ContainmentEstimator):
+    """Estimates ``compound ⊂% Q`` and ``Q ⊂% compound`` rates.
+
+    The rate is decomposed into intersection cardinalities::
+
+        compound ⊂% Q  =  |compound ∩ Q| / |compound|
+
+    where both the numerator and the denominator are estimated with a
+    :class:`CompoundCardinalityEstimator`, which in turn can be built from the
+    Crd2Cnt transformation of any base model.
+    """
+
+    def __init__(self, base: CardinalityEstimator) -> None:
+        self.compound = CompoundCardinalityEstimator(base)
+        self.name = f"CompoundContainment({base.name})"
+
+    def estimate_containment(self, first: CompoundQuery, second: CompoundQuery) -> float:  # type: ignore[override]
+        denominator = self.compound.estimate_cardinality(first)
+        if denominator <= 0:
+            return 0.0
+        numerator = self.compound._intersection_cardinality(first, second)
+        return float(min(max(numerator / denominator, 0.0), 1.0))

@@ -1,0 +1,98 @@
+"""Equality predicates on strings (Section 9, "Strings").
+
+The CRN model only consumes numeric predicate values, so string equality
+predicates are supported by hashing string literals into the integer domain
+(the paper suggests the same approach, mirroring MSCN).  Two mechanisms are
+provided:
+
+* :class:`StringDictionary` -- an exact dictionary encoding for columns whose
+  values are known at database-construction time (the normal path for the
+  synthetic database);
+* :func:`hash_string` -- a stable hash for ad-hoc literals that are not in the
+  dictionary (the model then sees a value that matches no row, which is the
+  correct semantics for a literal absent from the database).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sql.query import ComparisonOperator, Predicate
+
+#: Hash space for ad-hoc string literals (small enough to stay exact in float64).
+HASH_SPACE = 2**31
+
+
+def hash_string(value: str) -> int:
+    """A stable (process-independent) hash of ``value`` into the integer domain."""
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % HASH_SPACE
+
+
+@dataclass
+class StringDictionary:
+    """Bidirectional mapping between string values and integer codes for one column."""
+
+    codes: dict[str, int] = field(default_factory=dict)
+    values: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_values(cls, values: Iterable[str]) -> "StringDictionary":
+        """Build a dictionary from a column's string values (first occurrence wins)."""
+        dictionary = cls()
+        for value in values:
+            dictionary.encode(value)
+        return dictionary
+
+    def encode(self, value: str) -> int:
+        """Return the code for ``value``, assigning a new one if unseen."""
+        if value not in self.codes:
+            self.codes[value] = len(self.values)
+            self.values.append(value)
+        return self.codes[value]
+
+    def encode_existing(self, value: str) -> int:
+        """Return the code for ``value``; unseen values hash outside the code range.
+
+        An unseen literal cannot match any stored row, so mapping it to a hash
+        above every assigned code preserves the (empty) equality semantics.
+        """
+        if value in self.codes:
+            return self.codes[value]
+        return len(self.values) + hash_string(value)
+
+    def decode(self, code: int) -> str:
+        """Return the string for an assigned ``code``."""
+        if not 0 <= code < len(self.values):
+            raise KeyError(f"code {code} is not assigned")
+        return self.values[code]
+
+    def encode_column(self, values: Sequence[str]) -> np.ndarray:
+        """Dictionary-encode a whole string column into an integer array."""
+        return np.asarray([self.encode(value) for value in values], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def string_equality_predicate(
+    alias: str, column: str, value: str, dictionary: StringDictionary | None = None
+) -> Predicate:
+    """Build an equality predicate on a string column.
+
+    Args:
+        alias: table alias of the predicate.
+        column: column name.
+        value: the string literal.
+        dictionary: the column's dictionary encoding; when omitted the literal
+            is hashed directly (ad-hoc literal on a hashed column).
+    """
+    if dictionary is not None:
+        encoded = dictionary.encode_existing(value)
+    else:
+        encoded = hash_string(value)
+    return Predicate(alias, column, ComparisonOperator.EQ, float(encoded))

@@ -1,0 +1,123 @@
+"""Neural-network modules: parameter containers with a functional forward pass."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn.init import he_init
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class for all modules.
+
+    A module owns named parameters (and possibly sub-modules) and implements
+    :meth:`forward`.  Parameter discovery walks instance attributes, so nested
+    modules and lists of modules are registered automatically.
+    """
+
+    def forward(self, *inputs: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *inputs: Tensor) -> Tensor:
+        return self.forward(*inputs)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(name, parameter)`` pairs for this module and all sub-modules."""
+        for attr_name, attr_value in vars(self).items():
+            full_name = f"{prefix}{attr_name}"
+            if isinstance(attr_value, Tensor) and attr_value.requires_grad:
+                yield full_name, attr_value
+            elif isinstance(attr_value, Module):
+                yield from attr_value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(attr_value, (list, tuple)):
+                for index, item in enumerate(attr_value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{index}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{full_name}.{index}", item
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameters of this module."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of all parameters."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar learned parameters."""
+        return int(sum(parameter.data.size for parameter in self.parameters()))
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy all parameters into a plain dict of arrays."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values from :meth:`state_dict` output."""
+        parameters = dict(self.named_parameters())
+        missing = set(parameters) - set(state)
+        unexpected = set(state) - set(parameters)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch; missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in parameters.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"parameter {name!r} has shape {parameter.data.shape}, "
+                    f"state provides {value.shape}"
+                )
+            parameter.data = value.copy()
+
+
+class Linear(Module):
+    """A fully connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(he_init(rng, in_features, out_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs @ self.weight + self.bias
+
+
+class ReLU(Module):
+    """Rectified linear unit activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for module in self.modules:
+            output = module(output)
+        return output
+
+    def append(self, module: Module) -> "Sequential":
+        """Append another module and return self."""
+        self.modules.append(module)
+        return self

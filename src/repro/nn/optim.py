@@ -1,0 +1,89 @@
+"""Optimizers: SGD and Adam (the paper uses Adam, Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: list[Tensor]) -> None:
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = parameters
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Tensor], learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters)
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(parameter.data) for parameter in parameters]
+
+    def step(self) -> None:
+        """Apply one SGD update using the accumulated gradients."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.learning_rate * parameter.grad
+            parameter.data = parameter.data + velocity
+
+
+class Adam(Optimizer):
+    """The Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters)
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(parameter.data) for parameter in parameters]
+        self._second_moment = [np.zeros_like(parameter.data) for parameter in parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1**self._step_count
+        bias_correction2 = 1.0 - self.beta2**self._step_count
+        for parameter, first, second in zip(self.parameters, self._first_moment, self._second_moment):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            first *= self.beta1
+            first += (1.0 - self.beta1) * gradient
+            second *= self.beta2
+            second += (1.0 - self.beta2) * gradient**2
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter.data = parameter.data - self.learning_rate * corrected_first / (
+                np.sqrt(corrected_second) + self.epsilon
+            )

@@ -1,0 +1,71 @@
+"""A fluent builder for :class:`repro.sql.query.Query` objects.
+
+The builder is a convenience for examples and tests; the query generator in
+:mod:`repro.datasets.generator` constructs :class:`Query` objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sql.query import ComparisonOperator, JoinClause, Predicate, Query, TableRef
+
+OperatorLike = Union[str, ComparisonOperator]
+
+
+def _as_operator(operator: OperatorLike) -> ComparisonOperator:
+    if isinstance(operator, ComparisonOperator):
+        return operator
+    return ComparisonOperator.from_symbol(operator)
+
+
+class QueryBuilder:
+    """Accumulates FROM / JOIN / WHERE clauses and builds an immutable query.
+
+    Example:
+        >>> query = (
+        ...     QueryBuilder()
+        ...     .table("title", "t")
+        ...     .table("movie_companies", "mc")
+        ...     .join("t.id", "mc.movie_id")
+        ...     .where("t.production_year", ">", 1995)
+        ...     .build()
+        ... )
+        >>> query.num_joins
+        1
+    """
+
+    def __init__(self) -> None:
+        self._tables: list[TableRef] = []
+        self._joins: list[JoinClause] = []
+        self._predicates: list[Predicate] = []
+
+    def table(self, name: str, alias: str = "") -> "QueryBuilder":
+        """Add a table to the FROM clause."""
+        self._tables.append(TableRef(name, alias or name))
+        return self
+
+    def join(self, left: str, right: str) -> "QueryBuilder":
+        """Add an equi-join clause given two qualified columns (``alias.column``)."""
+        left_alias, left_column = _split_qualified(left)
+        right_alias, right_column = _split_qualified(right)
+        self._joins.append(JoinClause(left_alias, left_column, right_alias, right_column))
+        return self
+
+    def where(self, column: str, operator: OperatorLike, value: float) -> "QueryBuilder":
+        """Add a column predicate given a qualified column, an operator and a value."""
+        alias, column_name = _split_qualified(column)
+        self._predicates.append(Predicate(alias, column_name, _as_operator(operator), value))
+        return self
+
+    def build(self) -> Query:
+        """Return the accumulated immutable :class:`Query`."""
+        return Query.create(self._tables, self._joins, self._predicates)
+
+
+def _split_qualified(qualified: str) -> tuple[str, str]:
+    """Split ``alias.column`` into its two components."""
+    alias, sep, column = qualified.partition(".")
+    if not sep or not alias or not column:
+        raise ValueError(f"expected a qualified column 'alias.column', got {qualified!r}")
+    return alias, column

@@ -1,0 +1,104 @@
+"""Analytic containment checks on conjunctive queries.
+
+The paper contrasts *analytic* containment -- ``Q1 ⊆ Q2`` must hold for every
+database state -- with the *containment rate* on a specific database.  This
+module provides the analytic side for the paper's query class, both as a
+baseline sanity check for the learned model (an analytically contained pair
+must have containment rate 100%) and to support the related-work discussion.
+
+For queries restricted to the paper's class (identical FROM clauses, equi-joins
+between named aliases, and range/equality predicates over the same columns),
+analytic containment reduces to predicate-interval implication: ``Q1 ⊆ Q2``
+iff Q2's join set is a subset of Q1's and, for every column, the value
+interval allowed by Q1's predicates is included in the interval allowed by
+Q2's predicates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sql.intersection import same_from_clause
+from repro.sql.query import ComparisonOperator, Predicate, Query
+
+
+@dataclass(frozen=True)
+class ValueInterval:
+    """An interval of allowed values for one column, possibly degenerate.
+
+    ``lower``/``upper`` are exclusive bounds (matching the strict ``<`` / ``>``
+    operators of the query class); ``point`` is set when an equality predicate
+    pins the column to a single value.
+    """
+
+    lower: float = -math.inf
+    upper: float = math.inf
+    point: float | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no value can satisfy the constraints."""
+        if self.point is not None:
+            return not (self.lower < self.point < self.upper)
+        return self.lower >= self.upper
+
+    def contains_interval(self, other: "ValueInterval") -> bool:
+        """Whether every value satisfying ``other`` also satisfies ``self``."""
+        if other.is_empty:
+            return True
+        if self.point is not None:
+            return other.point == self.point
+        if other.point is not None:
+            return self.lower < other.point < self.upper
+        return self.lower <= other.lower and other.upper <= self.upper
+
+
+def column_intervals(query: Query) -> dict[str, ValueInterval]:
+    """Fold a query's predicates into one :class:`ValueInterval` per column."""
+    intervals: dict[str, ValueInterval] = {}
+    for predicate in query.predicates:
+        key = predicate.qualified_column
+        interval = intervals.get(key, ValueInterval())
+        intervals[key] = _tighten(interval, predicate)
+    return intervals
+
+
+def _tighten(interval: ValueInterval, predicate: Predicate) -> ValueInterval:
+    if predicate.operator is ComparisonOperator.EQ:
+        if interval.point is not None and interval.point != predicate.value:
+            # Two different equality constraints: empty interval.
+            return ValueInterval(lower=0.0, upper=0.0, point=None)
+        return ValueInterval(interval.lower, interval.upper, predicate.value)
+    if predicate.operator is ComparisonOperator.LT:
+        return ValueInterval(interval.lower, min(interval.upper, predicate.value), interval.point)
+    return ValueInterval(max(interval.lower, predicate.value), interval.upper, interval.point)
+
+
+def analytically_contained(first: Query, second: Query) -> bool:
+    """Return whether ``first ⊆ second`` holds on *every* database state.
+
+    This is a sound and complete test within the paper's query class when both
+    queries share a FROM clause; it is used as an invariant check for the
+    learned estimators (analytic containment implies a 100% containment rate
+    on any database).
+    """
+    if not same_from_clause(first, second):
+        return False
+    if not set(second.joins).issubset(set(first.joins)):
+        return False
+    first_intervals = column_intervals(first)
+    # If Q1 is unsatisfiable on every database it is trivially contained.
+    if any(interval.is_empty for interval in first_intervals.values()):
+        return True
+    second_intervals = column_intervals(second)
+    for column, second_interval in second_intervals.items():
+        first_interval = first_intervals.get(column, ValueInterval())
+        if not second_interval.contains_interval(first_interval):
+            return False
+    return True
+
+
+def analytically_equivalent(first: Query, second: Query) -> bool:
+    """Return whether the two queries are analytically equivalent."""
+    return analytically_contained(first, second) and analytically_contained(second, first)

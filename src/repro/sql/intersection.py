@@ -1,0 +1,47 @@
+"""Query intersection ``Q1 ∩ Q2`` (Section 4.1.1 of the paper).
+
+The intersection of two queries with identical SELECT and FROM clauses is the
+query with the same SELECT/FROM and a WHERE clause that is the conjunction of
+both queries' WHERE clauses.  It is the workhorse of both the Crd2Cnt
+transformation (containment via cardinalities) and the ground-truth labelling
+of training pairs.
+"""
+
+from __future__ import annotations
+
+from repro.sql.query import Query
+
+
+class FromClauseMismatchError(ValueError):
+    """Raised when two queries do not share the same FROM clause."""
+
+
+def same_from_clause(first: Query, second: Query) -> bool:
+    """Return whether the two queries have identical FROM clauses.
+
+    Containment rates (and therefore the Cnt2Crd technique) are only defined
+    for pairs of queries with identical SELECT and FROM clauses (Section 2).
+    """
+    return first.from_signature() == second.from_signature()
+
+
+def intersect_queries(first: Query, second: Query) -> Query:
+    """Return the intersection query ``first ∩ second``.
+
+    The result's FROM clause equals both inputs' FROM clause, its join set is
+    the union of both join sets and its predicate set is the union of both
+    predicate sets (conjunction of the WHERE clauses).
+
+    Raises:
+        FromClauseMismatchError: if the FROM clauses differ.
+    """
+    if not same_from_clause(first, second):
+        raise FromClauseMismatchError(
+            "query intersection requires identical FROM clauses: "
+            f"{first.from_signature()} vs {second.from_signature()}"
+        )
+    return Query(
+        first.tables,
+        first.joins + second.joins,
+        first.predicates + second.predicates,
+    )

@@ -1,0 +1,113 @@
+"""Parsing and formatting for the paper's conjunctive SQL subset.
+
+The grammar covered (case-insensitive keywords)::
+
+    SELECT * FROM table [alias] (, table [alias])*
+    [WHERE condition (AND condition)*]
+
+    condition := alias.column (= | < | >) alias.column     -- equi-join
+               | alias.column (= | < | >) numeric-literal  -- column predicate
+
+``format_query`` is the inverse: it renders a :class:`Query` back into SQL in
+a canonical order, so ``parse_query(format_query(q)) == q`` for every query in
+the supported class.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sql.query import ComparisonOperator, JoinClause, Predicate, Query, TableRef
+
+_CONDITION_RE = re.compile(
+    r"^\s*(?P<left>[A-Za-z_][\w]*\.[A-Za-z_][\w]*)\s*"
+    r"(?P<op><|=|>)\s*"
+    r"(?P<right>[A-Za-z_][\w]*\.[A-Za-z_][\w]*|[-+]?\d+(?:\.\d+)?)\s*$"
+)
+
+_QUALIFIED_RE = re.compile(r"^[A-Za-z_][\w]*\.[A-Za-z_][\w]*$")
+
+
+class SQLParseError(ValueError):
+    """Raised when a SQL string is outside the supported conjunctive subset."""
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a conjunctive ``SELECT * FROM ... WHERE ...`` statement.
+
+    Args:
+        sql: the SQL text.  Keywords are case-insensitive and a trailing
+            semicolon is allowed.
+
+    Returns:
+        The parsed, canonicalized :class:`Query`.
+
+    Raises:
+        SQLParseError: if the statement is not in the supported subset.
+    """
+    text = sql.strip().rstrip(";").strip()
+    match = re.match(
+        r"^select\s+\*\s+from\s+(?P<from>.+?)(?:\s+where\s+(?P<where>.+))?$",
+        text,
+        flags=re.IGNORECASE | re.DOTALL,
+    )
+    if match is None:
+        raise SQLParseError(f"not a supported SELECT * query: {sql!r}")
+
+    tables = _parse_from_clause(match.group("from"))
+    joins: list[JoinClause] = []
+    predicates: list[Predicate] = []
+    where = match.group("where")
+    if where is not None and where.strip():
+        for condition in re.split(r"\s+and\s+", where.strip(), flags=re.IGNORECASE):
+            if condition.strip().lower() == "true":
+                continue
+            join, predicate = _parse_condition(condition)
+            if join is not None:
+                joins.append(join)
+            if predicate is not None:
+                predicates.append(predicate)
+    try:
+        return Query.create(tables, joins, predicates)
+    except ValueError as exc:
+        raise SQLParseError(str(exc)) from exc
+
+
+def _parse_from_clause(from_clause: str) -> list[TableRef]:
+    tables: list[TableRef] = []
+    for item in from_clause.split(","):
+        parts = item.split()
+        if len(parts) == 1:
+            tables.append(TableRef(parts[0]))
+        elif len(parts) == 2:
+            tables.append(TableRef(parts[0], parts[1]))
+        elif len(parts) == 3 and parts[1].lower() == "as":
+            tables.append(TableRef(parts[0], parts[2]))
+        else:
+            raise SQLParseError(f"unsupported FROM item: {item.strip()!r}")
+    return tables
+
+
+def _parse_condition(condition: str) -> tuple[JoinClause | None, Predicate | None]:
+    match = _CONDITION_RE.match(condition)
+    if match is None:
+        raise SQLParseError(f"unsupported WHERE condition: {condition.strip()!r}")
+    left = match.group("left")
+    operator = ComparisonOperator.from_symbol(match.group("op"))
+    right = match.group("right")
+    left_alias, left_column = left.split(".")
+    if _QUALIFIED_RE.match(right):
+        if operator is not ComparisonOperator.EQ:
+            raise SQLParseError(f"only equi-joins are supported, got: {condition.strip()!r}")
+        right_alias, right_column = right.split(".")
+        return JoinClause(left_alias, left_column, right_alias, right_column), None
+    return None, Predicate(left_alias, left_column, operator, float(right))
+
+
+def format_query(query: Query) -> str:
+    """Render ``query`` back into canonical SQL text."""
+    from_clause = ", ".join(str(table) for table in query.tables)
+    conditions = [str(join) for join in query.joins] + [str(pred) for pred in query.predicates]
+    if not conditions:
+        return f"SELECT * FROM {from_clause}"
+    return f"SELECT * FROM {from_clause} WHERE {' AND '.join(conditions)}"

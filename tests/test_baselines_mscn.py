@@ -1,0 +1,165 @@
+"""Unit tests for the MSCN baseline (featurizer, normalizer, model, training)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mscn import (
+    CardinalityNormalizer,
+    MSCNConfig,
+    MSCNEstimator,
+    MSCNFeaturizer,
+    MSCNModel,
+    MSCNTrainingConfig,
+    train_mscn,
+)
+from repro.datasets.pairs import mscn_training_set
+from repro.datasets.workloads import build_training_pairs
+from repro.sql.builder import QueryBuilder
+
+
+def _example_query():
+    return (
+        QueryBuilder()
+        .table("title", "t")
+        .table("movie_companies", "mc")
+        .join("t.id", "mc.movie_id")
+        .where("t.production_year", ">", 2000)
+        .build()
+    )
+
+
+class TestNormalizer:
+    def test_round_trip(self):
+        normalizer = CardinalityNormalizer.fit([1, 10, 100, 100_000])
+        cards = np.array([1.0, 50.0, 99_000.0])
+        recovered = normalizer.denormalize(normalizer.normalize(cards))
+        np.testing.assert_allclose(recovered, cards, rtol=1e-6)
+
+    def test_normalized_values_in_unit_interval(self):
+        normalizer = CardinalityNormalizer.fit([5, 500, 50_000])
+        values = normalizer.normalize([1, 5, 500, 50_000, 10_000_000])
+        assert np.all((values >= 0.0) & (values <= 1.0))
+
+    def test_degenerate_fit_does_not_divide_by_zero(self):
+        normalizer = CardinalityNormalizer.fit([7, 7, 7])
+        assert np.isfinite(normalizer.normalize([7])[0])
+
+    def test_tensor_denormalization_matches_numpy(self):
+        from repro.nn.tensor import Tensor
+
+        normalizer = CardinalityNormalizer.fit([1, 10, 1000])
+        values = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(
+            normalizer.denormalize_tensor(Tensor(values)).numpy(),
+            normalizer.denormalize(values),
+            rtol=1e-9,
+        )
+
+
+class TestFeaturizer:
+    def test_vector_sizes(self, imdb_small):
+        featurizer = MSCNFeaturizer(imdb_small, MSCNConfig(hidden_size=8))
+        assert featurizer.table_vector_size == len(imdb_small.schema.tables)
+        assert featurizer.join_vector_size == len(imdb_small.schema.join_edges())
+        assert featurizer.predicate_vector_size == len(imdb_small.schema.qualified_columns()) + 3 + 1
+
+    def test_sample_bitmaps_extend_table_vectors(self, imdb_small):
+        config = MSCNConfig(hidden_size=8, use_samples=True, sample_size=50)
+        featurizer = MSCNFeaturizer(imdb_small, config)
+        assert featurizer.table_vector_size == len(imdb_small.schema.tables) + 50
+        tables, joins, predicates = featurizer.featurize(_example_query())
+        assert tables.shape[1] == featurizer.table_vector_size
+        # The bitmap segment is non-trivial (some sampled rows satisfy the predicate).
+        assert tables[:, len(imdb_small.schema.tables) :].sum() > 0
+
+    def test_set_sizes_match_query_structure(self, imdb_small):
+        featurizer = MSCNFeaturizer(imdb_small, MSCNConfig(hidden_size=8))
+        tables, joins, predicates = featurizer.featurize(_example_query())
+        assert tables.shape[0] == 2
+        assert joins.shape[0] == 1
+        assert predicates.shape[0] == 1
+
+    def test_empty_join_and_predicate_sets(self, imdb_small):
+        featurizer = MSCNFeaturizer(imdb_small, MSCNConfig(hidden_size=8))
+        tables, joins, predicates = featurizer.featurize(
+            QueryBuilder().table("title", "t").build()
+        )
+        assert tables.shape[0] == 1
+        assert joins.shape[0] == 0
+        assert predicates.shape[0] == 0
+
+    def test_batch_padding_handles_empty_sets(self, imdb_small):
+        featurizer = MSCNFeaturizer(imdb_small, MSCNConfig(hidden_size=8))
+        batch = featurizer.featurize_batch(
+            [QueryBuilder().table("title", "t").build(), _example_query()]
+        )
+        tables, table_mask, joins, join_mask, predicates, predicate_mask = batch
+        assert table_mask[0].sum() == 1
+        assert join_mask[0].sum() == 0
+        assert join_mask[1].sum() == 1
+        assert predicate_mask[0].sum() == 0
+
+
+class TestModelAndTraining:
+    def test_forward_output_in_unit_interval(self, imdb_small):
+        config = MSCNConfig(hidden_size=8, seed=2)
+        featurizer = MSCNFeaturizer(imdb_small, config)
+        model = MSCNModel(
+            featurizer.table_vector_size,
+            featurizer.join_vector_size,
+            featurizer.predicate_vector_size,
+            config,
+        )
+        from repro.nn.tensor import Tensor
+
+        batch = featurizer.featurize_batch([_example_query()] * 3)
+        output = model(*(Tensor(part) for part in batch)).numpy()
+        assert output.shape == (3,)
+        assert np.all((output >= 0.0) & (output <= 1.0))
+
+    @pytest.fixture(scope="class")
+    def trained(self, request):
+        imdb_small = request.getfixturevalue("imdb_small")
+        imdb_oracle = request.getfixturevalue("imdb_oracle")
+        pairs = build_training_pairs(imdb_small, count=120, seed=9, oracle=imdb_oracle)
+        labelled = mscn_training_set(imdb_small, pairs, oracle=imdb_oracle)
+        result = train_mscn(
+            imdb_small,
+            labelled,
+            MSCNConfig(hidden_size=16, seed=1),
+            MSCNTrainingConfig(epochs=8, batch_size=32),
+        )
+        return imdb_small, labelled, result
+
+    def test_training_records_history_and_improves(self, trained):
+        _, _, result = trained
+        assert len(result.history) == 8 or result.best_epoch <= len(result.history)
+        assert result.best_validation_q_error < result.history[0]["validation_mean_q_error"] * 10
+
+    def test_estimator_produces_positive_cardinalities(self, trained):
+        imdb_small, labelled, result = trained
+        estimator = result.estimator()
+        estimates = estimator.estimate_cardinalities([item.query for item in labelled[:10]])
+        assert all(estimate >= 1.0 for estimate in estimates)
+
+    def test_estimator_name_reflects_variant(self, imdb_small):
+        config = MSCNConfig(hidden_size=8)
+        featurizer = MSCNFeaturizer(imdb_small, config)
+        model = MSCNModel(
+            featurizer.table_vector_size,
+            featurizer.join_vector_size,
+            featurizer.predicate_vector_size,
+            config,
+        )
+        normalizer = CardinalityNormalizer.fit([1, 10])
+        assert MSCNEstimator(model, featurizer, normalizer).name == "MSCN"
+
+    def test_training_rejects_empty_input(self, imdb_small):
+        with pytest.raises(ValueError):
+            train_mscn(imdb_small, [])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MSCNConfig(hidden_size=0)
+        with pytest.raises(ValueError):
+            MSCNConfig(sample_size=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the PostgreSQL-style statistics baseline."""
+
+import pytest
+
+from repro.baselines.postgres import PostgresCardinalityEstimator
+from repro.sql.builder import QueryBuilder
+
+
+def _movies(*conditions):
+    builder = QueryBuilder().table("movies", "m")
+    for column, operator, value in conditions:
+        builder = builder.where(column, operator, value)
+    return builder.build()
+
+
+def _join(*conditions):
+    builder = (
+        QueryBuilder().table("movies", "m").table("ratings", "r").join("m.id", "r.movie_id")
+    )
+    for column, operator, value in conditions:
+        builder = builder.where(column, operator, value)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def estimator(request):
+    return PostgresCardinalityEstimator(request.getfixturevalue("toy_database"))
+
+
+class TestSingleTable:
+    def test_table_scan_is_exact(self, estimator):
+        assert estimator.estimate_cardinality(_movies()) == pytest.approx(5.0)
+
+    def test_equality_predicate_uses_mcv_statistics(self, estimator):
+        # kind=2 appears in 2 of 5 movies and is within the MCV list.
+        assert estimator.estimate_cardinality(_movies(("m.kind", "=", 2))) == pytest.approx(2.0, abs=0.5)
+
+    def test_estimates_never_drop_below_one_row(self, estimator):
+        assert estimator.estimate_cardinality(_movies(("m.year", ">", 2050))) >= 1.0
+
+
+class TestJoins:
+    def test_foreign_key_join_without_predicates_is_close(self, estimator, toy_executor):
+        estimate = estimator.estimate_cardinality(_join())
+        truth = toy_executor.cardinality(_join())
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_independence_assumption_multiplies_selectivities(self, estimator):
+        base = estimator.estimate_cardinality(_join())
+        filtered = estimator.estimate_cardinality(_join(("m.kind", "=", 1)))
+        # kind=1 has selectivity ~2/5, so the join estimate shrinks accordingly.
+        assert filtered == pytest.approx(base * 2 / 5, rel=0.3)
+
+    def test_correlated_predicates_are_underestimated(self, imdb_small, imdb_oracle):
+        """The documented failure mode: correlated fan-out breaks uniformity."""
+        from repro.sql.parser import parse_query
+
+        estimator = PostgresCardinalityEstimator(imdb_small)
+        query = parse_query(
+            "SELECT * FROM title t, movie_companies mc, cast_info ci "
+            "WHERE t.id = mc.movie_id AND t.id = ci.movie_id AND t.production_year > 2005"
+        )
+        truth = imdb_oracle.cardinality(query)
+        estimate = estimator.estimate_cardinality(query)
+        assert estimate < truth
+
+    def test_batch_estimation_matches_single(self, estimator):
+        queries = [_movies(), _join(), _movies(("m.kind", "=", 1))]
+        batch = estimator.estimate_cardinalities(queries)
+        singles = [estimator.estimate_cardinality(query) for query in queries]
+        assert batch == singles

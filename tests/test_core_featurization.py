@@ -1,0 +1,129 @@
+"""Unit tests for the CRN featurizer (Table 1 vector layout)."""
+
+import numpy as np
+import pytest
+
+from repro.core.featurization import QueryFeaturizer
+from repro.sql.builder import QueryBuilder
+from repro.sql.query import OPERATORS
+
+
+@pytest.fixture()
+def featurizer(imdb_small):
+    return QueryFeaturizer(imdb_small)
+
+
+def _example_query():
+    return (
+        QueryBuilder()
+        .table("title", "t")
+        .table("movie_companies", "mc")
+        .join("t.id", "mc.movie_id")
+        .where("t.production_year", ">", 2000)
+        .where("mc.company_type_id", "=", 1)
+        .build()
+    )
+
+
+class TestLayout:
+    def test_vector_size_formula(self, featurizer, imdb_small):
+        num_tables = len(imdb_small.schema.tables)
+        num_columns = len(imdb_small.schema.qualified_columns())
+        expected = num_tables + 3 * num_columns + len(OPERATORS) + 1
+        assert featurizer.vector_size == expected
+        assert featurizer.layout.vector_size == expected
+
+    def test_segment_offsets_are_disjoint_and_ordered(self, featurizer):
+        layout = featurizer.layout
+        offsets = [
+            layout.table_offset,
+            layout.join_left_offset,
+            layout.join_right_offset,
+            layout.predicate_column_offset,
+            layout.operator_offset,
+            layout.value_offset,
+        ]
+        assert offsets == sorted(offsets)
+        assert layout.value_offset == layout.vector_size - 1
+
+
+class TestFeaturize:
+    def test_one_vector_per_set_element(self, featurizer):
+        query = _example_query()
+        matrix = featurizer.featurize(query)
+        expected_rows = len(query.tables) + len(query.joins) + len(query.predicates)
+        assert matrix.shape == (expected_rows, featurizer.vector_size)
+
+    def test_table_vectors_are_one_hot(self, featurizer):
+        query = QueryBuilder().table("title", "t").build()
+        matrix = featurizer.featurize(query)
+        assert matrix.shape[0] == 1
+        assert matrix.sum() == 1.0
+        table_segment = matrix[0, : featurizer.layout.num_tables]
+        assert table_segment.sum() == 1.0
+
+    def test_join_vector_sets_both_column_segments(self, featurizer):
+        query = (
+            QueryBuilder()
+            .table("title", "t")
+            .table("movie_keyword", "mk")
+            .join("t.id", "mk.movie_id")
+            .build()
+        )
+        matrix = featurizer.featurize(query)
+        join_rows = matrix[2:]  # two table vectors come first (sorted clauses)
+        layout = featurizer.layout
+        join_row = join_rows[0]
+        left_segment = join_row[layout.join_left_offset : layout.join_right_offset]
+        right_segment = join_row[layout.join_right_offset : layout.predicate_column_offset]
+        assert left_segment.sum() == 1.0
+        assert right_segment.sum() == 1.0
+
+    def test_predicate_vector_contains_normalized_value(self, featurizer, imdb_small):
+        low, high = imdb_small.column_range("t", "production_year")
+        midpoint = (low + high) / 2
+        query = QueryBuilder().table("title", "t").where("t.production_year", "<", midpoint).build()
+        matrix = featurizer.featurize(query)
+        predicate_row = matrix[1]
+        value = predicate_row[featurizer.layout.value_offset]
+        assert value == pytest.approx(0.5, abs=0.01)
+
+    def test_normalization_clips_out_of_range_values(self, featurizer):
+        assert featurizer.normalize_value("t.production_year", 1e9) == 1.0
+        assert featurizer.normalize_value("t.production_year", -1e9) == 0.0
+
+    def test_unknown_alias_raises(self, featurizer):
+        query = QueryBuilder().table("title", "zz").build()
+        with pytest.raises(KeyError):
+            featurizer.featurize(query)
+
+    def test_featurize_pair_returns_both_sets(self, featurizer):
+        query = _example_query()
+        first, second = featurizer.featurize_pair(query, query.without_predicates())
+        assert first.shape[0] > second.shape[0]
+
+
+class TestPadding:
+    def test_pad_sets_shapes_and_mask(self, featurizer):
+        small = featurizer.featurize(QueryBuilder().table("title", "t").build())
+        large = featurizer.featurize(_example_query())
+        batch, mask = featurizer.pad_sets([small, large])
+        assert batch.shape == (2, large.shape[0], featurizer.vector_size)
+        assert mask.shape == (2, large.shape[0], 1)
+        assert mask[0].sum() == small.shape[0]
+        assert mask[1].sum() == large.shape[0]
+        # Padded rows are zero.
+        assert np.all(batch[0, small.shape[0] :] == 0.0)
+
+    def test_pad_empty_batch_rejected(self, featurizer):
+        with pytest.raises(ValueError):
+            featurizer.pad_sets([])
+
+    def test_featurize_batch_equals_manual_padding(self, featurizer):
+        queries = [_example_query(), _example_query().without_predicates()]
+        batch, mask = featurizer.featurize_batch(queries)
+        manual_batch, manual_mask = featurizer.pad_sets(
+            [featurizer.featurize(query) for query in queries]
+        )
+        np.testing.assert_allclose(batch, manual_batch)
+        np.testing.assert_allclose(mask, manual_mask)

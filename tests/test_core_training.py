@@ -1,0 +1,96 @@
+"""Unit tests for the CRN training loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.crn import CRNConfig
+from repro.core.training import TrainingConfig, evaluate_pairs_q_error, train_crn
+from repro.datasets.workloads import build_training_pairs
+
+
+@pytest.fixture(scope="module")
+def tiny_training_run(request):
+    """One shared small training run reused by several assertions."""
+    imdb_small = request.getfixturevalue("imdb_small")
+    imdb_featurizer = request.getfixturevalue("imdb_featurizer")
+    imdb_oracle = request.getfixturevalue("imdb_oracle")
+    pairs = build_training_pairs(imdb_small, count=150, seed=4, oracle=imdb_oracle)
+    result = train_crn(
+        imdb_featurizer,
+        pairs,
+        crn_config=CRNConfig(hidden_size=16, seed=0),
+        training_config=TrainingConfig(epochs=8, batch_size=32, early_stopping_patience=0),
+    )
+    return pairs, result
+
+
+class TestTrainingConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(validation_fraction=1.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(early_stopping_patience=-1)
+        with pytest.raises(ValueError):
+            TrainingConfig(loss_epsilon=0.0)
+
+
+class TestTrainCRN:
+    def test_history_and_best_epoch_recorded(self, tiny_training_run):
+        _, result = tiny_training_run
+        assert result.epochs_run == 8
+        assert 1 <= result.best_epoch <= 8
+        assert result.best_validation_q_error < float("inf")
+        epochs = [stats.epoch for stats in result.history]
+        assert epochs == list(range(1, 9))
+
+    def test_training_improves_over_first_epoch(self, tiny_training_run):
+        _, result = tiny_training_run
+        assert result.best_validation_q_error <= result.history[0].validation_mean_q_error
+
+    def test_estimator_outputs_valid_rates(self, tiny_training_run):
+        pairs, result = tiny_training_run
+        estimator = result.estimator()
+        estimates = estimator.estimate_containments([(pair.first, pair.second) for pair in pairs[:20]])
+        assert all(0.0 <= value <= 1.0 for value in estimates)
+
+    def test_evaluate_pairs_q_error_shape(self, tiny_training_run):
+        pairs, result = tiny_training_run
+        errors = evaluate_pairs_q_error(result.estimator(), pairs[:20])
+        assert errors.shape == (20,)
+        assert np.all(errors >= 1.0)
+
+    def test_empty_pairs_rejected(self, imdb_featurizer):
+        with pytest.raises(ValueError):
+            train_crn(imdb_featurizer, [])
+
+    def test_early_stopping_halts_training(self, imdb_small, imdb_featurizer, imdb_oracle):
+        # An absurdly large learning rate makes the validation error oscillate,
+        # so the patience-based early stopping must kick in well before the
+        # epoch budget is exhausted.
+        pairs = build_training_pairs(imdb_small, count=60, seed=6, oracle=imdb_oracle)
+        result = train_crn(
+            imdb_featurizer,
+            pairs,
+            crn_config=CRNConfig(hidden_size=8, seed=0),
+            training_config=TrainingConfig(
+                epochs=200, batch_size=16, learning_rate=0.8, early_stopping_patience=3
+            ),
+        )
+        assert result.stopped_early
+        assert result.epochs_run < 200
+        # The restored weights correspond to the best validation epoch.
+        assert result.best_epoch <= result.epochs_run
+
+    def test_mse_loss_option_trains(self, imdb_small, imdb_featurizer, imdb_oracle):
+        pairs = build_training_pairs(imdb_small, count=60, seed=7, oracle=imdb_oracle)
+        result = train_crn(
+            imdb_featurizer,
+            pairs,
+            crn_config=CRNConfig(hidden_size=8, seed=0),
+            training_config=TrainingConfig(epochs=3, batch_size=16, loss="mse"),
+        )
+        assert result.epochs_run == 3

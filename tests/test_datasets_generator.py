@@ -1,0 +1,92 @@
+"""Unit tests for the paper's three-step query generator."""
+
+import pytest
+
+from repro.datasets.generator import GeneratorConfig, QueryGenerator
+from repro.sql.validation import validate_query
+
+
+@pytest.fixture()
+def generator(imdb_small):
+    return QueryGenerator(imdb_small, GeneratorConfig(max_joins=2, seed=7))
+
+
+class TestConfig:
+    def test_invalid_join_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_joins=3, max_joins=2)
+
+    def test_negative_predicates_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_predicates_per_table=-1)
+
+
+class TestStepOne:
+    def test_generated_queries_are_schema_valid(self, generator, imdb_small):
+        for query in generator.generate_queries(30):
+            validate_query(query, imdb_small.schema)
+
+    def test_join_count_bounds(self, generator):
+        for query in generator.generate_queries(30):
+            assert 0 <= query.num_joins <= 2
+
+    def test_forced_join_count(self, generator):
+        for query in generator.generate_queries(10, num_joins=2):
+            assert query.num_joins == 2
+
+    def test_predicate_caps_respected(self, imdb_small):
+        config = GeneratorConfig(max_predicates_per_table=1, max_predicates_per_query=2, seed=5)
+        generator = QueryGenerator(imdb_small, config)
+        for query in generator.generate_queries(30):
+            assert query.num_predicates <= 2
+            for alias in query.aliases:
+                assert len(query.predicates_for(alias)) <= 1
+
+    def test_distinct_queries(self, generator):
+        queries = generator.generate_queries(50)
+        assert len(set(queries)) == 50
+
+    def test_deterministic_given_seed(self, imdb_small):
+        first = QueryGenerator(imdb_small, GeneratorConfig(seed=3)).generate_queries(20)
+        second = QueryGenerator(imdb_small, GeneratorConfig(seed=3)).generate_queries(20)
+        assert first == second
+
+    def test_join_subsets_are_connected_aliases(self, generator):
+        for num_joins in (0, 1, 2):
+            for aliases, joins in generator.join_subsets(num_joins):
+                assert len(joins) == num_joins
+                if num_joins:
+                    referenced = {join.left_alias for join in joins} | {
+                        join.right_alias for join in joins
+                    }
+                    assert referenced == set(aliases)
+
+
+class TestStepTwo:
+    def test_similar_queries_share_from_and_joins(self, generator):
+        base = generator.generate_query(num_joins=1)
+        for variant in generator.generate_similar_queries(base, count=5):
+            assert variant.from_signature() == base.from_signature()
+            assert variant.joins == base.joins
+            assert variant != base
+
+    def test_similar_queries_are_schema_valid(self, generator, imdb_small):
+        base = generator.generate_query(num_joins=2)
+        for variant in generator.generate_similar_queries(base, count=5):
+            validate_query(variant, imdb_small.schema)
+
+
+class TestStepThree:
+    def test_pairs_share_from_clause(self, generator):
+        for first, second in generator.generate_pairs(40):
+            assert first.from_signature() == second.from_signature()
+            assert first != second
+
+    def test_pairs_are_unique(self, generator):
+        pairs = generator.generate_pairs(60)
+        assert len(set(pairs)) == 60
+
+    def test_forced_join_count_in_pairs(self, generator):
+        for first, second in generator.generate_pairs(15, num_joins=1):
+            assert first.num_joins == 1
+            assert second.num_joins == 1

@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic IMDb generator."""
+
+import numpy as np
+
+from repro.datasets.imdb import IMDB_SCHEMA, SyntheticIMDbConfig, build_synthetic_imdb
+
+
+class TestSchema:
+    def test_star_schema_around_title(self):
+        fact_tables = {fk.table for fk in IMDB_SCHEMA.foreign_keys}
+        assert all(fk.referenced_table == "title" for fk in IMDB_SCHEMA.foreign_keys)
+        assert len(fact_tables) == 5
+
+    def test_every_table_has_primary_key(self):
+        for table in IMDB_SCHEMA.tables:
+            assert any(column.role.name == "PRIMARY_KEY" for column in table.columns)
+
+
+class TestGeneration:
+    def test_deterministic_for_a_seed(self):
+        config = SyntheticIMDbConfig(num_titles=200, seed=42)
+        first = build_synthetic_imdb(config)
+        second = build_synthetic_imdb(config)
+        for name in first.table_names:
+            for column in first.schema.table(name).column_names:
+                assert np.array_equal(first.table(name).column(column), second.table(name).column(column))
+
+    def test_different_seeds_differ(self):
+        first = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=200, seed=1))
+        second = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=200, seed=2))
+        assert not np.array_equal(
+            first.table("movie_companies").column("company_id"),
+            second.table("movie_companies").column("company_id"),
+        )
+
+    def test_title_count_matches_config(self, imdb_small):
+        assert imdb_small.num_rows("title") == 300
+
+    def test_foreign_keys_reference_existing_titles(self, imdb_small):
+        title_ids = set(imdb_small.table("title").column("id").tolist())
+        for fact in ("movie_companies", "cast_info", "movie_info", "movie_info_idx", "movie_keyword"):
+            movie_ids = set(imdb_small.table(fact).column("movie_id").tolist())
+            assert movie_ids <= title_ids
+
+    def test_production_years_within_range(self, imdb_small):
+        years = imdb_small.table("title").column("production_year")
+        config = SyntheticIMDbConfig()
+        assert years.min() >= config.min_year
+        assert years.max() <= config.max_year
+
+    def test_value_domains(self, imdb_small):
+        assert imdb_small.table("title").column("kind_id").min() >= 1
+        assert imdb_small.table("cast_info").column("role_id").max() <= 11
+        ratings = imdb_small.table("movie_info_idx").column("rating")
+        assert ratings.min() >= 10 and ratings.max() <= 100
+
+
+class TestCorrelations:
+    """The properties that make the database hard for independence-based estimators."""
+
+    def _recent_split(self, database):
+        years = database.table("title").column("production_year")
+        cutoff = np.median(years)
+        return years, cutoff
+
+    def test_fanout_correlates_with_recency(self):
+        database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=1000, seed=11))
+        years, cutoff = self._recent_split(database)
+        movie_ids = database.table("cast_info").column("movie_id")
+        counts = np.bincount(movie_ids, minlength=len(years))
+        recent_mean = counts[years > cutoff].mean()
+        old_mean = counts[years <= cutoff].mean()
+        assert recent_mean > 1.5 * old_mean
+
+    def test_fanouts_of_different_fact_tables_are_positively_correlated(self):
+        database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=1000, seed=11))
+        num_titles = database.num_rows("title")
+        companies = np.bincount(
+            database.table("movie_companies").column("movie_id"), minlength=num_titles
+        )
+        keywords = np.bincount(
+            database.table("movie_keyword").column("movie_id"), minlength=num_titles
+        )
+        correlation = np.corrcoef(companies, keywords)[0, 1]
+        assert correlation > 0.3
+
+    def test_company_type_correlates_with_year(self):
+        database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=1000, seed=11))
+        years = database.table("title").column("production_year")
+        movie_ids = database.table("movie_companies").column("movie_id")
+        types = database.table("movie_companies").column("company_type_id")
+        movie_years = years[movie_ids]
+        type2_mean_year = movie_years[types == 2].mean()
+        type1_mean_year = movie_years[types == 1].mean()
+        assert type2_mean_year > type1_mean_year
+
+    def test_skewed_company_distribution(self, imdb_small):
+        companies = imdb_small.table("movie_companies").column("company_id")
+        _, counts = np.unique(companies, return_counts=True)
+        top_share = np.sort(counts)[::-1][: max(len(counts) // 10, 1)].sum() / counts.sum()
+        assert top_share > 0.2

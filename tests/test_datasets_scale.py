@@ -1,0 +1,37 @@
+"""Unit tests for the scale-workload ("different") generator."""
+
+import pytest
+
+from repro.datasets.generator import GeneratorConfig, QueryGenerator
+from repro.datasets.scale import ScaleGeneratorConfig, ScaleWorkloadGenerator
+from repro.sql.validation import validate_query
+
+
+@pytest.fixture()
+def scale_generator(imdb_small):
+    return ScaleWorkloadGenerator(imdb_small, ScaleGeneratorConfig(max_joins=4, seed=31))
+
+
+class TestScaleGenerator:
+    def test_queries_are_schema_valid(self, scale_generator, imdb_small):
+        for query in scale_generator.generate_queries(25):
+            validate_query(query, imdb_small.schema)
+
+    def test_every_query_has_a_predicate(self, scale_generator):
+        assert all(query.num_predicates >= 1 for query in scale_generator.generate_queries(25))
+
+    def test_forced_join_count(self, scale_generator):
+        for query in scale_generator.generate_queries(10, num_joins=3):
+            assert query.num_joins == 3
+
+    def test_deterministic_given_seed(self, imdb_small):
+        first = ScaleWorkloadGenerator(imdb_small, ScaleGeneratorConfig(seed=1)).generate_queries(15)
+        second = ScaleWorkloadGenerator(imdb_small, ScaleGeneratorConfig(seed=1)).generate_queries(15)
+        assert first == second
+
+    def test_distribution_differs_from_training_generator(self, imdb_small):
+        """The scale generator should not reproduce the training generator's queries."""
+        training = set(QueryGenerator(imdb_small, GeneratorConfig(seed=5)).generate_queries(200))
+        scale = set(ScaleWorkloadGenerator(imdb_small, ScaleGeneratorConfig(seed=5)).generate_queries(100))
+        overlap = len(training & scale) / len(scale)
+        assert overlap < 0.2

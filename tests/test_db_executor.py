@@ -1,0 +1,119 @@
+"""Unit tests for the conjunctive query executor (toy database, hand-checked)."""
+
+import numpy as np
+import pytest
+
+from repro.db.executor import DisconnectedJoinGraphError, QueryExecutor
+from repro.sql.builder import QueryBuilder
+
+
+def _movies(*conditions):
+    builder = QueryBuilder().table("movies", "m")
+    for column, operator, value in conditions:
+        builder = builder.where(column, operator, value)
+    return builder.build()
+
+
+def _join(*conditions):
+    builder = (
+        QueryBuilder().table("movies", "m").table("ratings", "r").join("m.id", "r.movie_id")
+    )
+    for column, operator, value in conditions:
+        builder = builder.where(column, operator, value)
+    return builder.build()
+
+
+class TestSingleTable:
+    def test_no_predicates_returns_all_rows(self, toy_executor):
+        assert toy_executor.cardinality(_movies()) == 5
+
+    def test_equality_predicate(self, toy_executor):
+        assert toy_executor.cardinality(_movies(("m.kind", "=", 2))) == 2
+
+    def test_range_predicates(self, toy_executor):
+        assert toy_executor.cardinality(_movies(("m.year", ">", 1995))) == 3
+        assert toy_executor.cardinality(_movies(("m.year", "<", 1995))) == 1
+
+    def test_empty_result(self, toy_executor):
+        assert toy_executor.cardinality(_movies(("m.year", ">", 2050))) == 0
+
+
+class TestJoins:
+    def test_plain_foreign_key_join(self, toy_executor):
+        # Every rating joins exactly one movie: 7 result tuples.
+        assert toy_executor.cardinality(_join()) == 7
+
+    def test_join_with_predicate_on_dimension(self, toy_executor):
+        # Movies with kind=2 are ids 2 and 3, contributing 1 + 3 ratings.
+        assert toy_executor.cardinality(_join(("m.kind", "=", 2))) == 4
+
+    def test_join_with_predicates_on_both_sides(self, toy_executor):
+        # Movie 3 (year 2005) has scores 85, 90, 95; only two exceed 85.
+        query = _join(("m.year", "=", 2005), ("r.score", ">", 85))
+        assert toy_executor.cardinality(query) == 2
+
+    def test_join_with_empty_side(self, toy_executor):
+        assert toy_executor.cardinality(_join(("m.year", ">", 2050))) == 0
+
+    def test_execute_returns_aligned_row_ids(self, toy_executor):
+        result = toy_executor.execute(_join(("m.kind", "=", 1)))
+        assert result.cardinality == 3
+        assert set(result.aliases) == {"m", "r"}
+        movie_index = result.aliases.index("m")
+        assert set(result.row_ids[:, movie_index].tolist()) == {0, 1}
+
+    def test_tuple_set_matches_cardinality(self, toy_executor):
+        result = toy_executor.execute(_join())
+        assert len(result.tuple_set()) == result.cardinality
+
+    def test_movie_without_ratings_is_dropped(self, toy_executor):
+        # Movie 4 has no ratings; restricting to it gives an empty join.
+        assert toy_executor.cardinality(_join(("m.id", "=", 4))) == 0
+
+
+class TestCountFastPath:
+    def test_fast_path_matches_execution(self, toy_executor):
+        queries = [
+            _movies(),
+            _movies(("m.kind", "=", 1)),
+            _join(),
+            _join(("m.year", ">", 1994), ("r.score", "<", 90)),
+        ]
+        for query in queries:
+            assert toy_executor._count_tree_join(query) == toy_executor.execute(query).cardinality
+
+    def test_cardinality_is_memoized(self, toy_database):
+        executor = QueryExecutor(toy_database)
+        query = _join(("r.score", ">", 60))
+        first = executor.cardinality(query)
+        assert executor.cardinality(query) == first
+        executor.clear_cache()
+        assert executor.cardinality(query) == first
+
+
+class TestErrorHandling:
+    def test_disconnected_join_graph_rejected(self, toy_executor):
+        query = QueryBuilder().table("movies", "m").table("ratings", "r").build()
+        with pytest.raises(DisconnectedJoinGraphError):
+            toy_executor.execute(query)
+
+
+class TestAgainstBruteForce:
+    def test_random_queries_match_numpy_brute_force(self, toy_database):
+        """Exhaustively verify joins + predicates against a nested-loop reference."""
+        executor = QueryExecutor(toy_database)
+        movies = toy_database.table("movies")
+        ratings = toy_database.table("ratings")
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            year_cut = int(rng.integers(1988, 2012))
+            score_cut = int(rng.integers(45, 100))
+            query = _join(("m.year", ">", year_cut), ("r.score", "<", score_cut))
+            expected = 0
+            for movie_id, year in zip(movies.column("id"), movies.column("year")):
+                if year <= year_cut:
+                    continue
+                for rating_movie, score in zip(ratings.column("movie_id"), ratings.column("score")):
+                    if rating_movie == movie_id and score < score_cut:
+                        expected += 1
+            assert executor.cardinality(query, use_cache=False) == expected

@@ -1,0 +1,68 @@
+"""Unit tests for ground-truth containment rates."""
+
+import pytest
+
+from repro.db.intersection import TrueCardinalityOracle, true_cardinality, true_containment_rate
+from repro.sql.builder import QueryBuilder
+
+
+def _movies(*conditions):
+    builder = QueryBuilder().table("movies", "m")
+    for column, operator, value in conditions:
+        builder = builder.where(column, operator, value)
+    return builder.build()
+
+
+class TestTrueContainmentRate:
+    def test_identical_queries_have_rate_one(self, toy_database):
+        query = _movies(("m.kind", "=", 1))
+        assert true_containment_rate(toy_database, query, query) == 1.0
+
+    def test_subset_query_is_fully_contained(self, toy_database):
+        tight = _movies(("m.year", ">", 2000))
+        loose = _movies(("m.year", ">", 1990))
+        assert true_containment_rate(toy_database, tight, loose) == 1.0
+
+    def test_partial_overlap_rate(self, toy_database):
+        # years > 1995 -> movies {2, 3, 4}; years < 2008 -> movies {0, 1, 2, 3}.
+        first = _movies(("m.year", ">", 1995))
+        second = _movies(("m.year", "<", 2008))
+        assert true_containment_rate(toy_database, first, second) == pytest.approx(2 / 3)
+
+    def test_empty_first_query_has_rate_zero(self, toy_database):
+        empty = _movies(("m.year", ">", 2050))
+        anything = _movies()
+        assert true_containment_rate(toy_database, empty, anything) == 0.0
+
+    def test_disjoint_queries_have_rate_zero(self, toy_database):
+        old = _movies(("m.year", "<", 1995))
+        new = _movies(("m.year", ">", 2005))
+        assert true_containment_rate(toy_database, old, new) == 0.0
+
+    def test_rate_requires_same_from_clause(self, toy_database):
+        join = (
+            QueryBuilder()
+            .table("movies", "m")
+            .table("ratings", "r")
+            .join("m.id", "r.movie_id")
+            .build()
+        )
+        with pytest.raises(ValueError):
+            true_containment_rate(toy_database, _movies(), join)
+
+    def test_true_cardinality_matches_executor(self, toy_database, toy_executor):
+        query = _movies(("m.kind", "=", 2))
+        assert true_cardinality(toy_database, query) == toy_executor.cardinality(query)
+
+    def test_oracle_memoization_is_transparent(self, toy_database):
+        oracle = TrueCardinalityOracle(toy_database)
+        query = _movies(("m.year", ">", 1995))
+        assert oracle.cardinality(query) == oracle.cardinality(query) == 3
+
+    def test_rates_always_within_unit_interval(self, imdb_small, imdb_oracle):
+        from repro.datasets import GeneratorConfig, QueryGenerator
+
+        generator = QueryGenerator(imdb_small, GeneratorConfig(max_joins=2, seed=9))
+        for first, second in generator.generate_pairs(25):
+            rate = imdb_oracle.containment_rate(first, second)
+            assert 0.0 <= rate <= 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for the ANALYZE-style statistics catalog."""
+
+import numpy as np
+import pytest
+
+from repro.db.statistics import ColumnStatistics, StatisticsCatalog
+from repro.sql.query import ComparisonOperator, Predicate
+
+
+class TestColumnStatistics:
+    def test_basic_counts(self):
+        values = np.array([1, 1, 1, 2, 2, 3, 4, 5])
+        stats = ColumnStatistics.from_values(values)
+        assert stats.row_count == 8
+        assert stats.n_distinct == 5
+        assert stats.min_value == 1
+        assert stats.max_value == 5
+
+    def test_empty_column(self):
+        stats = ColumnStatistics.from_values(np.array([]))
+        assert stats.row_count == 0
+        assert stats.equality_selectivity(1.0) == 0.0
+        assert stats.range_selectivity(ComparisonOperator.LT, 1.0) == 0.0
+
+    def test_mcv_equality_selectivity_is_exact(self):
+        values = np.array([7] * 60 + [1, 2, 3, 4, 5] * 8)
+        stats = ColumnStatistics.from_values(values, mcv_size=3)
+        assert stats.equality_selectivity(7.0) == pytest.approx(0.6)
+
+    def test_non_mcv_equality_selectivity_is_positive_and_small(self):
+        values = np.concatenate([np.full(500, 1), np.arange(2, 502)])
+        stats = ColumnStatistics.from_values(values, mcv_size=1)
+        selectivity = stats.equality_selectivity(100.0)
+        assert 0.0 < selectivity < 0.1
+
+    def test_range_selectivity_monotone_in_value(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1000, size=5000)
+        stats = ColumnStatistics.from_values(values)
+        cuts = [100, 300, 500, 700, 900]
+        selectivities = [stats.range_selectivity(ComparisonOperator.LT, cut) for cut in cuts]
+        assert selectivities == sorted(selectivities)
+
+    def test_range_selectivity_close_to_truth_on_uniform_data(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1000, size=20000)
+        stats = ColumnStatistics.from_values(values)
+        for cut in (100, 500, 900):
+            truth = float((values < cut).mean())
+            estimate = stats.range_selectivity(ComparisonOperator.LT, cut)
+            assert estimate == pytest.approx(truth, abs=0.05)
+
+    def test_lt_and_gt_are_complementary(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 100, size=2000)
+        stats = ColumnStatistics.from_values(values)
+        lt = stats.range_selectivity(ComparisonOperator.LT, 50)
+        gt = stats.range_selectivity(ComparisonOperator.GT, 50)
+        assert lt + gt <= 1.0 + 1e-6
+
+
+class TestStatisticsCatalog:
+    def test_analyze_covers_every_column(self, toy_database):
+        catalog = StatisticsCatalog.analyze(toy_database)
+        for table_schema in toy_database.schema.tables:
+            table_stats = catalog.table(table_schema.name)
+            assert table_stats.row_count == toy_database.num_rows(table_schema.name)
+            for column in table_schema.columns:
+                assert table_stats.column(column.name).row_count == table_stats.row_count
+
+    def test_alias_lookup(self, toy_database):
+        catalog = StatisticsCatalog.analyze(toy_database)
+        assert catalog.table_by_alias("m").name == "movies"
+        with pytest.raises(KeyError):
+            catalog.table_by_alias("zz")
+
+    def test_predicate_selectivity_matches_truth_on_toy_data(self, toy_database):
+        catalog = StatisticsCatalog.analyze(toy_database)
+        predicate = Predicate("m", "kind", ComparisonOperator.EQ, 2)
+        selectivity = catalog.predicate_selectivity("movies", predicate)
+        assert selectivity == pytest.approx(2 / 5, abs=0.1)
+
+    def test_unknown_table_raises(self, toy_database):
+        catalog = StatisticsCatalog.analyze(toy_database)
+        with pytest.raises(KeyError):
+            catalog.table("unknown")

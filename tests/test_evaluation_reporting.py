@@ -1,0 +1,107 @@
+"""Unit tests for report rendering and timing helpers."""
+
+import pytest
+
+from repro.core.metrics import ErrorSummary
+from repro.evaluation.reporting import (
+    boxplot_series,
+    format_boxplot_series,
+    format_convergence,
+    format_error_table,
+    format_join_distribution,
+    format_per_join_table,
+)
+from repro.evaluation.timing import (
+    TimedEvaluation,
+    format_pool_size_table,
+    format_timing_table,
+)
+
+
+@pytest.fixture()
+def summaries():
+    return {
+        "PostgreSQL": ErrorSummary.from_errors("PostgreSQL", [1.0, 5.0, 100.0, 2000.0]),
+        "CRN": ErrorSummary.from_errors("CRN", [1.0, 2.0, 3.0, 4.0]),
+    }
+
+
+class TestErrorTable:
+    def test_contains_all_models_and_columns(self, summaries):
+        text = format_error_table(summaries, title="Table X")
+        assert "Table X" in text
+        assert "PostgreSQL" in text and "CRN" in text
+        for column in ("50th", "75th", "90th", "95th", "99th", "max", "mean"):
+            assert column in text
+
+    def test_large_values_rendered_compactly(self):
+        summary = ErrorSummary.from_errors("model", [1e7, 2e7])
+        text = format_error_table({"model": summary})
+        assert "e+07" in text
+
+
+class TestPerJoinTable:
+    def test_mean_and_median_variants(self, summaries):
+        per_join = {"CRN": {0: summaries["CRN"], 3: summaries["PostgreSQL"]}}
+        means = format_per_join_table(per_join, metric="mean")
+        medians = format_per_join_table(per_join, metric="median")
+        assert "0 joins" in means and "3 joins" in means
+        assert means != medians
+
+    def test_missing_join_count_rendered_as_dash(self, summaries):
+        per_join = {
+            "CRN": {0: summaries["CRN"]},
+            "PostgreSQL": {0: summaries["PostgreSQL"], 2: summaries["PostgreSQL"]},
+        }
+        text = format_per_join_table(per_join)
+        assert "-" in text
+
+    def test_invalid_metric_rejected(self, summaries):
+        with pytest.raises(ValueError):
+            format_per_join_table({"CRN": {0: summaries["CRN"]}}, metric="p99")
+
+
+class TestBoxplotSeries:
+    def test_percentile_keys(self):
+        series = boxplot_series({"CRN": [1.0, 2.0, 3.0, 10.0]})
+        assert set(series["CRN"]) == {5, 25, 50, 75, 95}
+        assert series["CRN"][5] <= series["CRN"][95]
+
+    def test_empty_errors_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_series({"CRN": []})
+
+    def test_formatting(self):
+        series = boxplot_series({"CRN": [1.0, 2.0, 3.0]})
+        text = format_boxplot_series(series, title="Figure Y")
+        assert "Figure Y" in text and "p95" in text
+
+
+class TestOtherTables:
+    def test_join_distribution_table(self):
+        text = format_join_distribution(
+            {"crd_test1": {0: 150, 1: 150, 2: 150}, "scale": {0: 115, 4: 75}},
+            title="Table 5",
+        )
+        assert "crd_test1" in text and "450" in text
+        assert "overall" in text
+
+    def test_convergence_table(self):
+        history = [
+            {"epoch": 1, "train_loss": 1.5, "validation_mean_q_error": 9.0},
+            {"epoch": 2, "train_loss": 1.0, "validation_mean_q_error": 5.0},
+        ]
+        text = format_convergence(history, title="Figure 4")
+        assert "Figure 4" in text and "epoch" in text
+        assert "9.0000" in text
+
+    def test_timing_table(self):
+        summary = ErrorSummary.from_errors("CRN", [1.0, 2.0])
+        timings = {"CRN": TimedEvaluation("CRN", summary, 0.0123)}
+        text = format_timing_table(timings, title="Table 15")
+        assert "12.30ms" in text
+
+    def test_pool_size_table(self):
+        summary = ErrorSummary.from_errors("CRN", [1.0, 2.0])
+        text = format_pool_size_table([(50, summary, 0.004), (300, summary, 0.016)], title="Table 14")
+        assert "50" in text and "4.00ms" in text and "16.00ms" in text

@@ -1,0 +1,40 @@
+"""Unit tests for prediction-time measurement."""
+
+import pytest
+
+from repro.core.oracle import OracleCardinalityEstimator
+from repro.datasets.pairs import LabeledQuery
+from repro.evaluation.timing import time_estimator, time_estimators
+from repro.sql.builder import QueryBuilder
+
+
+@pytest.fixture()
+def labeled_toy_queries(toy_database, toy_executor):
+    queries = [
+        QueryBuilder().table("movies", "m").build(),
+        QueryBuilder().table("movies", "m").where("m.kind", "=", 1).build(),
+        QueryBuilder().table("movies", "m").where("m.year", ">", 1995).build(),
+    ]
+    return [LabeledQuery(query, toy_executor.cardinality(query)) for query in queries]
+
+
+class TestTiming:
+    def test_oracle_estimator_has_perfect_accuracy(self, toy_database, labeled_toy_queries):
+        timed = time_estimator(OracleCardinalityEstimator(toy_database), labeled_toy_queries)
+        assert timed.summary.max == pytest.approx(1.0)
+        assert timed.mean_prediction_seconds > 0.0
+        assert timed.mean_prediction_milliseconds == pytest.approx(
+            timed.mean_prediction_seconds * 1000
+        )
+
+    def test_multiple_estimators(self, toy_database, labeled_toy_queries):
+        estimators = {
+            "Oracle": OracleCardinalityEstimator(toy_database),
+            "OracleAgain": OracleCardinalityEstimator(toy_database),
+        }
+        timings = time_estimators(estimators, labeled_toy_queries)
+        assert set(timings) == set(estimators)
+
+    def test_empty_workload_rejected(self, toy_database):
+        with pytest.raises(ValueError):
+            time_estimator(OracleCardinalityEstimator(toy_database), [])

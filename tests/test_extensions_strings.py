@@ -1,0 +1,101 @@
+"""Unit tests for the string-predicate extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.strings import (
+    HASH_SPACE,
+    StringDictionary,
+    hash_string,
+    string_equality_predicate,
+)
+from repro.sql.query import ComparisonOperator
+
+
+class TestHashString:
+    def test_stable_across_calls(self):
+        assert hash_string("Titanic") == hash_string("Titanic")
+
+    def test_within_hash_space(self):
+        for value in ("a", "b", "a longer string", ""):
+            assert 0 <= hash_string(value) < HASH_SPACE
+
+    def test_distinct_strings_usually_differ(self):
+        values = [f"movie-{i}" for i in range(500)]
+        assert len({hash_string(value) for value in values}) == 500
+
+
+class TestStringDictionary:
+    def test_encode_decode_round_trip(self):
+        dictionary = StringDictionary.from_values(["drama", "comedy", "drama", "horror"])
+        assert len(dictionary) == 3
+        for value in ("drama", "comedy", "horror"):
+            assert dictionary.decode(dictionary.encode(value)) == value
+
+    def test_first_occurrence_keeps_code(self):
+        dictionary = StringDictionary.from_values(["a", "b", "a"])
+        assert dictionary.encode("a") == 0
+        assert dictionary.encode("b") == 1
+
+    def test_encode_existing_maps_unknown_outside_code_range(self):
+        dictionary = StringDictionary.from_values(["a", "b"])
+        unknown_code = dictionary.encode_existing("zzz")
+        assert unknown_code >= len(dictionary)
+        # Encoding the unknown value did not grow the dictionary.
+        assert len(dictionary) == 2
+
+    def test_decode_unknown_code_raises(self):
+        dictionary = StringDictionary.from_values(["a"])
+        with pytest.raises(KeyError):
+            dictionary.decode(5)
+
+    def test_encode_column(self):
+        dictionary = StringDictionary()
+        codes = dictionary.encode_column(["x", "y", "x", "z"])
+        assert codes.dtype == np.int64
+        assert codes.tolist() == [0, 1, 0, 2]
+
+
+class TestStringPredicates:
+    def test_predicate_uses_dictionary_code(self):
+        dictionary = StringDictionary.from_values(["Warner", "Universal"])
+        predicate = string_equality_predicate("mc", "company_name", "Universal", dictionary)
+        assert predicate.operator is ComparisonOperator.EQ
+        assert predicate.value == float(dictionary.encode("Universal"))
+
+    def test_predicate_for_unknown_literal_matches_no_code(self):
+        dictionary = StringDictionary.from_values(["Warner"])
+        predicate = string_equality_predicate("mc", "company_name", "A24", dictionary)
+        assert predicate.value >= len(dictionary)
+
+    def test_predicate_without_dictionary_hashes(self):
+        predicate = string_equality_predicate("t", "title", "Titanic")
+        assert predicate.value == float(hash_string("Titanic"))
+
+    def test_end_to_end_on_encoded_column(self, toy_database):
+        """Dictionary-encoded string columns integrate with the executor."""
+        import numpy as np
+
+        from repro.db.database import Database
+        from repro.db.schema import Column, ColumnType, DatabaseSchema, TableSchema
+        from repro.db.executor import QueryExecutor
+        from repro.sql.query import Query, TableRef
+
+        names = ["Alpha", "Beta", "Alpha", "Gamma"]
+        dictionary = StringDictionary()
+        schema = DatabaseSchema(
+            tables=(
+                TableSchema(
+                    "films",
+                    "f",
+                    (Column("id", ColumnType.INTEGER), Column("name", ColumnType.STRING)),
+                ),
+            )
+        )
+        database = Database.from_arrays(
+            schema,
+            {"films": {"id": np.arange(4), "name": dictionary.encode_column(names)}},
+        )
+        predicate = string_equality_predicate("f", "name", "Alpha", dictionary)
+        query = Query.create([TableRef("films", "f")], predicates=[predicate])
+        assert QueryExecutor(database).cardinality(query) == 2

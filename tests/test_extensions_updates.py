@@ -1,0 +1,83 @@
+"""Unit tests for the database-update extension."""
+
+import pytest
+
+from repro.core.crn import CRNConfig
+from repro.core.queries_pool import QueriesPool
+from repro.core.training import TrainingConfig, train_crn
+from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
+from repro.datasets.workloads import build_queries_pool_queries, build_training_pairs
+from repro.db.intersection import TrueCardinalityOracle
+from repro.extensions.updates import incremental_update, refresh_queries_pool, retrain_from_scratch
+
+
+@pytest.fixture(scope="module")
+def base_training(request):
+    imdb_small = request.getfixturevalue("imdb_small")
+    imdb_featurizer = request.getfixturevalue("imdb_featurizer")
+    imdb_oracle = request.getfixturevalue("imdb_oracle")
+    pairs = build_training_pairs(imdb_small, count=80, seed=12, oracle=imdb_oracle)
+    result = train_crn(
+        imdb_featurizer,
+        pairs,
+        crn_config=CRNConfig(hidden_size=16, seed=2),
+        training_config=TrainingConfig(epochs=4, batch_size=32),
+    )
+    return result
+
+
+@pytest.fixture(scope="module")
+def updated_database():
+    """An "updated" snapshot: same schema, different data (more titles)."""
+    return build_synthetic_imdb(SyntheticIMDbConfig(num_titles=350, seed=99))
+
+
+class TestIncrementalUpdate:
+    def test_continues_from_previous_weights(self, base_training, updated_database):
+        new_pairs = build_training_pairs(updated_database, count=60, seed=13)
+        updated = incremental_update(base_training, updated_database, new_pairs, epochs=2)
+        assert updated.epochs_run == 2
+        assert updated.model.config == base_training.model.config
+        # The featurizer now points at the updated snapshot.
+        assert updated.featurizer is not base_training.featurizer
+
+    def test_accepts_unlabelled_pairs(self, base_training, updated_database):
+        from repro.datasets.generator import GeneratorConfig, QueryGenerator
+
+        raw_pairs = QueryGenerator(updated_database, GeneratorConfig(seed=5)).generate_pairs(20)
+        updated = incremental_update(base_training, updated_database, raw_pairs, epochs=1)
+        assert updated.epochs_run == 1
+
+    def test_rejects_empty_pairs(self, base_training, updated_database):
+        with pytest.raises(ValueError):
+            incremental_update(base_training, updated_database, [], epochs=1)
+
+    def test_estimator_still_valid_after_update(self, base_training, updated_database):
+        new_pairs = build_training_pairs(updated_database, count=40, seed=14)
+        updated = incremental_update(base_training, updated_database, new_pairs, epochs=1)
+        estimator = updated.estimator()
+        pair = new_pairs[0]
+        assert 0.0 <= estimator.estimate_containment(pair.first, pair.second) <= 1.0
+
+
+class TestRetrainFromScratch:
+    def test_produces_fresh_model(self, updated_database):
+        result = retrain_from_scratch(
+            updated_database,
+            training_pairs=60,
+            crn_config=CRNConfig(hidden_size=8, seed=1),
+            training_config=TrainingConfig(epochs=2, batch_size=32),
+        )
+        assert result.epochs_run <= 2
+        assert result.featurizer.database is updated_database
+
+
+class TestQueriesPoolRefresh:
+    def test_cardinalities_match_updated_snapshot(self, imdb_small, imdb_oracle, updated_database):
+        labelled = build_queries_pool_queries(imdb_small, count=25, oracle=imdb_oracle)
+        pool = QueriesPool.from_labeled_queries(labelled)
+        refreshed = refresh_queries_pool(pool, updated_database)
+        assert len(refreshed) == len(pool)
+        updated_oracle = TrueCardinalityOracle(updated_database)
+        for entry in refreshed:
+            assert entry.cardinality == updated_oracle.cardinality(entry.query)

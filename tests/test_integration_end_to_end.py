@@ -1,0 +1,106 @@
+"""End-to-end integration test of the paper's full pipeline on a tiny setup.
+
+This is the library-level "does the whole story hold together" check:
+database -> generator -> labelled pairs -> CRN training -> queries pool ->
+Cnt2Crd cardinality estimation -> comparison against a baseline, plus the
+improved-model construction.  Sizes are tiny, so assertions are about
+structure and sanity rather than accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.postgres import PostgresCardinalityEstimator
+from repro.core import (
+    CRNConfig,
+    Cnt2CrdEstimator,
+    Crd2CntEstimator,
+    ImprovedEstimator,
+    QueriesPool,
+    QueryFeaturizer,
+    TrainingConfig,
+    q_errors,
+    train_crn,
+)
+from repro.datasets import (
+    build_crd_test1,
+    build_queries_pool_queries,
+    build_training_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    imdb_small = request.getfixturevalue("imdb_small")
+    imdb_oracle = request.getfixturevalue("imdb_oracle")
+    featurizer = QueryFeaturizer(imdb_small)
+    pairs = build_training_pairs(imdb_small, count=250, seed=21, oracle=imdb_oracle)
+    result = train_crn(
+        featurizer,
+        pairs,
+        crn_config=CRNConfig(hidden_size=24, seed=3),
+        training_config=TrainingConfig(epochs=10, batch_size=32, early_stopping_patience=0),
+    )
+    pool = QueriesPool.from_labeled_queries(
+        build_queries_pool_queries(imdb_small, count=50, oracle=imdb_oracle)
+    )
+    workload = build_crd_test1(imdb_small, scale=0.03, oracle=imdb_oracle)
+    return imdb_small, imdb_oracle, result, pool, workload
+
+
+class TestEndToEnd:
+    def test_crn_training_converges_to_finite_error(self, pipeline):
+        _, _, result, _, _ = pipeline
+        assert np.isfinite(result.best_validation_q_error)
+        assert result.best_validation_q_error < result.history[0].validation_mean_q_error * 5
+
+    def test_cnt2crd_estimates_every_workload_query(self, pipeline):
+        imdb_small, _, result, pool, workload = pipeline
+        estimator = Cnt2CrdEstimator(result.estimator(), pool)
+        estimates = estimator.estimate_cardinalities([q.query for q in workload.queries])
+        assert len(estimates) == len(workload)
+        assert all(np.isfinite(estimate) and estimate >= 0.0 for estimate in estimates)
+
+    def test_crd2cnt_of_postgres_produces_valid_rates(self, pipeline):
+        imdb_small, _, _, _, workload = pipeline
+        crd2cnt = Crd2CntEstimator(PostgresCardinalityEstimator(imdb_small))
+        query = workload.queries[0].query
+        rate = crd2cnt.estimate_containment(query, query.without_predicates())
+        assert 0.0 <= rate <= 1.0
+
+    def test_improved_postgres_runs_end_to_end(self, pipeline):
+        imdb_small, _, _, pool, workload = pipeline
+        improved = ImprovedEstimator(PostgresCardinalityEstimator(imdb_small), pool)
+        estimates = improved.estimate_cardinalities([q.query for q in workload.queries[:10]])
+        assert all(estimate >= 0.0 for estimate in estimates)
+
+    def test_all_estimators_produce_comparable_error_vectors(self, pipeline):
+        imdb_small, _, result, pool, workload = pipeline
+        truths = [q.cardinality for q in workload.queries]
+        queries = [q.query for q in workload.queries]
+        estimators = {
+            "PostgreSQL": PostgresCardinalityEstimator(imdb_small),
+            "Cnt2Crd(CRN)": Cnt2CrdEstimator(result.estimator(), pool),
+        }
+        for estimator in estimators.values():
+            errors = q_errors(estimator.estimate_cardinalities(queries), truths, epsilon=1.0)
+            assert errors.shape == (len(workload),)
+            assert np.all(errors >= 1.0)
+
+    def test_model_serialization_round_trip(self, pipeline, tmp_path):
+        imdb_small, _, result, _, workload = pipeline
+        from repro.core.crn import CRNModel
+        from repro.nn.serialization import load_parameters, save_parameters
+
+        path = tmp_path / "crn.npz"
+        save_parameters(result.model, path)
+        clone = CRNModel(result.featurizer.vector_size, result.model.config)
+        load_parameters(clone, path)
+        from repro.core.crn import CRNEstimator
+
+        original = result.estimator()
+        restored = CRNEstimator(clone, result.featurizer)
+        pair = (workload.queries[0].query, workload.queries[0].query.without_predicates())
+        assert restored.estimate_containment(*pair) == pytest.approx(
+            original.estimate_containment(*pair)
+        )

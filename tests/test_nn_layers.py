@@ -1,0 +1,94 @@
+"""Unit tests for neural-network modules and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Module, ReLU, Sequential, Sigmoid
+from repro.nn.serialization import load_parameters, save_parameters
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        output = layer(Tensor(np.ones((5, 4))))
+        assert output.shape == (5, 3)
+
+    def test_parameters_registered(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestSequentialAndNesting:
+    def build(self) -> Sequential:
+        rng = np.random.default_rng(1)
+        return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 1, rng=rng), Sigmoid())
+
+    def test_nested_parameter_discovery(self):
+        model = self.build()
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4
+        assert all(name.startswith("modules.") for name in names)
+
+    def test_forward_range_with_sigmoid(self):
+        model = self.build()
+        output = model(Tensor(np.random.default_rng(2).normal(size=(10, 4)))).numpy()
+        assert np.all((output >= 0.0) & (output <= 1.0))
+
+    def test_zero_grad_clears_gradients(self):
+        model = self.build()
+        output = model(Tensor(np.ones((3, 4)))).sum()
+        output.backward()
+        assert any(parameter.grad is not None for parameter in model.parameters())
+        model.zero_grad()
+        assert all(parameter.grad is None for parameter in model.parameters())
+
+    def test_append_returns_self(self):
+        model = Sequential(ReLU())
+        assert model.append(Sigmoid()) is model
+        assert len(model.modules) == 2
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model = Sequential(Linear(3, 2, rng=np.random.default_rng(3)))
+        state = model.state_dict()
+        clone = Sequential(Linear(3, 2, rng=np.random.default_rng(99)))
+        clone.load_state_dict(state)
+        inputs = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(model(inputs).numpy(), clone(inputs).numpy())
+
+    def test_missing_key_rejected(self):
+        model = Sequential(Linear(3, 2, rng=np.random.default_rng(3)))
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(ValueError, match="missing"):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = Sequential(Linear(3, 2, rng=np.random.default_rng(3)))
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)
+
+    def test_save_and_load_file(self, tmp_path):
+        model = Sequential(Linear(3, 2, rng=np.random.default_rng(3)))
+        path = tmp_path / "model.npz"
+        save_parameters(model, path)
+        clone = Sequential(Linear(3, 2, rng=np.random.default_rng(4)))
+        load_parameters(clone, path)
+        inputs = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(model(inputs).numpy(), clone(inputs).numpy())
+
+
+def test_base_module_forward_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Module().forward(Tensor(np.ones(1)))

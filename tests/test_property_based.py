@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import q_error, q_errors
+from repro.db.executor import QueryExecutor
+from repro.db.intersection import TrueCardinalityOracle
+from repro.nn.tensor import Tensor
+from repro.sql.containment import analytically_contained
+from repro.sql.intersection import intersect_queries
+from repro.sql.parser import format_query, parse_query
+from repro.sql.query import ComparisonOperator, JoinClause, Predicate, Query, TableRef
+from tests.conftest import build_toy_database
+
+# --------------------------------------------------------------------------- #
+# strategies
+
+TOY_DATABASE = build_toy_database()
+TOY_EXECUTOR = QueryExecutor(TOY_DATABASE)
+TOY_ORACLE = TrueCardinalityOracle(TOY_DATABASE, executor=TOY_EXECUTOR)
+
+_OPERATORS = st.sampled_from(list(ComparisonOperator))
+
+_MOVIE_PREDICATES = st.builds(
+    Predicate,
+    alias=st.just("m"),
+    column=st.sampled_from(["year", "kind"]),
+    operator=_OPERATORS,
+    value=st.one_of(
+        st.integers(min_value=1985, max_value=2015),
+        st.integers(min_value=1, max_value=3),
+    ).map(float),
+)
+
+_RATING_PREDICATES = st.builds(
+    Predicate,
+    alias=st.just("r"),
+    column=st.just("score"),
+    operator=_OPERATORS,
+    value=st.integers(min_value=40, max_value=100).map(float),
+)
+
+
+@st.composite
+def toy_queries(draw) -> Query:
+    """Random single-table or join queries over the toy database."""
+    use_join = draw(st.booleans())
+    if use_join:
+        tables = [TableRef("movies", "m"), TableRef("ratings", "r")]
+        joins = [JoinClause("m", "id", "r", "movie_id")]
+        predicates = draw(st.lists(st.one_of(_MOVIE_PREDICATES, _RATING_PREDICATES), max_size=3))
+    else:
+        tables = [TableRef("movies", "m")]
+        joins = []
+        predicates = draw(st.lists(_MOVIE_PREDICATES, max_size=3))
+    return Query.create(tables, joins, predicates)
+
+
+@st.composite
+def toy_query_pairs(draw) -> tuple[Query, Query]:
+    """Pairs of queries over the same FROM clause."""
+    first = draw(toy_queries())
+    if first.num_joins:
+        extra = draw(st.lists(st.one_of(_MOVIE_PREDICATES, _RATING_PREDICATES), max_size=2))
+    else:
+        extra = draw(st.lists(_MOVIE_PREDICATES, max_size=2))
+    second = Query(first.tables, first.joins, tuple(extra))
+    return first, second
+
+
+_COMMON_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# query model properties
+
+
+class TestQueryModelProperties:
+    @_COMMON_SETTINGS
+    @given(query=toy_queries())
+    def test_parser_round_trip(self, query: Query):
+        assert parse_query(format_query(query)) == query
+
+    @_COMMON_SETTINGS
+    @given(query=toy_queries())
+    def test_canonicalization_is_idempotent(self, query: Query):
+        rebuilt = Query(query.tables, query.joins, query.predicates)
+        assert rebuilt == query
+        assert hash(rebuilt) == hash(query)
+
+    @_COMMON_SETTINGS
+    @given(pair=toy_query_pairs())
+    def test_intersection_is_commutative_and_idempotent(self, pair):
+        first, second = pair
+        assert intersect_queries(first, second) == intersect_queries(second, first)
+        assert intersect_queries(first, first) == first
+
+
+# --------------------------------------------------------------------------- #
+# executor and containment properties
+
+
+class TestExecutionProperties:
+    @_COMMON_SETTINGS
+    @given(query=toy_queries())
+    def test_count_fast_path_matches_materialized_execution(self, query: Query):
+        assert TOY_EXECUTOR._count_tree_join(query) == TOY_EXECUTOR.execute(query).cardinality
+
+    @_COMMON_SETTINGS
+    @given(pair=toy_query_pairs())
+    def test_intersection_cardinality_never_exceeds_operands(self, pair):
+        first, second = pair
+        intersection = intersect_queries(first, second)
+        card = TOY_EXECUTOR.cardinality(intersection, use_cache=False)
+        assert card <= TOY_EXECUTOR.cardinality(first, use_cache=False)
+        assert card <= TOY_EXECUTOR.cardinality(second, use_cache=False)
+
+    @_COMMON_SETTINGS
+    @given(pair=toy_query_pairs())
+    def test_containment_rate_is_a_probability(self, pair):
+        first, second = pair
+        rate = TOY_ORACLE.containment_rate(first, second)
+        assert 0.0 <= rate <= 1.0
+
+    @_COMMON_SETTINGS
+    @given(pair=toy_query_pairs())
+    def test_analytic_containment_implies_rate_one(self, pair):
+        first, second = pair
+        if analytically_contained(first, second) and TOY_ORACLE.cardinality(first) > 0:
+            assert TOY_ORACLE.containment_rate(first, second) == 1.0
+
+    @_COMMON_SETTINGS
+    @given(query=toy_queries())
+    def test_adding_predicates_never_increases_cardinality(self, query: Query):
+        extra = Predicate("m", "year", ComparisonOperator.GT, 2000.0)
+        restricted = query.add_predicates([extra])
+        assert TOY_EXECUTOR.cardinality(restricted, use_cache=False) <= TOY_EXECUTOR.cardinality(
+            query, use_cache=False
+        )
+
+
+# --------------------------------------------------------------------------- #
+# metric properties
+
+
+class TestMetricProperties:
+    @_COMMON_SETTINGS
+    @given(
+        estimate=st.floats(min_value=1e-3, max_value=1e9),
+        truth=st.floats(min_value=1e-3, max_value=1e9),
+    )
+    def test_q_error_at_least_one_and_symmetric(self, estimate, truth):
+        error = q_error(estimate, truth)
+        assert error >= 1.0
+        assert error == pytest.approx(q_error(truth, estimate), rel=1e-9)
+
+    @_COMMON_SETTINGS
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30),
+        scale=st.floats(min_value=1.001, max_value=1000.0),
+    )
+    def test_scaling_estimates_by_c_gives_q_error_at_most_c(self, values, scale):
+        estimates = [value * scale for value in values]
+        errors = q_errors(estimates, values, epsilon=1.0)
+        assert np.all(errors <= scale + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# autodiff properties
+
+
+class TestAutodiffProperties:
+    @_COMMON_SETTINGS
+    @given(
+        data=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=20
+        )
+    )
+    def test_sum_gradient_is_all_ones(self, data):
+        tensor = Tensor(np.asarray(data), requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones(len(data)))
+
+    @_COMMON_SETTINGS
+    @given(
+        data=st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=16
+        )
+    )
+    def test_sigmoid_output_bounded(self, data):
+        values = Tensor(np.asarray(data)).sigmoid().numpy()
+        assert np.all((values > 0.0) & (values < 1.0))
+
+    @_COMMON_SETTINGS
+    @given(
+        data=st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=16
+        ),
+        factor=st.floats(min_value=-3, max_value=3, allow_nan=False),
+    )
+    def test_linear_gradient_matches_factor(self, data, factor):
+        tensor = Tensor(np.asarray(data), requires_grad=True)
+        (tensor * factor).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.full(len(data), factor), atol=1e-12)

@@ -1,0 +1,48 @@
+"""Unit tests for the fluent query builder."""
+
+import pytest
+
+from repro.sql.builder import QueryBuilder
+from repro.sql.parser import parse_query
+from repro.sql.query import ComparisonOperator
+
+
+def test_builder_matches_parser():
+    built = (
+        QueryBuilder()
+        .table("title", "t")
+        .table("movie_companies", "mc")
+        .join("t.id", "mc.movie_id")
+        .where("t.production_year", ">", 1995)
+        .build()
+    )
+    parsed = parse_query(
+        "SELECT * FROM title t, movie_companies mc "
+        "WHERE t.id = mc.movie_id AND t.production_year > 1995"
+    )
+    assert built == parsed
+
+
+def test_builder_accepts_operator_enum():
+    query = (
+        QueryBuilder()
+        .table("title", "t")
+        .where("t.kind_id", ComparisonOperator.EQ, 2)
+        .build()
+    )
+    assert query.predicates[0].operator is ComparisonOperator.EQ
+
+
+def test_builder_rejects_unqualified_column():
+    with pytest.raises(ValueError):
+        QueryBuilder().table("title", "t").where("production_year", ">", 1995)
+
+
+def test_builder_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        QueryBuilder().table("title", "t").where("t.kind_id", "!=", 2)
+
+
+def test_builder_table_alias_defaults_to_name():
+    query = QueryBuilder().table("title").build()
+    assert query.aliases == ("title",)

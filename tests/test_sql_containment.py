@@ -1,0 +1,108 @@
+"""Unit tests for analytic containment on conjunctive queries."""
+
+from repro.db.intersection import TrueCardinalityOracle
+from repro.sql.builder import QueryBuilder
+from repro.sql.containment import (
+    ValueInterval,
+    analytically_contained,
+    analytically_equivalent,
+    column_intervals,
+)
+
+
+def _title_query(*conditions):
+    builder = QueryBuilder().table("title", "t")
+    for column, operator, value in conditions:
+        builder = builder.where(column, operator, value)
+    return builder.build()
+
+
+class TestValueInterval:
+    def test_default_interval_contains_everything(self):
+        assert ValueInterval().contains_interval(ValueInterval(lower=0, upper=10))
+
+    def test_point_interval_containment(self):
+        point = ValueInterval(point=5.0)
+        assert point.contains_interval(ValueInterval(point=5.0))
+        assert not point.contains_interval(ValueInterval(point=6.0))
+        assert ValueInterval(lower=0, upper=10).contains_interval(point)
+
+    def test_empty_interval_detection(self):
+        assert ValueInterval(lower=5, upper=5).is_empty
+        assert ValueInterval(lower=2, upper=8, point=1.0).is_empty
+        assert not ValueInterval(lower=2, upper=8, point=5.0).is_empty
+
+
+class TestAnalyticContainment:
+    def test_tighter_range_is_contained(self):
+        tight = _title_query(("t.production_year", ">", 2000))
+        loose = _title_query(("t.production_year", ">", 1990))
+        assert analytically_contained(tight, loose)
+        assert not analytically_contained(loose, tight)
+
+    def test_extra_predicate_implies_containment(self):
+        base = _title_query(("t.production_year", ">", 2000))
+        extended = _title_query(("t.production_year", ">", 2000), ("t.kind_id", "=", 1))
+        assert analytically_contained(extended, base)
+        assert not analytically_contained(base, extended)
+
+    def test_equality_point_inside_range(self):
+        point = _title_query(("t.production_year", "=", 2005))
+        wide = _title_query(("t.production_year", ">", 2000))
+        assert analytically_contained(point, wide)
+        assert not analytically_contained(wide, point)
+
+    def test_unsatisfiable_query_is_contained_in_anything(self):
+        empty = _title_query(("t.production_year", ">", 2010), ("t.production_year", "<", 2000))
+        other = _title_query(("t.kind_id", "=", 1))
+        assert analytically_contained(empty, other)
+
+    def test_different_from_clauses_are_never_contained(self):
+        single = _title_query(("t.production_year", ">", 2000))
+        join = (
+            QueryBuilder()
+            .table("title", "t")
+            .table("movie_companies", "mc")
+            .join("t.id", "mc.movie_id")
+            .build()
+        )
+        assert not analytically_contained(single, join)
+
+    def test_dropping_predicates_preserves_containment(self):
+        two_tables = (
+            QueryBuilder()
+            .table("title", "t")
+            .table("movie_companies", "mc")
+            .join("t.id", "mc.movie_id")
+            .where("mc.company_id", "<", 10)
+            .build()
+        )
+        assert analytically_contained(two_tables, two_tables.without_predicates())
+        assert not analytically_contained(two_tables.without_predicates(), two_tables)
+
+    def test_equivalence(self):
+        first = _title_query(("t.production_year", ">", 2000))
+        second = _title_query(("t.production_year", ">", 2000))
+        assert analytically_equivalent(first, second)
+        third = _title_query(("t.production_year", ">", 1999))
+        assert not analytically_equivalent(first, third)
+
+    def test_column_intervals_folding(self):
+        query = _title_query(
+            ("t.production_year", ">", 1990),
+            ("t.production_year", "<", 2000),
+            ("t.kind_id", "=", 2),
+        )
+        intervals = column_intervals(query)
+        assert intervals["t.production_year"].lower == 1990
+        assert intervals["t.production_year"].upper == 2000
+        assert intervals["t.kind_id"].point == 2.0
+
+
+def test_analytic_containment_implies_full_containment_rate(imdb_small, imdb_oracle):
+    """Soundness against the database: analytic containment forces a 100% rate."""
+    tight = _title_query(("t.production_year", ">", 2000), ("t.kind_id", "=", 1))
+    loose = _title_query(("t.production_year", ">", 1990))
+    assert analytically_contained(tight, loose)
+    if imdb_oracle.cardinality(tight) > 0:
+        assert imdb_oracle.containment_rate(tight, loose) == 1.0

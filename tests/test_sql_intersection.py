@@ -1,0 +1,62 @@
+"""Unit tests for query intersection and FROM-clause matching."""
+
+import pytest
+
+from repro.sql.builder import QueryBuilder
+from repro.sql.intersection import FromClauseMismatchError, intersect_queries, same_from_clause
+
+
+def _single_table(predicate_value: int):
+    return (
+        QueryBuilder().table("title", "t").where("t.production_year", ">", predicate_value).build()
+    )
+
+
+def _join_query():
+    return (
+        QueryBuilder()
+        .table("title", "t")
+        .table("movie_companies", "mc")
+        .join("t.id", "mc.movie_id")
+        .where("mc.company_id", "=", 3)
+        .build()
+    )
+
+
+def test_same_from_clause_true_for_identical_from():
+    assert same_from_clause(_single_table(1990), _single_table(2000))
+
+
+def test_same_from_clause_false_for_different_from():
+    assert not same_from_clause(_single_table(1990), _join_query())
+
+
+def test_intersection_unions_predicates():
+    first = _single_table(1990)
+    second = (
+        QueryBuilder().table("title", "t").where("t.kind_id", "=", 1).build()
+    )
+    intersection = intersect_queries(first, second)
+    assert intersection.num_predicates == 2
+    assert intersection.from_signature() == first.from_signature()
+
+
+def test_intersection_is_commutative():
+    first = _single_table(1990)
+    second = _single_table(2000)
+    assert intersect_queries(first, second) == intersect_queries(second, first)
+
+
+def test_intersection_with_itself_is_identity():
+    query = _join_query()
+    assert intersect_queries(query, query) == query
+
+
+def test_intersection_requires_same_from():
+    with pytest.raises(FromClauseMismatchError):
+        intersect_queries(_single_table(1990), _join_query())
+
+
+def test_intersection_unions_joins():
+    base = _join_query().without_predicates()
+    assert intersect_queries(base, base).joins == base.joins

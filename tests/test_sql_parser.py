@@ -1,0 +1,86 @@
+"""Unit tests for the SQL subset parser and formatter."""
+
+import pytest
+
+from repro.sql.parser import SQLParseError, format_query, parse_query
+from repro.sql.query import ComparisonOperator
+
+
+class TestParseQuery:
+    def test_single_table_no_where(self):
+        query = parse_query("SELECT * FROM title t")
+        assert query.table_names == ("title",)
+        assert query.num_joins == 0
+        assert query.num_predicates == 0
+
+    def test_alias_defaults_to_table_name(self):
+        query = parse_query("SELECT * FROM title")
+        assert query.aliases == ("title",)
+
+    def test_as_keyword_alias(self):
+        query = parse_query("SELECT * FROM title AS t")
+        assert query.aliases == ("t",)
+
+    def test_join_and_predicates(self):
+        query = parse_query(
+            "SELECT * FROM title t, movie_companies mc "
+            "WHERE t.id = mc.movie_id AND t.production_year > 2000 AND mc.company_id = 5"
+        )
+        assert query.num_joins == 1
+        assert query.num_predicates == 2
+        operators = {predicate.operator for predicate in query.predicates}
+        assert operators == {ComparisonOperator.GT, ComparisonOperator.EQ}
+
+    def test_case_insensitive_keywords_and_trailing_semicolon(self):
+        query = parse_query("select * from title t where t.kind_id = 1;")
+        assert query.num_predicates == 1
+
+    def test_where_true_is_ignored(self):
+        query = parse_query("SELECT * FROM title t WHERE TRUE")
+        assert query.num_predicates == 0
+
+    def test_float_literal(self):
+        query = parse_query("SELECT * FROM title t WHERE t.production_year < 1999.5")
+        assert query.predicates[0].value == pytest.approx(1999.5)
+
+    def test_rejects_projection(self):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT id FROM title t")
+
+    def test_rejects_non_equi_join(self):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM title t, movie_companies mc WHERE t.id < mc.movie_id")
+
+    def test_rejects_unsupported_condition(self):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM title t WHERE t.production_year BETWEEN 1990 AND 2000")
+
+    def test_rejects_malformed_from_item(self):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM title the alias t")
+
+    def test_rejects_unknown_alias_reference(self):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM title t WHERE mc.company_id = 3")
+
+
+class TestFormatQuery:
+    def test_round_trip(self):
+        sql = (
+            "SELECT * FROM movie_companies mc, title t "
+            "WHERE mc.movie_id = t.id AND mc.company_id = 5 AND t.production_year > 2000"
+        )
+        query = parse_query(sql)
+        assert parse_query(format_query(query)) == query
+
+    def test_no_where_clause(self):
+        query = parse_query("SELECT * FROM title t")
+        assert format_query(query) == "SELECT * FROM title t"
+
+    def test_format_contains_all_clauses(self):
+        query = parse_query(
+            "SELECT * FROM title t, movie_keyword mk WHERE t.id = mk.movie_id AND mk.keyword_id = 9"
+        )
+        text = format_query(query)
+        assert "mk.movie_id = t.id" in text  # joins are stored in canonical orientation
+        assert "mk.keyword_id = 9" in text

@@ -1,0 +1,172 @@
+"""Unit tests for the conjunctive query dataclasses."""
+
+import pytest
+
+from repro.sql.query import (
+    OPERATORS,
+    ComparisonOperator,
+    JoinClause,
+    Predicate,
+    Query,
+    TableRef,
+    queries_with_same_from,
+)
+
+
+class TestComparisonOperator:
+    def test_from_symbol_round_trips(self):
+        for operator in OPERATORS:
+            assert ComparisonOperator.from_symbol(operator.value) is operator
+
+    def test_from_symbol_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ComparisonOperator.from_symbol(">=")
+
+    def test_evaluate(self):
+        assert ComparisonOperator.LT.evaluate(1, 2)
+        assert not ComparisonOperator.LT.evaluate(2, 1)
+        assert ComparisonOperator.GT.evaluate(3, 2)
+        assert ComparisonOperator.EQ.evaluate(2, 2)
+        assert not ComparisonOperator.EQ.evaluate(2, 3)
+
+    def test_flipped(self):
+        assert ComparisonOperator.LT.flipped() is ComparisonOperator.GT
+        assert ComparisonOperator.GT.flipped() is ComparisonOperator.LT
+        assert ComparisonOperator.EQ.flipped() is ComparisonOperator.EQ
+
+    def test_operators_are_sortable(self):
+        assert sorted(OPERATORS) == sorted(OPERATORS, key=lambda op: op.value)
+
+
+class TestTableRef:
+    def test_alias_defaults_to_name(self):
+        assert TableRef("title").alias == "title"
+
+    def test_explicit_alias(self):
+        ref = TableRef("title", "t")
+        assert str(ref) == "title t"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TableRef("")
+
+
+class TestJoinClause:
+    def test_canonical_orientation(self):
+        forward = JoinClause("t", "id", "mc", "movie_id")
+        backward = JoinClause("mc", "movie_id", "t", "id")
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_qualified_sides(self):
+        join = JoinClause("t", "id", "mc", "movie_id")
+        assert {join.left, join.right} == {"t.id", "mc.movie_id"}
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(ValueError):
+            JoinClause("t", "", "mc", "movie_id")
+
+
+class TestPredicate:
+    def test_value_coerced_to_float(self):
+        predicate = Predicate("t", "year", ComparisonOperator.EQ, 2000)
+        assert isinstance(predicate.value, float)
+
+    def test_string_rendering_integral(self):
+        predicate = Predicate("t", "year", ComparisonOperator.GT, 2000)
+        assert str(predicate) == "t.year > 2000"
+
+    def test_qualified_column(self):
+        predicate = Predicate("mc", "company_id", ComparisonOperator.LT, 7)
+        assert predicate.qualified_column == "mc.company_id"
+
+    def test_empty_alias_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("", "year", ComparisonOperator.EQ, 1)
+
+
+class TestQuery:
+    def make_query(self) -> Query:
+        return Query.create(
+            tables=[TableRef("movie_companies", "mc"), TableRef("title", "t")],
+            joins=[JoinClause("t", "id", "mc", "movie_id")],
+            predicates=[Predicate("t", "year", ComparisonOperator.GT, 2000)],
+        )
+
+    def test_clause_order_does_not_matter(self):
+        first = self.make_query()
+        second = Query.create(
+            tables=[TableRef("title", "t"), TableRef("movie_companies", "mc")],
+            joins=[JoinClause("mc", "movie_id", "t", "id")],
+            predicates=[Predicate("t", "year", ComparisonOperator.GT, 2000)],
+        )
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_duplicate_clauses_are_removed(self):
+        query = Query.create(
+            tables=[TableRef("title", "t"), TableRef("title", "t")],
+            predicates=[
+                Predicate("t", "year", ComparisonOperator.GT, 2000),
+                Predicate("t", "year", ComparisonOperator.GT, 2000),
+            ],
+        )
+        assert len(query.tables) == 1
+        assert query.num_predicates == 1
+
+    def test_requires_at_least_one_table(self):
+        with pytest.raises(ValueError):
+            Query.create(tables=[])
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(ValueError):
+            Query.create(tables=[TableRef("title", "t"), TableRef("movie_companies", "t")])
+
+    def test_join_alias_must_be_bound(self):
+        with pytest.raises(ValueError):
+            Query.create(
+                tables=[TableRef("title", "t")],
+                joins=[JoinClause("t", "id", "mc", "movie_id")],
+            )
+
+    def test_predicate_alias_must_be_bound(self):
+        with pytest.raises(ValueError):
+            Query.create(
+                tables=[TableRef("title", "t")],
+                predicates=[Predicate("mc", "company_id", ComparisonOperator.EQ, 1)],
+            )
+
+    def test_from_signature_ignores_predicates(self):
+        query = self.make_query()
+        assert query.from_signature() == query.without_predicates().from_signature()
+
+    def test_predicates_for_alias(self):
+        query = self.make_query()
+        assert len(query.predicates_for("t")) == 1
+        assert query.predicates_for("mc") == ()
+
+    def test_with_and_add_predicates(self):
+        query = self.make_query()
+        extra = Predicate("mc", "company_id", ComparisonOperator.EQ, 3)
+        assert query.add_predicates([extra]).num_predicates == 2
+        assert query.with_predicates([extra]).num_predicates == 1
+
+    def test_num_joins_and_aliases(self):
+        query = self.make_query()
+        assert query.num_joins == 1
+        assert set(query.aliases) == {"t", "mc"}
+
+    def test_str_is_sql(self):
+        assert str(self.make_query()).startswith("SELECT * FROM")
+
+
+def test_queries_with_same_from_groups_by_signature():
+    single = Query.create([TableRef("title", "t")])
+    single_other = single.add_predicates([Predicate("t", "year", ComparisonOperator.GT, 1990)])
+    pair = Query.create(
+        [TableRef("title", "t"), TableRef("movie_companies", "mc")],
+        [JoinClause("t", "id", "mc", "movie_id")],
+    )
+    groups = queries_with_same_from([single, single_other, pair])
+    assert len(groups) == 2
+    assert sorted(len(group) for group in groups.values()) == [1, 2]

@@ -1,0 +1,43 @@
+"""Unit tests for schema-aware query validation."""
+
+import pytest
+
+from repro.datasets.imdb import IMDB_SCHEMA
+from repro.sql.builder import QueryBuilder
+from repro.sql.validation import QueryValidationError, validate_query
+
+
+def test_valid_query_passes():
+    query = (
+        QueryBuilder()
+        .table("title", "t")
+        .table("movie_companies", "mc")
+        .join("t.id", "mc.movie_id")
+        .where("t.production_year", ">", 2000)
+        .build()
+    )
+    validate_query(query, IMDB_SCHEMA)
+
+
+def test_unknown_table_rejected():
+    query = QueryBuilder().table("actors", "a").build()
+    with pytest.raises(QueryValidationError, match="unknown table"):
+        validate_query(query, IMDB_SCHEMA)
+
+
+def test_unknown_predicate_column_rejected():
+    query = QueryBuilder().table("title", "t").where("t.budget", ">", 5).build()
+    with pytest.raises(QueryValidationError, match="no column"):
+        validate_query(query, IMDB_SCHEMA)
+
+
+def test_unknown_join_column_rejected():
+    query = (
+        QueryBuilder()
+        .table("title", "t")
+        .table("movie_companies", "mc")
+        .join("t.id", "mc.studio_id")
+        .build()
+    )
+    with pytest.raises(QueryValidationError, match="no column"):
+        validate_query(query, IMDB_SCHEMA)
