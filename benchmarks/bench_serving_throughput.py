@@ -1,0 +1,103 @@
+"""Serving throughput: batched cross-request inference vs the naive loop.
+
+Serves a 200-query workload against a 500-entry queries pool two ways:
+
+* **naive** -- a fresh, cache-less ``Cnt2CrdEstimator`` answering one request
+  at a time (featurizing and encoding every matching pool query on every
+  request), the way the paper's evaluation invokes the model;
+* **served** -- the :class:`repro.serving.EstimationService`: featurization /
+  encoding caches warmed with the pool, and all 200 requests planned into a
+  few large deduplicated forward passes.
+
+The service time *includes* building and warming the caches, so the measured
+speedup is end-to-end, and the served estimates must equal the naive ones
+bit-for-bit (the CRN inference path is batch-composition invariant, see
+:meth:`repro.core.crn.CRNModel.rates_from_encodings`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import (
+    Cnt2CrdEstimator,
+    CRNConfig,
+    CRNEstimator,
+    CRNModel,
+    QueriesPool,
+    QueryFeaturizer,
+)
+from repro.datasets import build_queries_pool_queries
+from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
+from repro.db import TrueCardinalityOracle
+from repro.evaluation import format_service_stats
+from repro.serving import build_crn_service
+
+POOL_SIZE = 500
+WORKLOAD_SIZE = 200
+REQUIRED_SPEEDUP = 3.0
+
+
+def test_serving_throughput(results_dir):
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=300, seed=11))
+    oracle = TrueCardinalityOracle(database)
+    featurizer = QueryFeaturizer(database)
+    model = CRNModel(featurizer.vector_size, CRNConfig(hidden_size=64, seed=5))
+    fallback = PostgresCardinalityEstimator(database)
+
+    pool_entries = build_queries_pool_queries(
+        database, count=POOL_SIZE + 40, seed=17, oracle=oracle
+    )
+    pool = QueriesPool.from_labeled_queries(pool_entries).subset(POOL_SIZE)
+    assert len(pool) == POOL_SIZE
+    workload = [
+        labeled.query
+        for labeled in build_queries_pool_queries(
+            database, count=WORKLOAD_SIZE + 20, seed=23, oracle=oracle
+        )
+    ][:WORKLOAD_SIZE]
+    assert len(workload) == WORKLOAD_SIZE
+
+    # Naive per-request loop: no caches, one request at a time.
+    naive = Cnt2CrdEstimator(CRNEstimator(model, featurizer), pool, fallback=fallback)
+    naive_start = time.perf_counter()
+    naive_estimates = [naive.estimate_cardinality(query) for query in workload]
+    naive_seconds = time.perf_counter() - naive_start
+
+    # Batched + cached service, measured end-to-end including cache warming.
+    served_start = time.perf_counter()
+    service = build_crn_service(model, featurizer, pool, fallback_estimator=fallback)
+    served = service.submit_batch(workload)
+    served_seconds = time.perf_counter() - served_start
+
+    served_estimates = [item.estimate for item in served]
+    assert served_estimates == naive_estimates, (
+        "batched+cached serving must be bit-for-bit identical to the naive loop"
+    )
+    speedup = naive_seconds / served_seconds
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"expected the service to be >= {REQUIRED_SPEEDUP}x faster than the naive "
+        f"loop, measured {speedup:.1f}x ({naive_seconds:.2f}s vs {served_seconds:.2f}s)"
+    )
+
+    report = "\n".join(
+        [
+            f"serving throughput ({WORKLOAD_SIZE} queries, {POOL_SIZE}-entry pool)",
+            "",
+            f"{'path':<22}{'total':>12}{'per query':>14}{'throughput':>14}",
+            f"{'naive loop':<22}{naive_seconds:>11.2f}s"
+            f"{naive_seconds / WORKLOAD_SIZE * 1000:>12.2f}ms"
+            f"{WORKLOAD_SIZE / naive_seconds:>10.0f} qps",
+            f"{'batched+cached':<22}{served_seconds:>11.2f}s"
+            f"{served_seconds / WORKLOAD_SIZE * 1000:>12.2f}ms"
+            f"{WORKLOAD_SIZE / served_seconds:>10.0f} qps",
+            "",
+            f"speedup: {speedup:.1f}x (required: >= {REQUIRED_SPEEDUP:.0f}x), "
+            "served estimates bit-for-bit identical",
+            "",
+            format_service_stats(service.stats_snapshot(), title="service stats"),
+        ]
+    )
+    (results_dir / "serving_throughput.txt").write_text(report + "\n")
+    print(f"\n{report}\n")

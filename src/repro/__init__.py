@@ -13,8 +13,10 @@ The package is organised around the paper's pipeline:
 * :mod:`repro.core` -- the paper's contribution: CRN, the Crd2Cnt / Cnt2Crd
   transformations, the queries pool, and the improved-model construction.
 * :mod:`repro.baselines` -- PostgreSQL-style, MSCN and sampling estimators.
-* :mod:`repro.evaluation` -- the experiment harness and the per-table/figure
-  experiment registry.
+* :mod:`repro.evaluation` -- the experiment harness, the per-table/figure
+  experiment registry, and timing/serving metrics.
+* :mod:`repro.serving` -- the online estimation service: cross-request batch
+  planning, featurization/encoding caches, estimator registry with fallback.
 * :mod:`repro.extensions` -- Section 9 future-work features (set queries,
   string predicates, database updates).
 

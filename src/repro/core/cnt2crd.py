@@ -9,6 +9,40 @@ queries with known cardinalities, a new query's cardinality is estimated as
 skipping pool queries for which the denominator rate is (close to) zero, and
 collapsing the per-pool-query estimates with the final function ``F``
 (median by default, Section 5.3.1).
+
+The estimation pipeline is factored into composable steps —
+:meth:`Cnt2CrdEstimator.eligible_entries` →
+:meth:`Cnt2CrdEstimator.containment_pairs` → (batched containment rates) →
+:meth:`Cnt2CrdEstimator.estimates_from_rates` →
+:meth:`Cnt2CrdEstimator.collapse` — so callers that batch the rate
+computation across *many* concurrent requests (the
+:class:`repro.serving.BatchPlanner`) reuse exactly the per-request logic and
+produce bit-for-bit identical estimates.
+
+Recovering from :class:`NoMatchingPoolQueryError`
+-------------------------------------------------
+
+The technique can only score a new query against pool queries that share its
+FROM clause, so a query over a never-seen table combination has no anchor and
+:meth:`Cnt2CrdEstimator.estimate_cardinality` raises
+:class:`NoMatchingPoolQueryError`.  Three recovery strategies, in decreasing
+order of fidelity:
+
+1. **Seed the pool with frame queries** (Section 5.2): add the predicate-free
+   query ``SELECT * FROM <tables> WHERE <joins>`` for every FROM/join
+   combination the workload can produce
+   (:meth:`repro.sql.query.Query.without_predicates`, or
+   ``build_queries_pool_queries(..., include_frames=True)``).  Every incoming
+   query then has at least one match, and the error disappears entirely.
+2. **Configure a fallback estimator**: pass ``fallback=`` (e.g. the
+   PostgreSQL-style baseline, or the base model ``M`` when building
+   ``Improved M``) and the estimator silently delegates unmatched queries
+   instead of raising.
+3. **Catch and route at the service layer**: :class:`repro.serving.EstimationService`
+   registers several estimators and, when the primary raises this error,
+   re-routes the request to a configured fallback entry and flags the served
+   result, which keeps the error out of request handlers while still making
+   the degraded path observable.
 """
 
 from __future__ import annotations
@@ -79,27 +113,45 @@ class Cnt2CrdEstimator(CardinalityEstimator):
     # ------------------------------------------------------------------ #
     # estimation
 
-    def pool_estimates(self, query: Query) -> list[PoolEstimate]:
-        """The per-pool-query estimates for ``query`` (the technique's inner loop).
+    def eligible_entries(self, query: Query) -> list[PoolEntry]:
+        """Matching pool entries that can contribute an estimate for ``query``.
 
-        Containment rates for all matching pool queries are estimated in one
-        batched call so learned estimators can vectorize the work.
+        A pool query with an empty result cannot contribute: its estimate is
+        always x/y * 0 = 0, and with exact rates the y_rate guard would skip
+        it anyway (Qnew ⊂% Qold = 0 when Qold is empty).
         """
-        entries = [
-            entry
-            for entry in self.pool.matching_entries(query)
-            # A pool query with an empty result cannot contribute: its estimate
-            # is always x/y * 0 = 0, and with exact rates the y_rate guard
-            # would skip it anyway (Qnew ⊂% Qold = 0 when Qold is empty).
-            if entry.cardinality > 0
+        return [
+            entry for entry in self.pool.matching_entries(query) if entry.cardinality > 0
         ]
-        if not entries:
-            return []
+
+    @staticmethod
+    def containment_pairs(query: Query, entries: Sequence[PoolEntry]) -> list[tuple[Query, Query]]:
+        """The ordered query pairs whose rates the technique needs for ``query``.
+
+        For each entry the pair ``(Qold, Qnew)`` (the x_rate) is followed by
+        ``(Qnew, Qold)`` (the y_rate); :meth:`estimates_from_rates` expects
+        rates in exactly this order.
+        """
         pairs: list[tuple[Query, Query]] = []
         for entry in entries:
             pairs.append((entry.query, query))  # x_rate = Qold ⊂% Qnew
             pairs.append((query, entry.query))  # y_rate = Qnew ⊂% Qold
-        rates = self.containment_estimator.estimate_containments(pairs)
+        return pairs
+
+    def estimates_from_rates(
+        self, query: Query, entries: Sequence[PoolEntry], rates: Sequence[float]
+    ) -> list[PoolEstimate]:
+        """Turn pre-computed containment rates back into per-pool-query estimates.
+
+        Args:
+            query: the incoming query.
+            entries: the eligible entries the rates were computed for.
+            rates: the rates of :meth:`containment_pairs`'s pairs, in order.
+        """
+        if len(rates) != 2 * len(entries):
+            raise ValueError(
+                f"expected {2 * len(entries)} rates for {len(entries)} entries, got {len(rates)}"
+            )
         estimates: list[PoolEstimate] = []
         for index, entry in enumerate(entries):
             x_rate = rates[2 * index]
@@ -116,21 +168,47 @@ class Cnt2CrdEstimator(CardinalityEstimator):
             )
         return estimates
 
-    def estimate_cardinality(self, query: Query) -> float:
-        entries = self.pool.matching_entries(query)
+    def pool_estimates(self, query: Query) -> list[PoolEstimate]:
+        """The per-pool-query estimates for ``query`` (the technique's inner loop).
+
+        Containment rates for all matching pool queries are estimated in one
+        batched call so learned estimators can vectorize the work.
+        """
+        entries = self.eligible_entries(query)
         if not entries:
-            if self.fallback is not None:
-                return self.fallback.estimate_cardinality(query)
-            raise NoMatchingPoolQueryError(
-                f"no pool query shares the FROM clause {query.from_signature()}"
-            )
-        estimates = self.pool_estimates(query)
+            return []
+        rates = self.containment_estimator.estimate_containments(
+            self.containment_pairs(query, entries)
+        )
+        return self.estimates_from_rates(query, entries, rates)
+
+    def collapse(self, estimates: Sequence[PoolEstimate]) -> float:
+        """Collapse per-pool-query estimates with the final function ``F``.
+
+        An empty list means matching pool queries existed but the new query
+        was estimated to be contained ~0% in all of them, which (with frame
+        queries in the pool) only happens when the new query's result is
+        empty — so the collapsed estimate is 0.
+        """
         if not estimates:
-            # Matching pool queries exist but the new query is estimated to be
-            # contained ~0% in all of them, which (with frame queries in the
-            # pool) only happens when the new query's result is empty.
             return 0.0
         return float(self.final_function([estimate.estimate for estimate in estimates]))
+
+    def fallback_estimate(self, query: Query) -> float:
+        """Estimate a query with no matching pool entry (or raise).
+
+        See the module docstring for the available recovery strategies.
+        """
+        if self.fallback is not None:
+            return self.fallback.estimate_cardinality(query)
+        raise NoMatchingPoolQueryError(
+            f"no pool query shares the FROM clause {query.from_signature()}"
+        )
+
+    def estimate_cardinality(self, query: Query) -> float:
+        if not self.pool.has_match(query):
+            return self.fallback_estimate(query)
+        return self.collapse(self.pool_estimates(query))
 
 
 def cnt2crd(

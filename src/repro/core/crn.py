@@ -116,6 +116,24 @@ class CRNModel(Module):
             [first, second, (first - second).abs(), first * second], axis=1
         )
 
+    def head(self, first_repr: Tensor, second_repr: Tensor) -> Tensor:
+        """``MLPout`` over a batch of already-encoded query representations.
+
+        Args:
+            first_repr: ``(batch, H)`` representations of the first queries.
+            second_repr: ``(batch, H)`` representations of the second queries.
+
+        Returns:
+            A ``(batch,)`` tensor of rates in ``[0, 1]``.
+        """
+        if self.config.use_expand:
+            pair = self.expand(first_repr, second_repr)
+        else:
+            pair = concatenate([first_repr, second_repr], axis=1)
+        hidden = self.out_hidden(pair).relu()
+        output = self.out_final(hidden).sigmoid()
+        return output.reshape(output.shape[0])
+
     def forward(
         self,
         first_vectors: Tensor,
@@ -130,13 +148,86 @@ class CRNModel(Module):
         """
         first_repr = self.encode_query(first_vectors, first_mask, self.set_encoder1)
         second_repr = self.encode_query(second_vectors, second_mask, self.set_encoder2)
-        if self.config.use_expand:
-            pair = self.expand(first_repr, second_repr)
-        else:
-            pair = concatenate([first_repr, second_repr], axis=1)
-        hidden = self.out_hidden(pair).relu()
-        output = self.out_final(hidden).sigmoid()
-        return output.reshape(output.shape[0])
+        return self.head(first_repr, second_repr)
+
+    # ------------------------------------------------------------------ #
+    # deterministic inference path
+
+    def encode_set(self, vectors: np.ndarray, position: int) -> np.ndarray:
+        """Encode one featurized query in isolation (no padding, no batch).
+
+        The result is a pure function of ``vectors``: the query's set is
+        encoded alone, so the bits of the returned ``Qvec`` never depend on
+        which other queries happen to share a forward pass.  This is what
+        makes per-query encoding cacheable across requests (see
+        :mod:`repro.serving`).  The computation runs on plain arrays (no
+        autodiff graph): inference encodes each query thousands of times
+        across requests, and the Tensor bookkeeping would dominate the
+        two small matmuls.
+
+        Args:
+            vectors: ``(set size, L)`` feature vectors of one query.
+            position: 1 to encode with ``MLP1`` (first pair slot), 2 for
+                ``MLP2`` (second pair slot).
+
+        Returns:
+            A ``(H,)`` float64 representation ``Qvec``.
+        """
+        if position not in (1, 2):
+            raise ValueError(f"position must be 1 or 2, got {position}")
+        encoder = self.set_encoder1 if position == 1 else self.set_encoder2
+        transformed = np.maximum(vectors @ encoder.weight.data + encoder.bias.data, 0.0)
+        pooled = transformed.sum(axis=0)
+        if self.config.pooling == "average":
+            pooled = pooled / max(vectors.shape[0], 1)
+        return pooled
+
+    def rates_from_encodings(
+        self,
+        first_reprs: np.ndarray,
+        second_reprs: np.ndarray,
+        slab_size: int = 256,
+    ) -> np.ndarray:
+        """Run ``MLPout`` over pre-encoded pairs in fixed-shape slabs.
+
+        Every forward pass sees exactly ``slab_size`` rows (the final partial
+        slab is padded with zero rows that are discarded), so the BLAS kernels
+        behind the matmuls always run with the same shape and each pair's rate
+        is bit-for-bit independent of how pairs were grouped into batches.
+        This is the invariant the serving layer's cross-request batching
+        relies on (its results must match the per-request path exactly).
+
+        Args:
+            first_reprs: ``(n, H)`` encodings from :meth:`encode_set` (pos 1).
+            second_reprs: ``(n, H)`` encodings from :meth:`encode_set` (pos 2).
+            slab_size: rows per forward pass; must be positive.
+
+        Returns:
+            A ``(n,)`` float64 array of containment rates.
+        """
+        if slab_size <= 0:
+            raise ValueError("slab_size must be positive")
+        if first_reprs.shape != second_reprs.shape:
+            raise ValueError("first and second encodings must have the same shape")
+        total = first_reprs.shape[0]
+        rates = np.empty(total, dtype=np.float64)
+        for start in range(0, total, slab_size):
+            first_slab = first_reprs[start : start + slab_size]
+            second_slab = second_reprs[start : start + slab_size]
+            count = first_slab.shape[0]
+            # Freshly allocate every slab (copy / zero-pad) so data alignment
+            # cannot vary with the slab's offset into the stacked batch.
+            if count < slab_size:
+                padding = np.zeros((slab_size - count, self.hidden_size))
+                first_slab = np.concatenate([first_slab, padding], axis=0)
+                second_slab = np.concatenate([second_slab, padding], axis=0)
+            else:
+                first_slab = first_slab.copy()
+                second_slab = second_slab.copy()
+            with no_grad():
+                out = self.head(Tensor(first_slab), Tensor(second_slab)).numpy()
+            rates[start : start + count] = out[:count]
+        return rates
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -159,42 +250,111 @@ class CRNModel(Module):
 class CRNEstimator(ContainmentEstimator):
     """A :class:`ContainmentEstimator` backed by a trained CRN model.
 
+    Inference is split into two cache-friendly stages:
+
+    1. every *unique* query in the batch is featurized once and encoded once
+       per pair slot with :meth:`CRNModel.encode_set` (a query appearing in
+       hundreds of pairs — e.g. a pool query scored against many incoming
+       queries — costs one featurization and at most two encodings per call);
+    2. the pair head runs over the gathered encodings in fixed-shape slabs
+       (:meth:`CRNModel.rates_from_encodings`), so estimates are bit-for-bit
+       identical no matter how pairs are batched together.
+
     Args:
         model: the (trained) CRN network.
-        featurizer: the featurizer bound to the evaluation database.
-        batch_size: how many pairs to push through the network per forward
-            pass in :meth:`estimate_containments`.
+        featurizer: the featurizer bound to the evaluation database.  Any
+            object with ``featurize`` / ``vector_size`` works, so a
+            :class:`repro.serving.FeaturizationCache` can be dropped in.
+        batch_size: pair-head slab size (rows per forward pass).
+        encoding_cache: optional cross-call ``(query, position) -> Qvec``
+            cache (:class:`repro.serving.EncodingCache`); when omitted,
+            encodings are still deduplicated within each call.
     """
 
     name = "CRN"
 
-    def __init__(self, model: CRNModel, featurizer: QueryFeaturizer, batch_size: int = 256) -> None:
+    def __init__(
+        self,
+        model: CRNModel,
+        featurizer: QueryFeaturizer,
+        batch_size: int = 256,
+        encoding_cache=None,
+    ) -> None:
         if model.vector_size != featurizer.vector_size:
             raise ValueError(
                 f"model expects vectors of size {model.vector_size}, "
                 f"featurizer produces {featurizer.vector_size}"
             )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.model = model
         self.featurizer = featurizer
         self.batch_size = batch_size
+        self.encoding_cache = encoding_cache
+        if encoding_cache is not None:
+            # Cached encodings are only valid for this model's weights.
+            bind = getattr(encoding_cache, "bind", None)
+            if bind is not None:
+                bind(model)
 
     def estimate_containment(self, first: Query, second: Query) -> float:
         return self.estimate_containments([(first, second)])[0]
 
     def estimate_containments(self, pairs) -> list[float]:
-        estimates: list[float] = []
-        for start in range(0, len(pairs), self.batch_size):
-            chunk = pairs[start : start + self.batch_size]
-            first_sets = [self.featurizer.featurize(first) for first, _ in chunk]
-            second_sets = [self.featurizer.featurize(second) for _, second in chunk]
-            first_batch, first_mask = self.featurizer.pad_sets(first_sets)
-            second_batch, second_mask = self.featurizer.pad_sets(second_sets)
-            with no_grad():
-                rates = self.model(
-                    Tensor(first_batch),
-                    Tensor(first_mask),
-                    Tensor(second_batch),
-                    Tensor(second_mask),
-                )
-            estimates.extend(float(rate) for rate in np.atleast_1d(rates.numpy()))
-        return estimates
+        if not pairs:
+            return []
+        encodings = self._encode_unique(pairs)
+        first_reprs = np.stack([encodings[(first, 1)] for first, _ in pairs])
+        second_reprs = np.stack([encodings[(second, 2)] for _, second in pairs])
+        rates = self.model.rates_from_encodings(
+            first_reprs, second_reprs, slab_size=self.batch_size
+        )
+        return [float(rate) for rate in rates]
+
+    def encode_query(self, query: Query, position: int) -> np.ndarray:
+        """The ``Qvec`` of ``query`` in pair slot ``position`` (cached if possible)."""
+        if self.encoding_cache is not None:
+            cached = self.encoding_cache.get(query, position)
+            if cached is not None:
+                return cached
+        encoding = self.model.encode_set(self.featurizer.featurize(query), position)
+        if self.encoding_cache is not None:
+            self.encoding_cache.put(query, position, encoding)
+        return encoding
+
+    def warm(self, queries) -> None:
+        """Pre-featurize and pre-encode ``queries`` for both pair slots.
+
+        With an :attr:`encoding_cache` attached this makes later requests pay
+        nothing for these queries (the serving layer warms the queries pool
+        this way); without one it is a no-op beyond validating the queries.
+        """
+        for query in queries:
+            self.encode_query(query, 1)
+            self.encode_query(query, 2)
+
+    def _encode_unique(self, pairs) -> dict[tuple[Query, int], np.ndarray]:
+        """Encode every unique (query, slot) of ``pairs`` exactly once.
+
+        Featurization is also deduplicated *across* the two slots: a query
+        appearing in both pair positions is featurized once and encoded twice.
+        """
+        encodings: dict[tuple[Query, int], np.ndarray] = {}
+        features: dict[Query, np.ndarray] = {}
+        for first, second in pairs:
+            for query, position in ((first, 1), (second, 2)):
+                key = (query, position)
+                if key in encodings:
+                    continue
+                if self.encoding_cache is not None:
+                    cached = self.encoding_cache.get(query, position)
+                    if cached is not None:
+                        encodings[key] = cached
+                        continue
+                if query not in features:
+                    features[query] = self.featurizer.featurize(query)
+                encoding = self.model.encode_set(features[query], position)
+                if self.encoding_cache is not None:
+                    self.encoding_cache.put(query, position, encoding)
+                encodings[key] = encoding
+        return encodings

@@ -24,13 +24,17 @@ from repro.evaluation.reporting import (
     format_error_table,
     format_join_distribution,
     format_per_join_table,
+    format_service_stats,
 )
 from repro.evaluation.timing import (
+    ServingTimedEvaluation,
     TimedEvaluation,
     format_pool_size_table,
+    format_serving_table,
     format_timing_table,
     time_estimator,
     time_estimators,
+    time_service,
 )
 
 __all__ = [
@@ -44,6 +48,7 @@ __all__ = [
     "PAPER_PROFILE",
     "PROFILES",
     "SMOKE_PROFILE",
+    "ServingTimedEvaluation",
     "TimedEvaluation",
     "boxplot_series",
     "format_boxplot_series",
@@ -52,10 +57,13 @@ __all__ = [
     "format_join_distribution",
     "format_per_join_table",
     "format_pool_size_table",
+    "format_service_stats",
+    "format_serving_table",
     "format_timing_table",
     "get_harness",
     "list_experiments",
     "run_experiment",
     "time_estimator",
     "time_estimators",
+    "time_service",
 ]

@@ -136,6 +136,48 @@ def format_convergence(history: Sequence[Mapping[str, float]], title: str = "") 
     return "\n".join(lines)
 
 
+#: ``stats_snapshot`` keys rendered by :func:`format_service_stats`, with label
+#: and formatting (rates as percentages, latency in ms, counters as integers).
+_SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
+    ("requests", "requests served", "{:.0f}"),
+    ("batches", "batches executed", "{:.0f}"),
+    ("planned_pairs", "pairs planned", "{:.0f}"),
+    ("scored_pairs", "pairs scored", "{:.0f}"),
+    ("deduplicated_pairs", "pairs deduplicated", "{:.0f}"),
+    ("fallbacks", "fallback answers", "{:.0f}"),
+    ("mean_latency_ms", "mean latency", "{:.2f}ms"),
+    ("throughput_qps", "throughput", "{:.0f} qps"),
+    ("featurization_hit_rate", "featurization hit rate", "{:.1%}"),
+    ("featurization_entries", "featurizations cached", "{:.0f}"),
+    ("encoding_hit_rate", "encoding hit rate", "{:.1%}"),
+    ("encoding_entries", "encodings cached", "{:.0f}"),
+)
+
+
+def format_service_stats(snapshot: Mapping[str, float], title: str = "") -> str:
+    """Render an estimation-service stats snapshot as fixed-width text.
+
+    Takes the plain dict produced by
+    :meth:`repro.serving.EstimationService.stats_snapshot` (keys absent from
+    the snapshot — e.g. cache rows when the service has no caches — are
+    skipped).
+    """
+    rows = [
+        (label, fmt.format(snapshot[key]))
+        for key, label, fmt in _SERVICE_STAT_ROWS
+        if key in snapshot
+    ]
+    extras = sorted(set(snapshot) - {key for key, _, _ in _SERVICE_STAT_ROWS})
+    rows.extend((key, f"{snapshot[key]:.2f}") for key in extras)
+    label_width = max([len(label) for label, _ in rows] + [0]) + 2
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        lines.append(label.ljust(label_width) + value.rjust(14))
+    return "\n".join(lines)
+
+
 def _format_cell(value: float, float_format: str) -> str:
     if value >= 1e6:
         return f"{value:.3g}"

@@ -1,0 +1,49 @@
+"""Online estimation serving: cross-request batching and featurization caching.
+
+The Cnt2Crd technique (Section 5) answers one query by scoring it against
+every matching pool query in both containment directions, so a deployment
+serving heavy traffic is dominated by redundant featurization and many small
+forward passes.  This package amortizes that work across requests:
+
+* :mod:`repro.serving.cache` -- :class:`FeaturizationCache` (query → feature
+  vectors, memoized once per pool query, ever) and :class:`EncodingCache`
+  (query → CRN ``Qvec`` per pair slot), both with LRU bounds and hit/miss
+  accounting.
+* :mod:`repro.serving.planner` -- :class:`BatchPlanner`, which flattens the
+  ``(Qnew, Qold)`` scoring pairs of many concurrent requests (both
+  directions) into one deduplicated pair list executed as a few large
+  fixed-shape forward passes.
+* :mod:`repro.serving.service` -- :class:`EstimationService`, the façade with
+  a named estimator registry, ``submit`` / ``submit_batch``, registry-level
+  fallback for :class:`repro.core.cnt2crd.NoMatchingPoolQueryError`, and
+  per-request latency / cache hit-rate statistics, plus the
+  :func:`build_crn_service` convenience constructor.
+
+Batched serving is exact: the CRN inference path encodes each query in
+isolation and runs the pair head in fixed-shape slabs
+(:meth:`repro.core.crn.CRNModel.rates_from_encodings`), so served estimates
+are bit-for-bit identical to the naive per-request loop.  See
+``docs/architecture.md`` and ``examples/serving_workflow.py``.
+"""
+
+from repro.serving.cache import CacheStats, EncodingCache, FeaturizationCache
+from repro.serving.planner import BatchPlan, BatchPlanner, RequestPlan
+from repro.serving.service import (
+    EstimationService,
+    ServedEstimate,
+    ServiceStats,
+    build_crn_service,
+)
+
+__all__ = [
+    "BatchPlan",
+    "BatchPlanner",
+    "CacheStats",
+    "EncodingCache",
+    "EstimationService",
+    "FeaturizationCache",
+    "RequestPlan",
+    "ServedEstimate",
+    "ServiceStats",
+    "build_crn_service",
+]

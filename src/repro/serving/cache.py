@@ -1,0 +1,228 @@
+"""Cross-request caches for the estimation service's featurization hot path.
+
+The Cnt2Crd technique scores one incoming query against *every* matching pool
+query in both containment directions, so under sustained traffic the same
+pool queries are featurized and encoded over and over.  Both stages are pure
+functions of the query (see :meth:`repro.core.crn.CRNModel.encode_set`), which
+makes them safely memoizable:
+
+* :class:`FeaturizationCache` memoizes the query → set-of-feature-vectors
+  step (:meth:`repro.core.featurization.QueryFeaturizer.featurize`);
+* :class:`EncodingCache` memoizes the featurized query → ``Qvec`` step of the
+  CRN set encoders, keyed by ``(query, pair slot)``.
+
+Queries are immutable and hash structurally (:mod:`repro.sql.query`), so the
+query itself is the cache key; :meth:`QueryFeaturizer.cache_key` additionally
+scopes keys to the database snapshot the featurizer is bound to.  Both caches
+keep LRU order and support a ``max_entries`` bound for long-running services.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.featurization import QueryFeaturizer
+from repro.sql.query import Query
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view for reports (:func:`repro.evaluation.format_service_stats`)."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _LRUStore:
+    """A tiny LRU map with shared stats accounting."""
+
+    def __init__(self, max_entries: int | None, stats: CacheStats) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        self._store: OrderedDict = OrderedDict()
+        self._max_entries = max_entries
+        self._stats = stats
+
+    def get(self, key):
+        if key in self._store:
+            self._stats.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self._stats.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self._max_entries is not None and len(self._store) > self._max_entries:
+            self._store.popitem(last=False)
+            self._stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+class FeaturizationCache:
+    """A memoizing drop-in replacement for :class:`QueryFeaturizer`.
+
+    Wraps a featurizer and caches :meth:`featurize` results per query, so a
+    pool query scored by thousands of requests is featurized once, ever.  The
+    read-side surface of the featurizer (``vector_size``, ``layout``,
+    ``pad_sets``, ``featurize_batch``, ``normalize_value``) is forwarded, so
+    the cache can be passed anywhere a featurizer is expected — in particular
+    to :class:`repro.core.crn.CRNEstimator`.
+
+    Args:
+        featurizer: the wrapped featurizer.
+        max_entries: optional LRU bound on cached queries (None = unbounded).
+    """
+
+    def __init__(self, featurizer: QueryFeaturizer, max_entries: int | None = None) -> None:
+        self.featurizer = featurizer
+        self.stats = CacheStats()
+        self._store = _LRUStore(max_entries, self.stats)
+
+    # ------------------------------------------------------------------ #
+    # cached featurization
+
+    def featurize(self, query: Query) -> np.ndarray:
+        """Memoized :meth:`QueryFeaturizer.featurize`."""
+        key = self.featurizer.cache_key(query)
+        cached = self._store.get(key)
+        if cached is not None:
+            return cached
+        features = self.featurizer.featurize(query)
+        self._store.put(key, features)
+        return features
+
+    def featurize_batch(self, queries: list[Query]) -> tuple[np.ndarray, np.ndarray]:
+        """Featurize (through the cache) and pad a batch of queries."""
+        return self.pad_sets([self.featurize(query) for query in queries])
+
+    def warm(self, queries) -> None:
+        """Featurize ``queries`` ahead of time (e.g. the whole queries pool)."""
+        for query in queries:
+            self.featurize(query)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all cached featurizations (keeps the stats)."""
+        self._store.clear()
+
+    # ------------------------------------------------------------------ #
+    # featurizer passthrough
+
+    @property
+    def vector_size(self) -> int:
+        """The wrapped featurizer's vector dimension ``L``."""
+        return self.featurizer.vector_size
+
+    @property
+    def layout(self):
+        """The wrapped featurizer's segment layout."""
+        return self.featurizer.layout
+
+    @property
+    def database(self):
+        """The database snapshot the wrapped featurizer is bound to."""
+        return self.featurizer.database
+
+    def pad_sets(self, sets: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Forwarded to :meth:`QueryFeaturizer.pad_sets`."""
+        return self.featurizer.pad_sets(sets)
+
+    def normalize_value(self, qualified_column: str, value: float) -> float:
+        """Forwarded to :meth:`QueryFeaturizer.normalize_value`."""
+        return self.featurizer.normalize_value(qualified_column, value)
+
+    def cache_key(self, query: Query):
+        """Forwarded to :meth:`QueryFeaturizer.cache_key`."""
+        return self.featurizer.cache_key(query)
+
+
+class EncodingCache:
+    """A ``(query, pair slot) -> Qvec`` cache for the CRN set encoders.
+
+    The CRN uses a different encoder per pair position (``MLP1`` / ``MLP2``),
+    so the slot is part of the key: a pool query serving as containment
+    source *and* target caches two encodings.  Entries are ``(H,)`` float64
+    arrays — a few hundred bytes each — so even a million cached queries fit
+    comfortably in memory.
+
+    Encodings are a function of the model's weights, so a cache is tied to
+    exactly one model: :class:`repro.core.crn.CRNEstimator` calls
+    :meth:`bind` on attach, and binding the same cache to a second model
+    raises instead of silently serving the first model's encodings.  Note
+    that binding tracks object identity only — retraining the bound model
+    *in place* invalidates the cached encodings, so call :meth:`clear`
+    after updating weights.
+
+    Args:
+        max_entries: optional LRU bound on cached encodings (None = unbounded).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        self.stats = CacheStats()
+        self._store = _LRUStore(max_entries, self.stats)
+        self._owner: object | None = None
+
+    def bind(self, owner: object) -> None:
+        """Tie this cache to the model producing its encodings."""
+        if self._owner is None:
+            self._owner = owner
+        elif self._owner is not owner:
+            raise ValueError(
+                "EncodingCache is already bound to a different model; encodings "
+                "are model-specific, use one cache per model"
+            )
+
+    def get(self, query: Query, position: int) -> np.ndarray | None:
+        """The cached encoding for ``(query, position)``, or None on a miss."""
+        return self._store.get((query, position))
+
+    def put(self, query: Query, position: int, encoding: np.ndarray) -> None:
+        """Record an encoding (evicting the least recently used if bounded)."""
+        self._store.put((query, position), encoding)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all cached encodings (keeps the stats)."""
+        self._store.clear()

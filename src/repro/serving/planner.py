@@ -1,0 +1,121 @@
+"""Cross-request batch planning for Cnt2Crd cardinality estimation.
+
+One Cnt2Crd request over a pool with ``E`` eligible entries needs ``2 * E``
+containment rates (both directions per entry).  Served naively, each request
+runs its own loop of small forward passes.  The :class:`BatchPlanner` instead
+flattens the scoring pairs of *many* concurrent requests into one deduplicated
+pair list, so the containment estimator sees a few large fixed-shape forward
+passes (:meth:`repro.core.crn.CRNModel.rates_from_encodings`) instead of one
+small batch per request.
+
+Deduplication matters under real traffic: identical queries arrive repeatedly,
+and every request against the same FROM signature scores the same pool-query
+side of each pair.  The plan keeps, per request, the indices of its pairs into
+the unique pair list, so rates are computed once and fanned back out.
+
+Planning is pure bookkeeping (no model calls): :meth:`BatchPlanner.plan`
+produces a :class:`BatchPlan`, and the :class:`repro.serving.EstimationService`
+executes it with one batched ``estimate_containments`` call followed by the
+estimator's own :meth:`repro.core.cnt2crd.Cnt2CrdEstimator.estimates_from_rates`
+/ :meth:`repro.core.cnt2crd.Cnt2CrdEstimator.collapse` steps — which is why
+served estimates are bit-for-bit identical to the per-request path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cnt2crd import Cnt2CrdEstimator
+from repro.core.queries_pool import PoolEntry
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class RequestPlan:
+    """The scoring work of one request inside a :class:`BatchPlan`.
+
+    Attributes:
+        index: the request's position in the submitted batch.
+        query: the incoming query.
+        has_match: whether the pool has entries sharing the query's FROM
+            clause (False routes the request to the fallback path).
+        entries: the eligible pool entries (positive cardinality).
+        pair_indices: for each of the ``2 * len(entries)`` containment pairs
+            (in :meth:`Cnt2CrdEstimator.containment_pairs` order), its index
+            into :attr:`BatchPlan.pairs`.
+    """
+
+    index: int
+    query: Query
+    has_match: bool
+    entries: tuple[PoolEntry, ...]
+    pair_indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """A deduplicated scoring plan for a batch of concurrent requests.
+
+    Attributes:
+        pairs: the unique ordered query pairs to score, in first-seen order.
+        requests: one :class:`RequestPlan` per submitted query, in order.
+        planned_pairs: total pair slots before deduplication.
+    """
+
+    pairs: tuple[tuple[Query, Query], ...]
+    requests: tuple[RequestPlan, ...]
+    planned_pairs: int
+
+    @property
+    def unique_pairs(self) -> int:
+        """Number of pairs actually sent to the containment estimator."""
+        return len(self.pairs)
+
+    @property
+    def deduplicated_pairs(self) -> int:
+        """Pair slots saved by cross-request deduplication."""
+        return self.planned_pairs - self.unique_pairs
+
+
+class BatchPlanner:
+    """Plans batched Cnt2Crd scoring for a :class:`Cnt2CrdEstimator`.
+
+    Args:
+        estimator: the Cnt2Crd estimator whose pool and eligibility rules the
+            plan follows.
+    """
+
+    def __init__(self, estimator: Cnt2CrdEstimator) -> None:
+        self.estimator = estimator
+
+    def plan(self, queries: Sequence[Query]) -> BatchPlan:
+        """Flatten the scoring pairs of ``queries`` into one deduplicated plan."""
+        pair_index: dict[tuple[Query, Query], int] = {}
+        pairs: list[tuple[Query, Query]] = []
+        requests: list[RequestPlan] = []
+        planned = 0
+        for index, query in enumerate(queries):
+            has_match = self.estimator.pool.has_match(query)
+            entries = tuple(self.estimator.eligible_entries(query)) if has_match else ()
+            indices: list[int] = []
+            for pair in self.estimator.containment_pairs(query, entries):
+                planned += 1
+                position = pair_index.get(pair)
+                if position is None:
+                    position = len(pairs)
+                    pair_index[pair] = position
+                    pairs.append(pair)
+                indices.append(position)
+            requests.append(
+                RequestPlan(
+                    index=index,
+                    query=query,
+                    has_match=has_match,
+                    entries=entries,
+                    pair_indices=tuple(indices),
+                )
+            )
+        return BatchPlan(
+            pairs=tuple(pairs), requests=tuple(requests), planned_pairs=planned
+        )

@@ -1,0 +1,387 @@
+"""The online cardinality-estimation service façade.
+
+:class:`EstimationService` is the piece that turns the paper's estimators into
+serving infrastructure: it owns a registry of named cardinality estimators
+(Cnt2Crd over CRN, improved baselines, plain baselines, ...), batches the
+Cnt2Crd scoring work of concurrent requests through the
+:class:`repro.serving.BatchPlanner`, shares the featurization / encoding
+caches across requests, and records per-request latency plus service-level
+hit-rate statistics (rendered by
+:func:`repro.evaluation.reporting.format_service_stats` and timed by
+:func:`repro.evaluation.timing.time_service`).
+
+The batched path is exact, not approximate: planning only deduplicates which
+ordered pairs are scored, and the rates flow back through the estimator's own
+:meth:`repro.core.cnt2crd.Cnt2CrdEstimator.estimates_from_rates` and
+:meth:`repro.core.cnt2crd.Cnt2CrdEstimator.collapse`, so a served estimate is
+bit-for-bit identical to calling ``estimate_cardinality`` per request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.cnt2crd import Cnt2CrdEstimator, NoMatchingPoolQueryError
+from repro.core.crn import CRNEstimator, CRNModel
+from repro.core.estimators import CardinalityEstimator
+from repro.core.featurization import QueryFeaturizer
+from repro.core.final_functions import FinalFunction
+from repro.core.queries_pool import QueriesPool
+from repro.serving.cache import EncodingCache, FeaturizationCache
+from repro.serving.planner import BatchPlanner, RequestPlan
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """One answered estimation request.
+
+    Attributes:
+        query: the estimated query.
+        estimate: the estimated cardinality.
+        estimator_name: the registry name that produced the estimate (the
+            fallback's name when the primary had no matching pool query).
+        latency_seconds: wall-clock time attributed to this request.  Exact
+            for :meth:`EstimationService.submit`; for batched submissions it
+            is the batch's elapsed time divided by the batch size.
+        pool_matches: eligible pool entries the query was scored against.
+        pairs_scored: containment pairs the request contributed to the plan.
+        used_fallback: True when the registry fallback answered the request.
+    """
+
+    query: Query
+    estimate: float
+    estimator_name: str
+    latency_seconds: float
+    pool_matches: int
+    pairs_scored: int
+    used_fallback: bool
+
+    @property
+    def latency_milliseconds(self) -> float:
+        """Attributed latency in milliseconds."""
+        return self.latency_seconds * 1000.0
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative service-level counters (reset with :meth:`reset`)."""
+
+    requests: int = 0
+    batches: int = 0
+    planned_pairs: int = 0
+    scored_pairs: int = 0
+    fallbacks: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def deduplicated_pairs(self) -> int:
+        """Pair computations avoided by cross-request planning."""
+        return self.planned_pairs - self.scored_pairs
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Average attributed per-request latency."""
+        if not self.requests:
+            return 0.0
+        return self.total_seconds / self.requests
+
+    @property
+    def throughput_qps(self) -> float:
+        """Requests served per second of service time."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.total_seconds
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.requests = 0
+        self.batches = 0
+        self.planned_pairs = 0
+        self.scored_pairs = 0
+        self.fallbacks = 0
+        self.total_seconds = 0.0
+
+
+class EstimationService:
+    """An online, batching, caching front-end over the paper's estimators.
+
+    Args:
+        fallback: optional registry name answering requests for which the
+            primary estimator raises :class:`NoMatchingPoolQueryError` (see
+            the recovery strategies in :mod:`repro.core.cnt2crd`).
+        featurization_cache: the cache shared by the registered estimators'
+            featurizers, reported in :meth:`stats_snapshot` (optional).
+        encoding_cache: the CRN encoding cache shared across requests,
+            reported in :meth:`stats_snapshot` (optional).
+    """
+
+    def __init__(
+        self,
+        fallback: str | None = None,
+        featurization_cache: FeaturizationCache | None = None,
+        encoding_cache: EncodingCache | None = None,
+    ) -> None:
+        self._registry: dict[str, CardinalityEstimator] = {}
+        self._default: str | None = None
+        self.fallback = fallback
+        self.featurization_cache = featurization_cache
+        self.encoding_cache = encoding_cache
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # registry
+
+    def register(
+        self, name: str, estimator: CardinalityEstimator, default: bool = False
+    ) -> None:
+        """Register ``estimator`` under ``name`` (first registration is the default)."""
+        if not name:
+            raise ValueError("estimator name must be non-empty")
+        self._registry[name] = estimator
+        if default or self._default is None:
+            self._default = name
+
+    def names(self) -> list[str]:
+        """All registered estimator names, in registration order."""
+        return list(self._registry)
+
+    @property
+    def default_estimator(self) -> str:
+        """The name served when a request does not pick an estimator."""
+        if self._default is None:
+            raise LookupError("no estimator registered")
+        return self._default
+
+    def get(self, name: str | None = None) -> CardinalityEstimator:
+        """The estimator registered under ``name`` (default when None)."""
+        chosen = name if name is not None else self.default_estimator
+        try:
+            return self._registry[chosen]
+        except KeyError:
+            raise KeyError(
+                f"unknown estimator {chosen!r}; registered: {sorted(self._registry)}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # serving
+
+    def submit(self, query: Query, estimator: str | None = None) -> ServedEstimate:
+        """Estimate one query (a batch of one)."""
+        return self.submit_batch([query], estimator=estimator)[0]
+
+    def submit_batch(
+        self, queries: Sequence[Query], estimator: str | None = None
+    ) -> list[ServedEstimate]:
+        """Estimate many concurrent requests with cross-request batching.
+
+        Cnt2Crd-family estimators are planned and scored as a few large
+        deduplicated forward passes; other estimators fall back to their own
+        per-query interface.  Requests the primary estimator cannot answer
+        (no matching pool query and no built-in fallback) are re-routed to the
+        registry :attr:`fallback` when one is configured.
+        """
+        if not queries:
+            return []
+        name = estimator if estimator is not None else self.default_estimator
+        chosen = self.get(name)
+        start = time.perf_counter()
+        if isinstance(chosen, Cnt2CrdEstimator):
+            served = self._submit_cnt2crd(queries, name, chosen)
+        else:
+            served = [
+                self._served(query, name, self._guarded_estimate(query, name, chosen))
+                for query in queries
+            ]
+        elapsed = time.perf_counter() - start
+        latency = elapsed / len(queries)
+        served = [replace(item, latency_seconds=latency) for item in served]
+        self.stats.requests += len(queries)
+        self.stats.batches += 1
+        self.stats.total_seconds += elapsed
+        self.stats.fallbacks += sum(1 for item in served if item.used_fallback)
+        return served
+
+    def warm(self, queries: Iterable[Query]) -> None:
+        """Pre-featurize and pre-encode ``queries`` (typically the whole pool).
+
+        Warming runs through the registered Cnt2Crd estimators' CRN-style
+        containment models (and the featurization cache directly), so steady
+        state — pool queries featurized once, ever — is reached before the
+        first request instead of during it.
+        """
+        queries = list(queries)
+        if self.featurization_cache is not None:
+            self.featurization_cache.warm(queries)
+        warmed: set[int] = set()
+        for estimator in self._registry.values():
+            if not isinstance(estimator, Cnt2CrdEstimator):
+                continue
+            containment = estimator.containment_estimator
+            if isinstance(containment, CRNEstimator) and id(containment) not in warmed:
+                containment.warm(queries)
+                warmed.add(id(containment))
+
+    def stats_snapshot(self) -> dict[str, float]:
+        """Service counters plus cache hit rates, ready for reporting."""
+        snapshot: dict[str, float] = {
+            "requests": float(self.stats.requests),
+            "batches": float(self.stats.batches),
+            "planned_pairs": float(self.stats.planned_pairs),
+            "scored_pairs": float(self.stats.scored_pairs),
+            "deduplicated_pairs": float(self.stats.deduplicated_pairs),
+            "fallbacks": float(self.stats.fallbacks),
+            "mean_latency_ms": self.stats.mean_latency_seconds * 1000.0,
+            "throughput_qps": self.stats.throughput_qps,
+        }
+        if self.featurization_cache is not None:
+            snapshot["featurization_hit_rate"] = self.featurization_cache.stats.hit_rate
+            snapshot["featurization_entries"] = float(len(self.featurization_cache))
+        if self.encoding_cache is not None:
+            snapshot["encoding_hit_rate"] = self.encoding_cache.stats.hit_rate
+            snapshot["encoding_entries"] = float(len(self.encoding_cache))
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _submit_cnt2crd(
+        self, queries: Sequence[Query], name: str, estimator: Cnt2CrdEstimator
+    ) -> list[ServedEstimate]:
+        plan = BatchPlanner(estimator).plan(queries)
+        rates = (
+            estimator.containment_estimator.estimate_containments(list(plan.pairs))
+            if plan.pairs
+            else []
+        )
+        served = [
+            self._answer_request(request, name, estimator, rates)
+            for request in plan.requests
+        ]
+        # Stats only count completed batches: when a request with no fallback
+        # raises above, the counters stay consistent with requests/batches.
+        self.stats.planned_pairs += plan.planned_pairs
+        self.stats.scored_pairs += plan.unique_pairs
+        return served
+
+    def _answer_request(
+        self,
+        request: RequestPlan,
+        name: str,
+        estimator: Cnt2CrdEstimator,
+        rates: Sequence[float],
+    ) -> ServedEstimate:
+        if not request.has_match:
+            try:
+                value = estimator.fallback_estimate(request.query)
+                return self._served(request.query, name, (value, False))
+            except NoMatchingPoolQueryError:
+                return self._served(
+                    request.query, name, self._registry_fallback(request.query, name)
+                )
+        request_rates = [rates[index] for index in request.pair_indices]
+        estimates = estimator.estimates_from_rates(
+            request.query, list(request.entries), request_rates
+        )
+        value = estimator.collapse(estimates)
+        return ServedEstimate(
+            query=request.query,
+            estimate=value,
+            estimator_name=name,
+            latency_seconds=0.0,
+            pool_matches=len(request.entries),
+            pairs_scored=len(request.pair_indices),
+            used_fallback=False,
+        )
+
+    def _guarded_estimate(
+        self, query: Query, name: str, estimator: CardinalityEstimator
+    ) -> tuple[float, bool]:
+        try:
+            return estimator.estimate_cardinality(query), False
+        except NoMatchingPoolQueryError:
+            return self._registry_fallback(query, name)
+
+    def _registry_fallback(self, query: Query, failed: str) -> tuple[float, bool]:
+        if self.fallback is None or self.fallback == failed:
+            raise NoMatchingPoolQueryError(
+                f"estimator {failed!r} has no matching pool query for "
+                f"{query.from_signature()} and the service has no fallback estimator"
+            )
+        return self.get(self.fallback).estimate_cardinality(query), True
+
+    def _served(
+        self, query: Query, name: str, outcome: tuple[float, bool]
+    ) -> ServedEstimate:
+        value, used_fallback = outcome
+        return ServedEstimate(
+            query=query,
+            estimate=value,
+            estimator_name=self.fallback if used_fallback else name,
+            latency_seconds=0.0,
+            pool_matches=0,
+            pairs_scored=0,
+            used_fallback=used_fallback,
+        )
+
+
+def build_crn_service(
+    model: CRNModel,
+    featurizer: QueryFeaturizer,
+    pool: QueriesPool,
+    final_function: str | FinalFunction = "median",
+    epsilon: float = 1e-3,
+    batch_size: int = 256,
+    fallback_estimator: CardinalityEstimator | None = None,
+    extra_estimators: Mapping[str, CardinalityEstimator] | None = None,
+    max_cache_entries: int | None = None,
+    warm_pool: bool = True,
+) -> EstimationService:
+    """Wire a ready-to-serve CRN-backed estimation service.
+
+    Builds the featurization and encoding caches, a cache-aware
+    :class:`CRNEstimator`, the :class:`Cnt2CrdEstimator` on top, registers it
+    as ``"crn"`` (the default), optionally registers ``fallback_estimator`` as
+    ``"fallback"`` plus any ``extra_estimators``, and pre-warms the caches
+    with the queries pool so pool queries are featurized once, ever.
+
+    Args:
+        model: a (trained) CRN network.
+        featurizer: the featurizer bound to the serving database snapshot.
+        pool: the queries pool backing the Cnt2Crd technique.
+        final_function: the Cnt2Crd final function ``F``.
+        epsilon: the Cnt2Crd ``y_rate`` guard threshold.
+        batch_size: pair-head slab size for the batched forward passes.
+        fallback_estimator: answers requests with no matching pool query.
+        extra_estimators: additional registry entries (e.g. improved models).
+        max_cache_entries: optional LRU bound for both caches.
+        warm_pool: pre-featurize/encode all pool queries up front.
+    """
+    featurization_cache = FeaturizationCache(featurizer, max_entries=max_cache_entries)
+    # The encoding cache holds two entries per query (one per pair slot), so
+    # a bound sized for N queries must admit 2N encodings or warming the pool
+    # would immediately evict half of it.
+    encoding_cache = EncodingCache(
+        max_entries=2 * max_cache_entries if max_cache_entries is not None else None
+    )
+    crn = CRNEstimator(
+        model, featurization_cache, batch_size=batch_size, encoding_cache=encoding_cache
+    )
+    cnt2crd = Cnt2CrdEstimator(
+        crn, pool, final_function=final_function, epsilon=epsilon
+    )
+    service = EstimationService(
+        fallback="fallback" if fallback_estimator is not None else None,
+        featurization_cache=featurization_cache,
+        encoding_cache=encoding_cache,
+    )
+    service.register("crn", cnt2crd, default=True)
+    if fallback_estimator is not None:
+        service.register("fallback", fallback_estimator)
+    for name, estimator in (extra_estimators or {}).items():
+        service.register(name, estimator)
+    if warm_pool:
+        service.warm(entry.query for entry in pool)
+    return service

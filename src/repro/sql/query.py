@@ -187,6 +187,11 @@ class Query:
         object.__setattr__(self, "tables", tables)
         object.__setattr__(self, "joins", joins)
         object.__setattr__(self, "predicates", predicates)
+        # Queries are used as dictionary keys on hot paths (featurization /
+        # encoding caches, batch planning), where recomputing the recursive
+        # clause-tuple hash on every lookup dominates; hash once at
+        # construction -- all fields are immutable.
+        object.__setattr__(self, "_hash", hash((tables, joins, predicates)))
         known_aliases = set(aliases)
         for join in joins:
             if join.left_alias not in known_aliases or join.right_alias not in known_aliases:
@@ -196,6 +201,9 @@ class Query:
                 raise ValueError(
                     f"predicate {predicate} references an alias outside the FROM clause"
                 )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def create(

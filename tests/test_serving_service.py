@@ -1,0 +1,305 @@
+"""Tests for the online estimation service (caches, batch planner, registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import (
+    Cnt2CrdEstimator,
+    CRNConfig,
+    CRNEstimator,
+    CRNModel,
+    NoMatchingPoolQueryError,
+    QueriesPool,
+)
+from repro.datasets import build_queries_pool_queries
+from repro.serving import (
+    BatchPlanner,
+    EncodingCache,
+    EstimationService,
+    FeaturizationCache,
+    build_crn_service,
+)
+from repro.sql.builder import QueryBuilder
+
+
+@pytest.fixture(scope="module")
+def pool(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=80, seed=17, oracle=imdb_oracle)
+    return QueriesPool.from_labeled_queries(labeled)
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=40, seed=23, oracle=imdb_oracle)
+    return [item.query for item in labeled]
+
+
+@pytest.fixture(scope="module")
+def model(imdb_featurizer):
+    return CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=5))
+
+
+def build_service(model, imdb_small, imdb_featurizer, pool, **kwargs):
+    return build_crn_service(
+        model,
+        imdb_featurizer,
+        pool,
+        fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+        **kwargs,
+    )
+
+
+class TestFeaturizationCache:
+    def test_hit_miss_accounting(self, imdb_featurizer, workload):
+        cache = FeaturizationCache(imdb_featurizer)
+        first = cache.featurize(workload[0])
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        again = cache.featurize(workload[0])
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert again is first  # memoized, not recomputed
+        np.testing.assert_array_equal(first, imdb_featurizer.featurize(workload[0]))
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self, imdb_featurizer, workload):
+        cache = FeaturizationCache(imdb_featurizer, max_entries=2)
+        cache.featurize(workload[0])
+        cache.featurize(workload[1])
+        cache.featurize(workload[2])  # evicts workload[0]
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.featurize(workload[0])
+        assert cache.stats.misses == 4  # re-featurized after eviction
+
+    def test_passthrough_surface(self, imdb_featurizer, workload):
+        cache = FeaturizationCache(imdb_featurizer)
+        assert cache.vector_size == imdb_featurizer.vector_size
+        assert cache.layout is imdb_featurizer.layout
+        batch, mask = cache.featurize_batch(workload[:3])
+        expected_batch, expected_mask = imdb_featurizer.featurize_batch(workload[:3])
+        np.testing.assert_array_equal(batch, expected_batch)
+        np.testing.assert_array_equal(mask, expected_mask)
+
+    def test_cache_key_scopes_to_featurizer_fingerprint(self, imdb_featurizer, workload):
+        key = imdb_featurizer.cache_key(workload[0])
+        assert key == (imdb_featurizer.fingerprint, workload[0])
+        assert hash(key)  # usable as a dict key
+
+
+class TestEncodingCache:
+    def test_position_is_part_of_the_key(self, model, imdb_featurizer, workload):
+        cache = EncodingCache()
+        estimator = CRNEstimator(model, imdb_featurizer, encoding_cache=cache)
+        first = estimator.encode_query(workload[0], 1)
+        second = estimator.encode_query(workload[0], 2)
+        assert len(cache) == 2
+        assert not np.array_equal(first, second)  # MLP1 vs MLP2
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        assert estimator.encode_query(workload[0], 1) is first
+        assert cache.stats.hits == 1
+
+    def test_cache_rejects_a_second_model(self, model, imdb_featurizer):
+        cache = EncodingCache()
+        CRNEstimator(model, imdb_featurizer, encoding_cache=cache)
+        other = CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=99))
+        with pytest.raises(ValueError, match="already bound"):
+            CRNEstimator(other, imdb_featurizer, encoding_cache=cache)
+
+    def test_featurization_deduplicated_within_call_without_cache(
+        self, model, imdb_featurizer, workload
+    ):
+        calls = []
+        original = imdb_featurizer.featurize
+
+        class CountingFeaturizer:
+            vector_size = imdb_featurizer.vector_size
+
+            def featurize(self, query):
+                calls.append(query)
+                return original(query)
+
+        estimator = CRNEstimator(model, CountingFeaturizer())
+        query, other = workload[0], workload[1]
+        # query appears in both slots of many pairs, spanning several chunks.
+        pairs = [(query, other), (other, query), (query, query)] * 200
+        estimator.batch_size = 64
+        estimator.estimate_containments(pairs)
+        assert len(calls) == 2  # one featurization per unique query, whole call
+
+
+class TestBatchPlanner:
+    def test_plan_deduplicates_across_requests(self, model, imdb_featurizer, pool, workload):
+        estimator = Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool)
+        planner = BatchPlanner(estimator)
+        single = planner.plan([workload[0]])
+        doubled = planner.plan([workload[0], workload[0]])
+        assert doubled.planned_pairs == 2 * single.planned_pairs
+        assert doubled.unique_pairs == single.unique_pairs
+        # The second copy's pairs are all duplicates of the first's.
+        assert doubled.deduplicated_pairs == single.deduplicated_pairs + single.planned_pairs
+
+    def test_plan_covers_every_eligible_entry_twice(self, model, imdb_featurizer, pool, workload):
+        estimator = Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool)
+        plan = BatchPlanner(estimator).plan(workload[:5])
+        for request in plan.requests:
+            assert len(request.pair_indices) == 2 * len(request.entries)
+            for offset, entry in enumerate(request.entries):
+                x_pair = plan.pairs[request.pair_indices[2 * offset]]
+                y_pair = plan.pairs[request.pair_indices[2 * offset + 1]]
+                assert x_pair == (entry.query, request.query)
+                assert y_pair == (request.query, entry.query)
+
+    def test_served_estimates_match_naive_path_bit_for_bit(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        # The naive path: a fresh, cache-less estimator answering one request
+        # at a time, exactly as today's Cnt2CrdEstimator would be called.
+        naive = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer),
+            pool,
+            fallback=PostgresCardinalityEstimator(imdb_small),
+        )
+        naive_estimates = [naive.estimate_cardinality(query) for query in workload]
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        served = service.submit_batch(workload)
+        assert [item.estimate for item in served] == naive_estimates
+
+    def test_single_submit_matches_batched_submit_bit_for_bit(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        batched = [item.estimate for item in service.submit_batch(workload)]
+        singles = [service.submit(query).estimate for query in workload]
+        assert singles == batched
+
+
+class TestEstimationService:
+    def test_registry_default_and_unknown_name(self, model, imdb_small, imdb_featurizer, pool):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        assert service.default_estimator == "crn"
+        assert set(service.names()) == {"crn", "fallback"}
+        with pytest.raises(KeyError, match="unknown estimator"):
+            service.get("mscn")
+
+    def test_registry_fallback_on_no_matching_pool_query(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        # The generator only joins fact tables through title, so a FROM
+        # clause of two fact tables without title never appears in the pool.
+        unmatched = (
+            QueryBuilder()
+            .table("movie_companies", "mc")
+            .table("movie_keyword", "mk")
+            .build()
+        )
+        assert not pool.has_match(unmatched)
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        served = service.submit(unmatched)
+        postgres = PostgresCardinalityEstimator(imdb_small)
+        assert served.used_fallback
+        assert served.estimator_name == "fallback"
+        assert served.estimate == postgres.estimate_cardinality(unmatched)
+        assert service.stats.fallbacks == 1
+
+    def test_no_fallback_raises(self, model, imdb_featurizer, pool):
+        unmatched = (
+            QueryBuilder()
+            .table("movie_companies", "mc")
+            .table("movie_keyword", "mk")
+            .build()
+        )
+        service = EstimationService()
+        service.register(
+            "crn", Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool)
+        )
+        with pytest.raises(NoMatchingPoolQueryError):
+            service.submit(unmatched)
+
+    def test_failed_batch_leaves_stats_consistent(self, model, imdb_featurizer, pool, workload):
+        unmatched = (
+            QueryBuilder()
+            .table("movie_companies", "mc")
+            .table("movie_keyword", "mk")
+            .build()
+        )
+        service = EstimationService()
+        service.register(
+            "crn", Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool)
+        )
+        with pytest.raises(NoMatchingPoolQueryError):
+            service.submit_batch([workload[0], unmatched])
+        # The aborted batch must not leave pair work attributed to zero requests.
+        assert service.stats.requests == 0
+        assert service.stats.batches == 0
+        assert service.stats.planned_pairs == 0
+        assert service.stats.scored_pairs == 0
+
+    def test_bounded_service_cache_admits_two_encodings_per_query(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        service = build_service(
+            model, imdb_small, imdb_featurizer, pool, max_cache_entries=len(pool)
+        )
+        # Warming inserts one encoding per pair slot per pool query; a bound
+        # sized to the pool must not evict half of what it just warmed.
+        assert len(service.encoding_cache) == 2 * len(pool)
+        assert service.encoding_cache.stats.evictions == 0
+
+    def test_non_cnt2crd_estimators_are_served_per_query(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        postgres = PostgresCardinalityEstimator(imdb_small)
+        served = service.submit_batch(workload[:5], estimator="fallback")
+        assert [item.estimate for item in served] == [
+            postgres.estimate_cardinality(query) for query in workload[:5]
+        ]
+        assert all(item.estimator_name == "fallback" for item in served)
+        assert not any(item.used_fallback for item in served)
+
+    def test_stats_and_snapshot_accounting(self, model, imdb_small, imdb_featurizer, pool, workload):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        service.submit_batch(workload)
+        snapshot = service.stats_snapshot()
+        assert snapshot["requests"] == len(workload)
+        assert snapshot["batches"] == 1
+        assert snapshot["scored_pairs"] <= snapshot["planned_pairs"]
+        # The pool was warmed at build time, so every pool-side encoding hits.
+        assert snapshot["encoding_hit_rate"] > 0.0
+        assert snapshot["featurization_entries"] >= len(pool)
+        served_again = service.submit_batch(workload)
+        assert service.stats.batches == 2
+        assert served_again[0].latency_seconds > 0.0
+
+    def test_warm_pool_featurizes_pool_once_ever(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        misses_after_warm = service.featurization_cache.stats.misses
+        service.submit_batch(workload)
+        service.submit_batch(workload)
+        pool_queries = {entry.query for entry in pool}
+        new_misses = service.featurization_cache.stats.misses - misses_after_warm
+        # Only never-seen incoming queries miss; pool queries never miss again.
+        assert new_misses <= len({q for q in workload if q not in pool_queries})
+
+
+class TestServingMetrics:
+    def test_time_service_and_tables(self, model, imdb_small, imdb_featurizer, pool, imdb_oracle):
+        from repro.evaluation import format_service_stats, format_serving_table, time_service
+
+        labeled = build_queries_pool_queries(
+            imdb_small, count=20, seed=31, oracle=imdb_oracle
+        )
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        timed = time_service(service, labeled, batch_size=8)
+        assert timed.name == "crn"
+        assert timed.mean_latency_seconds > 0.0
+        assert timed.throughput_qps > 0.0
+        assert 0.0 <= timed.featurization_hit_rate <= 1.0
+        table = format_serving_table({"batched+cached": timed}, title="serving")
+        assert "batched+cached" in table and "qps" in table
+        stats_text = format_service_stats(service.stats_snapshot(), title="service stats")
+        assert "requests served" in stats_text and "hit rate" in stats_text
