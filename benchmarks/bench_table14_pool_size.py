@@ -1,8 +1,16 @@
 """Table 14: accuracy and prediction time vs queries-pool size.
 
 Sweeps the queries-pool size and reports median/mean q-error together
-with the average per-query prediction time.
+with the average per-query prediction time.  Also asserts that building a
+pool scales linearly in its size: the sweep (and any production pool)
+concentrates many entries on few FROM signatures, the regime where the old
+linear-scan dedup in ``QueriesPool.add`` degraded to O(n^2).
 """
+
+import time
+
+from repro.core.queries_pool import QueriesPool
+from repro.sql.builder import QueryBuilder
 
 
 def test_table14_pool_size(run_and_record):
@@ -10,3 +18,31 @@ def test_table14_pool_size(run_and_record):
     assert report.experiment_id == "table14_pool_size"
     assert report.text.strip()
     assert "rows" in report.data
+
+
+def test_pool_construction_scales_linearly():
+    # 20k single-signature entries: the old per-bucket linear scan needed
+    # ~2e8 Query comparisons here (tens of seconds); keyed buckets do one
+    # hash insert per entry and finish in milliseconds.  The generous wall
+    # bound keeps the assertion meaningful without being timing-flaky.
+    entries = [
+        (
+            QueryBuilder()
+            .table("title", "t")
+            .where("t.production_year", ">", 1000 + index)
+            .build(),
+            index,
+        )
+        for index in range(20_000)
+    ]
+    start = time.perf_counter()
+    pool = QueriesPool()
+    for query, cardinality in entries:
+        pool.add(query, cardinality)
+    elapsed = time.perf_counter() - start
+    assert len(pool) == len(entries)
+    assert len(pool.from_signatures()) == 1
+    assert elapsed < 2.0, (
+        f"building a 20k-entry single-signature pool took {elapsed:.2f}s; "
+        "QueriesPool.add has regressed to a per-bucket linear scan"
+    )

@@ -8,7 +8,10 @@ pool) and industrializes the last step:
    fallback, and an improved-PostgreSQL registry entry;
 2. serve a burst of concurrent requests in one batched submission;
 3. show that batching/caching did not change a single bit of any estimate;
-4. print the serving metrics (latency, throughput, cache hit rates).
+4. print the serving metrics (latency, throughput, cache hit rates);
+5. serve the same traffic from many client *threads* through the
+   request-coalescing :class:`repro.serving.ServingDispatcher`, hot-swap an
+   estimator mid-traffic, and print the concurrency metrics.
 
 Run with::
 
@@ -16,6 +19,8 @@ Run with::
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.baselines import PostgresCardinalityEstimator
 from repro.core import (
@@ -36,7 +41,7 @@ from repro.datasets import (
 )
 from repro.db import TrueCardinalityOracle
 from repro.evaluation import format_service_stats, format_serving_table, time_service
-from repro.serving import build_crn_service
+from repro.serving import ServingDispatcher, build_crn_service
 
 
 def main() -> None:
@@ -97,6 +102,40 @@ def main() -> None:
     print(format_serving_table(timings, title="serving paths (batches of 25)"))
     print()
     print(format_service_stats(service.stats_snapshot(), title="service stats"))
+
+    # 5. Concurrent clients: many threads submit through the coalescing
+    #    dispatcher; a hot swap mid-traffic re-routes new requests without
+    #    dropping in-flight ones.
+    print("\nServing from 8 client threads through the dispatcher ...")
+    with ServingDispatcher(service, max_batch=64, max_wait_ms=2.0) as dispatcher:
+
+        def client(share):
+            for future in [dispatcher.submit(query) for query in share]:
+                future.result()
+
+        threads = [
+            threading.Thread(target=client, args=(queries[i::8],)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        # Zero-downtime update while the clients are submitting: in-flight
+        # requests finish on the old estimator object, new ones see the
+        # replacement.
+        service.replace("improved-postgres", improve(postgres, pool))
+        for thread in threads:
+            thread.join()
+        coalesced = dispatcher.estimate(queries[0])
+        print(
+            f"coalesced request: estimate {coalesced.estimate:,.0f}, "
+            f"identical to batched path: {coalesced.estimate == served[0].estimate}"
+        )
+        print()
+        print(
+            format_service_stats(
+                {**service.stats_snapshot(), **dispatcher.stats.snapshot()},
+                title="service + dispatcher stats",
+            )
+        )
 
 
 if __name__ == "__main__":

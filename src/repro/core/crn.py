@@ -300,6 +300,17 @@ class CRNEstimator(ContainmentEstimator):
     def estimate_containment(self, first: Query, second: Query) -> float:
         return self.estimate_containments([(first, second)])[0]
 
+    def _encoding_scope(self):
+        """The database-snapshot scope baked into encoding-cache keys.
+
+        Encodings are a function of the *featurized* query, and featurization
+        depends on the snapshot the featurizer is bound to (one-hot layout,
+        normalization ranges).  Reading the fingerprint at call time means a
+        featurizer rebound after a database update immediately stops matching
+        the old snapshot's cached encodings instead of serving them stale.
+        """
+        return getattr(self.featurizer, "fingerprint", None)
+
     def estimate_containments(self, pairs) -> list[float]:
         if not pairs:
             return []
@@ -313,13 +324,14 @@ class CRNEstimator(ContainmentEstimator):
 
     def encode_query(self, query: Query, position: int) -> np.ndarray:
         """The ``Qvec`` of ``query`` in pair slot ``position`` (cached if possible)."""
+        scope = self._encoding_scope()
         if self.encoding_cache is not None:
-            cached = self.encoding_cache.get(query, position)
+            cached = self.encoding_cache.get(query, position, scope=scope)
             if cached is not None:
                 return cached
         encoding = self.model.encode_set(self.featurizer.featurize(query), position)
         if self.encoding_cache is not None:
-            self.encoding_cache.put(query, position, encoding)
+            self.encoding_cache.put(query, position, encoding, scope=scope)
         return encoding
 
     def warm(self, queries) -> None:
@@ -339,6 +351,7 @@ class CRNEstimator(ContainmentEstimator):
         Featurization is also deduplicated *across* the two slots: a query
         appearing in both pair positions is featurized once and encoded twice.
         """
+        scope = self._encoding_scope()
         encodings: dict[tuple[Query, int], np.ndarray] = {}
         features: dict[Query, np.ndarray] = {}
         for first, second in pairs:
@@ -347,7 +360,7 @@ class CRNEstimator(ContainmentEstimator):
                 if key in encodings:
                     continue
                 if self.encoding_cache is not None:
-                    cached = self.encoding_cache.get(query, position)
+                    cached = self.encoding_cache.get(query, position, scope=scope)
                     if cached is not None:
                         encodings[key] = cached
                         continue
@@ -355,6 +368,6 @@ class CRNEstimator(ContainmentEstimator):
                     features[query] = self.featurizer.featurize(query)
                 encoding = self.model.encode_set(features[query], position)
                 if self.encoding_cache is not None:
-                    self.encoding_cache.put(query, position, encoding)
+                    self.encoding_cache.put(query, position, encoding, scope=scope)
                 encodings[key] = encoding
         return encodings

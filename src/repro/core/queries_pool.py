@@ -4,10 +4,24 @@ The pool stores previously executed queries together with their actual
 cardinalities (not their results) as part of the database's meta information.
 It is indexed by FROM-clause signature because the Cnt2Crd technique only
 matches a new query with old queries sharing its FROM clause.
+
+Each FROM-signature bucket is internally keyed by query (queries are
+immutable and hash structurally), so recording an executed query —
+including the re-add-updates-cardinality case — is O(1) instead of a linear
+scan of the bucket.  That keeps pool construction linear in the number of
+entries even when one FROM signature dominates, which is exactly the regime
+the paper's Table 14 pool-size sweep (and any production pool) runs in.
+
+The pool is also safe to mutate while serving: every operation holds a
+per-pool lock, and the read side (:meth:`matching_entries`, iteration,
+:meth:`subset`) works on consistent snapshots, so
+:meth:`add` can record freshly executed queries concurrently with the
+serving layer's batch planning (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -33,8 +47,11 @@ class QueriesPool:
     """A FROM-clause-indexed pool of executed queries with known cardinalities."""
 
     def __init__(self, entries: Iterable[PoolEntry] = ()) -> None:
-        self._by_from: dict[tuple[tuple[str, str], ...], list[PoolEntry]] = {}
+        # FROM signature -> {query -> entry}; the inner dict gives O(1)
+        # dedup/update and preserves insertion order like the old list did.
+        self._by_from: dict[tuple[tuple[str, str], ...], dict[Query, PoolEntry]] = {}
         self._size = 0
+        self._lock = threading.Lock()
         for entry in entries:
             self.add(entry.query, entry.cardinality)
 
@@ -65,38 +82,47 @@ class QueriesPool:
         """Record an executed query with its actual cardinality.
 
         Re-adding an identical query updates its cardinality instead of
-        duplicating it.
+        duplicating it.  Safe to call while the pool is serving requests:
+        concurrent readers see either the pool before or after this entry,
+        never a partial state.
         """
+        entry = PoolEntry(query, cardinality)
         signature = query.from_signature()
-        bucket = self._by_from.setdefault(signature, [])
-        for index, entry in enumerate(bucket):
-            if entry.query == query:
-                bucket[index] = PoolEntry(query, cardinality)
-                return
-        bucket.append(PoolEntry(query, cardinality))
-        self._size += 1
+        with self._lock:
+            bucket = self._by_from.setdefault(signature, {})
+            if query not in bucket:
+                self._size += 1
+            bucket[query] = entry
 
     # ------------------------------------------------------------------ #
     # lookup
 
     def matching_entries(self, query: Query) -> list[PoolEntry]:
         """All pool entries whose FROM clause matches ``query``'s FROM clause."""
-        return list(self._by_from.get(query.from_signature(), ()))
+        with self._lock:
+            bucket = self._by_from.get(query.from_signature())
+            return list(bucket.values()) if bucket else []
 
     def has_match(self, query: Query) -> bool:
         """Whether at least one pool entry shares ``query``'s FROM clause."""
-        return bool(self._by_from.get(query.from_signature()))
+        with self._lock:
+            return bool(self._by_from.get(query.from_signature()))
 
     def __len__(self) -> int:
-        return self._size
+        with self._lock:
+            return self._size
 
     def __iter__(self) -> Iterator[PoolEntry]:
-        for bucket in self._by_from.values():
-            yield from bucket
+        with self._lock:
+            snapshot = [
+                entry for bucket in self._by_from.values() for entry in bucket.values()
+            ]
+        return iter(snapshot)
 
     def from_signatures(self) -> list[tuple[tuple[str, str], ...]]:
         """All distinct FROM-clause signatures present in the pool."""
-        return list(self._by_from)
+        with self._lock:
+            return list(self._by_from)
 
     def subset(self, size: int) -> "QueriesPool":
         """Return a smaller pool with roughly ``size`` entries.
@@ -107,9 +133,11 @@ class QueriesPool:
         """
         if size <= 0:
             raise ValueError("subset size must be positive")
-        if size >= len(self):
-            return QueriesPool(iter(self))
-        buckets = [list(bucket) for bucket in self._by_from.values()]
+        with self._lock:
+            buckets = [list(bucket.values()) for bucket in self._by_from.values()]
+            total = self._size
+        if size >= total:
+            return QueriesPool(entry for bucket in buckets for entry in bucket)
         selected: list[PoolEntry] = []
         round_index = 0
         while len(selected) < size:

@@ -212,7 +212,9 @@ def train_crn(
     return result
 
 
-def evaluate_mean_q_error(model: CRNModel, data: _FeaturizedPairs, epsilon: float = 1e-6) -> float:
+def evaluate_mean_q_error(
+    model: CRNModel, data: _FeaturizedPairs, epsilon: float | None = None
+) -> float:
     """Geometric-mean q-error of ``model`` over a featurized pair set.
 
     The geometric mean (``exp`` of the mean absolute log ratio) is the
@@ -220,7 +222,13 @@ def evaluate_mean_q_error(model: CRNModel, data: _FeaturizedPairs, epsilon: floa
     is not dominated by the handful of clamped zero-rate pairs, so it tracks
     the optimisation objective.  The evaluation tables still report the
     paper's arithmetic mean / percentiles via :mod:`repro.core.metrics`.
+
+    ``epsilon`` defaults to :attr:`TrainingConfig.loss_epsilon` so that
+    evaluation agrees with the train-time metric on zero-rate pairs (see
+    :func:`evaluate_pairs_q_error` for why the two must share one floor).
     """
+    if epsilon is None:
+        epsilon = TrainingConfig.loss_epsilon
     with no_grad():
         predictions = model(
             Tensor(data.first), Tensor(data.first_mask), Tensor(data.second), Tensor(data.second_mask)
@@ -230,9 +238,25 @@ def evaluate_mean_q_error(model: CRNModel, data: _FeaturizedPairs, epsilon: floa
 
 
 def evaluate_pairs_q_error(
-    estimator: CRNEstimator, pairs: Sequence[QueryPair], epsilon: float = 1e-6
+    estimator: CRNEstimator,
+    pairs: Sequence[QueryPair],
+    epsilon: float | None = None,
+    training_config: TrainingConfig | None = None,
 ) -> np.ndarray:
-    """Per-pair q-errors of a CRN estimator on labelled pairs."""
+    """Per-pair q-errors of a CRN estimator on labelled pairs.
+
+    The zero-rate floor must match the one used during training: a
+    substantial share of generated pairs has a true rate of exactly 0, so a
+    smaller evaluation epsilon would report systematically larger q-errors
+    on those pairs than the validation metric that drove early stopping —
+    the numbers would disagree for no modelling reason.  Pass the run's
+    ``training_config`` (its :attr:`TrainingConfig.loss_epsilon` is used) or
+    an explicit ``epsilon``; by default the shared
+    :attr:`TrainingConfig.loss_epsilon` default applies everywhere.
+    """
+    if epsilon is None:
+        config = training_config or TrainingConfig()
+        epsilon = config.loss_epsilon
     estimates = estimator.estimate_containments([(pair.first, pair.second) for pair in pairs])
     truths = [pair.containment_rate for pair in pairs]
     return q_errors(estimates, truths, epsilon=epsilon)

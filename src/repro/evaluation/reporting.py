@@ -138,6 +138,9 @@ def format_convergence(history: Sequence[Mapping[str, float]], title: str = "") 
 
 #: ``stats_snapshot`` keys rendered by :func:`format_service_stats`, with label
 #: and formatting (rates as percentages, latency in ms, counters as integers).
+#: The tail rows cover :meth:`repro.serving.DispatcherStats.snapshot`, so one
+#: merged ``{**service.stats_snapshot(), **dispatcher.stats.snapshot()}`` dict
+#: renders as a single coherent report.
 _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("requests", "requests served", "{:.0f}"),
     ("batches", "batches executed", "{:.0f}"),
@@ -151,6 +154,13 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("featurization_entries", "featurizations cached", "{:.0f}"),
     ("encoding_hit_rate", "encoding hit rate", "{:.1%}"),
     ("encoding_entries", "encodings cached", "{:.0f}"),
+    ("submitted", "requests submitted", "{:.0f}"),
+    ("completed", "requests completed", "{:.0f}"),
+    ("failed", "requests failed", "{:.0f}"),
+    ("coalesced_batches", "coalesced batches", "{:.0f}"),
+    ("coalesced_requests", "requests coalesced", "{:.0f}"),
+    ("mean_batch_size", "mean batch size", "{:.1f}"),
+    ("max_queue_depth", "max queue depth", "{:.0f}"),
 )
 
 
@@ -160,7 +170,9 @@ def format_service_stats(snapshot: Mapping[str, float], title: str = "") -> str:
     Takes the plain dict produced by
     :meth:`repro.serving.EstimationService.stats_snapshot` (keys absent from
     the snapshot — e.g. cache rows when the service has no caches — are
-    skipped).
+    skipped), optionally merged with
+    :meth:`repro.serving.DispatcherStats.snapshot` for the dispatcher's
+    concurrency counters.
     """
     rows = [
         (label, fmt.format(snapshot[key]))

@@ -17,12 +17,20 @@ def train_validation_split(
     """Shuffle ``items`` and split into train / validation lists.
 
     The paper uses an 80%/20% split of the generated pairs (Section 3.1.2).
+
+    A nonzero ``validation_fraction`` guarantees a nonzero validation set
+    whenever a split is possible (``len(items) > 1``): rounding small
+    datasets down to an empty validation set would silently make early
+    stopping validate on the training data.  Symmetrically, the training
+    side always keeps at least one item.
     """
     if not 0.0 <= validation_fraction < 1.0:
         raise ValueError("validation_fraction must be in [0, 1)")
     rng = np.random.default_rng(seed)
     order = rng.permutation(len(items))
     validation_size = int(round(len(items) * validation_fraction))
+    if validation_fraction > 0.0 and len(items) > 1:
+        validation_size = min(max(validation_size, 1), len(items) - 1)
     validation_idx = set(order[:validation_size].tolist())
     train = [items[i] for i in range(len(items)) if i not in validation_idx]
     validation = [items[i] for i in range(len(items)) if i in validation_idx]

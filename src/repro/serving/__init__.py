@@ -18,15 +18,29 @@ forward passes.  This package amortizes that work across requests:
   fallback for :class:`repro.core.cnt2crd.NoMatchingPoolQueryError`, and
   per-request latency / cache hit-rate statistics, plus the
   :func:`build_crn_service` convenience constructor.
+* :mod:`repro.serving.dispatcher` -- :class:`ServingDispatcher`, the
+  thread-safe micro-batching front-end: concurrent callers submit from many
+  threads and get futures; one dispatcher thread coalesces their requests
+  (``max_batch`` / ``max_wait_ms``) into shared service batches.
+
+The whole layer is safe under concurrent access: caches, stats, the
+estimator registry (with :meth:`EstimationService.replace` for zero-downtime
+hot swaps) and the queries pool all take fine-grained locks.
 
 Batched serving is exact: the CRN inference path encodes each query in
 isolation and runs the pair head in fixed-shape slabs
 (:meth:`repro.core.crn.CRNModel.rates_from_encodings`), so served estimates
-are bit-for-bit identical to the naive per-request loop.  See
+are bit-for-bit identical to the naive per-request loop — whether batched by
+one caller or coalesced across threads by the dispatcher.  See
 ``docs/architecture.md`` and ``examples/serving_workflow.py``.
 """
 
 from repro.serving.cache import CacheStats, EncodingCache, FeaturizationCache
+from repro.serving.dispatcher import (
+    DispatcherShutdownError,
+    DispatcherStats,
+    ServingDispatcher,
+)
 from repro.serving.planner import BatchPlan, BatchPlanner, RequestPlan
 from repro.serving.service import (
     EstimationService,
@@ -39,11 +53,14 @@ __all__ = [
     "BatchPlan",
     "BatchPlanner",
     "CacheStats",
+    "DispatcherShutdownError",
+    "DispatcherStats",
     "EncodingCache",
     "EstimationService",
     "FeaturizationCache",
     "RequestPlan",
     "ServedEstimate",
     "ServiceStats",
+    "ServingDispatcher",
     "build_crn_service",
 ]

@@ -9,18 +9,31 @@ makes them safely memoizable:
 * :class:`FeaturizationCache` memoizes the query → set-of-feature-vectors
   step (:meth:`repro.core.featurization.QueryFeaturizer.featurize`);
 * :class:`EncodingCache` memoizes the featurized query → ``Qvec`` step of the
-  CRN set encoders, keyed by ``(query, pair slot)``.
+  CRN set encoders, keyed by ``(snapshot scope, query, pair slot)``.
 
 Queries are immutable and hash structurally (:mod:`repro.sql.query`), so the
 query itself is the cache key; :meth:`QueryFeaturizer.cache_key` additionally
-scopes keys to the database snapshot the featurizer is bound to.  Both caches
-keep LRU order and support a ``max_entries`` bound for long-running services.
+scopes keys to the database snapshot the featurizer is bound to, and the
+encoding cache carries the same scope so a featurizer rebound after a
+database update (:mod:`repro.extensions.updates`) can never serve stale
+encodings.  Both caches keep LRU order and support a ``max_entries`` bound
+for long-running services.
+
+Thread safety: both caches are safe under concurrent access.  Counter updates
+in :class:`CacheStats` are atomic (guarded by a per-stats lock) and every
+:class:`_LRUStore` operation holds a fine-grained per-store lock, so many
+serving threads — or the :class:`repro.serving.ServingDispatcher` thread plus
+direct callers — can share one cache.  Value computation happens *outside*
+the store lock: two threads missing on the same key may both compute the
+value (featurization is pure, so the duplicate work is benign), and the
+second ``put`` simply overwrites the first.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,11 +43,29 @@ from repro.sql.query import Query
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting of one cache."""
+    """Hit/miss accounting of one cache (counter updates are atomic)."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_hit(self) -> None:
+        """Atomically count one cache hit."""
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        """Atomically count one cache miss."""
+        with self._lock:
+            self.misses += 1
+
+    def record_eviction(self) -> None:
+        """Atomically count one LRU eviction."""
+        with self._lock:
+            self.evictions += 1
 
     @property
     def lookups(self) -> int:
@@ -50,22 +81,26 @@ class CacheStats:
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def snapshot(self) -> dict[str, float]:
         """A plain-dict view for reports (:func:`repro.evaluation.format_service_stats`)."""
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        lookups = hits + misses
         return {
-            "hits": float(self.hits),
-            "misses": float(self.misses),
-            "evictions": float(self.evictions),
-            "hit_rate": self.hit_rate,
+            "hits": float(hits),
+            "misses": float(misses),
+            "evictions": float(evictions),
+            "hit_rate": hits / lookups if lookups else 0.0,
         }
 
 
 class _LRUStore:
-    """A tiny LRU map with shared stats accounting."""
+    """A tiny LRU map with shared stats accounting and a per-store lock."""
 
     def __init__(self, max_entries: int | None, stats: CacheStats) -> None:
         if max_entries is not None and max_entries <= 0:
@@ -73,27 +108,32 @@ class _LRUStore:
         self._store: OrderedDict = OrderedDict()
         self._max_entries = max_entries
         self._stats = stats
+        self._lock = threading.Lock()
 
     def get(self, key):
-        if key in self._store:
-            self._stats.hits += 1
-            self._store.move_to_end(key)
-            return self._store[key]
-        self._stats.misses += 1
+        with self._lock:
+            if key in self._store:
+                self._stats.record_hit()
+                self._store.move_to_end(key)
+                return self._store[key]
+        self._stats.record_miss()
         return None
 
     def put(self, key, value) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        if self._max_entries is not None and len(self._store) > self._max_entries:
-            self._store.popitem(last=False)
-            self._stats.evictions += 1
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            if self._max_entries is not None and len(self._store) > self._max_entries:
+                self._store.popitem(last=False)
+                self._stats.record_eviction()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
 
 class FeaturizationCache:
@@ -102,9 +142,9 @@ class FeaturizationCache:
     Wraps a featurizer and caches :meth:`featurize` results per query, so a
     pool query scored by thousands of requests is featurized once, ever.  The
     read-side surface of the featurizer (``vector_size``, ``layout``,
-    ``pad_sets``, ``featurize_batch``, ``normalize_value``) is forwarded, so
-    the cache can be passed anywhere a featurizer is expected — in particular
-    to :class:`repro.core.crn.CRNEstimator`.
+    ``pad_sets``, ``featurize_batch``, ``normalize_value``, ``fingerprint``)
+    is forwarded, so the cache can be passed anywhere a featurizer is
+    expected — in particular to :class:`repro.core.crn.CRNEstimator`.
 
     Args:
         featurizer: the wrapped featurizer.
@@ -163,6 +203,11 @@ class FeaturizationCache:
         """The database snapshot the wrapped featurizer is bound to."""
         return self.featurizer.database
 
+    @property
+    def fingerprint(self) -> int:
+        """The wrapped featurizer's snapshot fingerprint (scopes cache keys)."""
+        return self.featurizer.fingerprint
+
     def pad_sets(self, sets: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
         """Forwarded to :meth:`QueryFeaturizer.pad_sets`."""
         return self.featurizer.pad_sets(sets)
@@ -177,21 +222,34 @@ class FeaturizationCache:
 
 
 class EncodingCache:
-    """A ``(query, pair slot) -> Qvec`` cache for the CRN set encoders.
+    """A ``(scope, query, pair slot) -> Qvec`` cache for the CRN set encoders.
 
     The CRN uses a different encoder per pair position (``MLP1`` / ``MLP2``),
     so the slot is part of the key: a pool query serving as containment
-    source *and* target caches two encodings.  Entries are ``(H,)`` float64
-    arrays — a few hundred bytes each — so even a million cached queries fit
-    comfortably in memory.
+    source *and* target caches two encodings.  The ``scope`` component is the
+    featurizer's database-snapshot fingerprint
+    (:attr:`repro.core.featurization.QueryFeaturizer.fingerprint`): an
+    encoding is a function of the *featurized* query, so when the database is
+    mutated and the estimator's featurizer is rebound to the new snapshot
+    (:mod:`repro.extensions.updates`), the old snapshot's encodings must not
+    be served for the new one.  Keying by scope makes correctness automatic:
+    stale entries simply stop matching.  They are *reclaimed* by the LRU
+    bound (old-scope entries stop being touched, so they are the first
+    evicted) — an unbounded cache keeps them until :meth:`clear`, so
+    long-running services whose database updates should either set
+    ``max_entries`` or clear after a snapshot change.  Entries are ``(H,)``
+    float64 arrays — a few hundred bytes each — so even a million cached
+    queries fit comfortably in memory.
 
     Encodings are a function of the model's weights, so a cache is tied to
     exactly one model: :class:`repro.core.crn.CRNEstimator` calls
     :meth:`bind` on attach, and binding the same cache to a second model
-    raises instead of silently serving the first model's encodings.  Note
-    that binding tracks object identity only — retraining the bound model
-    *in place* invalidates the cached encodings, so call :meth:`clear`
-    after updating weights.
+    raises instead of silently serving the first model's encodings.  To hot
+    swap a *retrained* model into a running service without downtime, call
+    :meth:`rebind` first: it drops every cached encoding and ties the cache
+    to the new model in one atomic step.  Note that binding tracks object
+    identity only — retraining the bound model *in place* invalidates the
+    cached encodings, so call :meth:`clear` after updating weights.
 
     Args:
         max_entries: optional LRU bound on cached encodings (None = unbounded).
@@ -201,24 +259,38 @@ class EncodingCache:
         self.stats = CacheStats()
         self._store = _LRUStore(max_entries, self.stats)
         self._owner: object | None = None
+        self._bind_lock = threading.Lock()
 
     def bind(self, owner: object) -> None:
         """Tie this cache to the model producing its encodings."""
-        if self._owner is None:
+        with self._bind_lock:
+            if self._owner is None:
+                self._owner = owner
+            elif self._owner is not owner:
+                raise ValueError(
+                    "EncodingCache is already bound to a different model; encodings "
+                    "are model-specific, use one cache per model (or rebind() to "
+                    "hot-swap a retrained model)"
+                )
+
+    def rebind(self, owner: object) -> None:
+        """Atomically clear the cache and tie it to a new (retrained) model.
+
+        This is the hot-swap path: build the replacement estimator against
+        the same cache by calling ``cache.rebind(new_model)`` first, then
+        register it with :meth:`repro.serving.EstimationService.replace`.
+        """
+        with self._bind_lock:
+            self._store.clear()
             self._owner = owner
-        elif self._owner is not owner:
-            raise ValueError(
-                "EncodingCache is already bound to a different model; encodings "
-                "are model-specific, use one cache per model"
-            )
 
-    def get(self, query: Query, position: int) -> np.ndarray | None:
-        """The cached encoding for ``(query, position)``, or None on a miss."""
-        return self._store.get((query, position))
+    def get(self, query: Query, position: int, scope=None) -> np.ndarray | None:
+        """The cached encoding for ``(scope, query, position)``, or None on a miss."""
+        return self._store.get((scope, query, position))
 
-    def put(self, query: Query, position: int, encoding: np.ndarray) -> None:
+    def put(self, query: Query, position: int, encoding: np.ndarray, scope=None) -> None:
         """Record an encoding (evicting the least recently used if bounded)."""
-        self._store.put((query, position), encoding)
+        self._store.put((scope, query, position), encoding)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -1,0 +1,349 @@
+"""A request-coalescing dispatcher: many threads in, few shared batches out.
+
+:class:`repro.serving.EstimationService.submit_batch` already turns one
+*caller's* batch into a few large deduplicated forward passes — but under
+concurrent traffic every caller arrives with a batch of one, and per-request
+inference throws that advantage away.  :class:`ServingDispatcher` closes the
+gap with micro-batching: callers :meth:`~ServingDispatcher.submit` from any
+number of threads and immediately get a future; a single dispatcher thread
+drains the shared request queue under a ``max_batch`` / ``max_wait_ms``
+policy, funnels the coalesced queries through the service's
+:class:`repro.serving.BatchPlanner` path, and resolves each caller's future
+with its :class:`repro.serving.ServedEstimate`.
+
+Coalescing does not change a single bit of any estimate: the CRN inference
+path encodes each query in isolation and runs the pair head in fixed-shape
+slabs (:meth:`repro.core.crn.CRNModel.rates_from_encodings`), so an estimate
+is identical whether a query was served alone, inside one caller's batch, or
+coalesced with strangers' requests from other threads.  PR 1 proved that
+invariance across batch compositions; the dispatcher extends it across
+*threads* (asserted by ``tests/test_serving_dispatcher.py`` and
+``benchmarks/bench_concurrent_serving.py``).
+
+Failure isolation: when a coalesced batch fails as a whole (for example one
+request has no matching pool query and the service has no fallback), the
+dispatcher retries the batch's requests one by one, so exactly the poison
+request's future receives the exception and every other caller still gets
+its estimate.
+
+Lifecycle: :meth:`start` spawns the dispatcher thread, :meth:`shutdown`
+stops accepting new requests and (by default) drains everything already
+queued before returning, and the context-manager form brackets both.
+Requests may be enqueued before :meth:`start`; they are served as soon as
+the thread runs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serving.service import EstimationService, ServedEstimate
+from repro.sql.query import Query
+
+#: Queue marker that wakes the dispatcher thread for shutdown.
+_SENTINEL = object()
+
+
+class DispatcherShutdownError(RuntimeError):
+    """Raised by :meth:`ServingDispatcher.submit` after shutdown began."""
+
+
+@dataclass
+class _PendingRequest:
+    """One caller's request travelling through the dispatch queue."""
+
+    query: Query
+    estimator: str | None
+    future: Future
+
+
+class DispatcherStats:
+    """Thread-safe counters describing the dispatcher's coalescing behaviour.
+
+    Attributes (all monotonic unless :meth:`reset`):
+        submitted: requests accepted by :meth:`ServingDispatcher.submit`.
+        completed: futures resolved with a :class:`ServedEstimate`.
+        failed: futures resolved with an exception.
+        batches: coalesced batches drained from the queue.
+        coalesced_requests: requests that shared a batch with at least one
+            other request (the work the dispatcher amortized).
+        max_queue_depth: deepest the request queue ever got.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.coalesced_requests = 0
+        self.max_queue_depth = 0
+        self._occupancy_total = 0
+
+    def record_submit(self, queue_depth: int) -> None:
+        """Count one accepted request and track the observed queue depth."""
+        with self._lock:
+            self.submitted += 1
+            if queue_depth > self.max_queue_depth:
+                self.max_queue_depth = queue_depth
+
+    def record_batch(self, size: int) -> None:
+        """Count one drained batch of ``size`` coalesced requests."""
+        with self._lock:
+            self.batches += 1
+            self._occupancy_total += size
+            if size > 1:
+                self.coalesced_requests += size
+
+    def record_completed(self, count: int = 1) -> None:
+        """Count ``count`` futures resolved with an estimate."""
+        with self._lock:
+            self.completed += count
+
+    def record_failed(self, count: int = 1) -> None:
+        """Count ``count`` futures resolved with an exception."""
+        with self._lock:
+            self.failed += count
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests per coalesced batch."""
+        if not self.batches:
+            return 0.0
+        return self._occupancy_total / self.batches
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        with self._lock:
+            self.submitted = 0
+            self.completed = 0
+            self.failed = 0
+            self.batches = 0
+            self.coalesced_requests = 0
+            self.max_queue_depth = 0
+            self._occupancy_total = 0
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view, renderable by
+        :func:`repro.evaluation.format_service_stats` (merge it with the
+        service's own :meth:`~EstimationService.stats_snapshot`)."""
+        with self._lock:
+            batches = self.batches
+            return {
+                "submitted": float(self.submitted),
+                "completed": float(self.completed),
+                "failed": float(self.failed),
+                "coalesced_batches": float(batches),
+                "coalesced_requests": float(self.coalesced_requests),
+                "mean_batch_size": (
+                    self._occupancy_total / batches if batches else 0.0
+                ),
+                "max_queue_depth": float(self.max_queue_depth),
+            }
+
+
+class ServingDispatcher:
+    """A thread-safe micro-batching front-end for an :class:`EstimationService`.
+
+    Args:
+        service: the (thread-safe) estimation service executing the batches.
+        max_batch: most requests coalesced into one service submission.
+        max_wait_ms: how long the dispatcher waits for stragglers after the
+            first request of a batch arrives.  ``0`` coalesces only requests
+            that are already queued — minimum latency, less coalescing.
+
+    Usage::
+
+        with ServingDispatcher(service, max_batch=64, max_wait_ms=2.0) as d:
+            futures = [d.submit(query) for query in burst]   # any thread(s)
+            estimates = [f.result() for f in futures]
+    """
+
+    def __init__(
+        self,
+        service: EstimationService,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.service = service
+        self.max_batch = max_batch
+        self.max_wait_seconds = max_wait_ms / 1000.0
+        self.stats = DispatcherStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> "ServingDispatcher":
+        """Spawn the dispatcher thread (idempotent while running)."""
+        with self._state_lock:
+            if self._closed:
+                raise DispatcherShutdownError("dispatcher has been shut down")
+            self._spawn_locked()
+        return self
+
+    def _spawn_locked(self) -> None:
+        """Spawn the dispatcher thread; caller holds ``_state_lock``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="serving-dispatcher", daemon=True
+            )
+            self._thread.start()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain what is already queued.
+
+        Every request accepted before this call is still served (the
+        dispatcher thread works through the queue before exiting — it is
+        spawned here if :meth:`start` was never called, so requests enqueued
+        before start are not abandoned either), and a clean shutdown never
+        leaves a future unresolved.  With ``wait=True`` (the default) the
+        call returns only after the drain completes; with ``wait=False`` it
+        returns immediately while the thread finishes in the background.
+        Idempotent.
+        """
+        with self._state_lock:
+            if not self._closed:
+                self._closed = True
+                self._queue.put(_SENTINEL)
+                # A never-started dispatcher may still hold queued requests;
+                # spawn the thread so their futures resolve before the join.
+                self._spawn_locked()
+            thread = self._thread
+        if wait and thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "ServingDispatcher":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # submission
+
+    def submit(self, query: Query, estimator: str | None = None) -> Future:
+        """Enqueue one request; returns a future of a :class:`ServedEstimate`.
+
+        Safe to call from any number of threads.  The future resolves with
+        the estimate, or with the exception the request would have raised on
+        the sequential path (e.g.
+        :class:`repro.core.cnt2crd.NoMatchingPoolQueryError` when the service
+        has no fallback).
+        """
+        future: Future = Future()
+        with self._state_lock:
+            if self._closed:
+                raise DispatcherShutdownError(
+                    "dispatcher has been shut down; no new requests accepted"
+                )
+            self._queue.put(_PendingRequest(query, estimator, future))
+        self.stats.record_submit(self._queue.qsize())
+        return future
+
+    def estimate(
+        self, query: Query, estimator: str | None = None, timeout: float | None = None
+    ) -> ServedEstimate:
+        """Blocking convenience wrapper: ``submit(...).result(timeout)``."""
+        return self.submit(query, estimator=estimator).result(timeout)
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting to be coalesced (approximate)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------ #
+    # dispatcher thread
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            batch, saw_sentinel = self._coalesce(item)
+            try:
+                self._serve(batch)
+            except BaseException as error:  # pragma: no cover - defensive
+                # _serve isolates per-request errors; anything reaching here
+                # is a dispatcher bug.  Fail the batch's futures rather than
+                # leaving callers blocked forever, and keep the thread alive.
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                self.stats.record_failed(len(batch))
+            if saw_sentinel:
+                return
+
+    def _coalesce(self, first: _PendingRequest) -> tuple[list[_PendingRequest], bool]:
+        """Gather up to ``max_batch`` requests within the ``max_wait`` window."""
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_seconds
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    # The window closed: still sweep up whatever is already
+                    # queued, but do not wait for more.
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _serve(self, batch: list[_PendingRequest]) -> None:
+        self.stats.record_batch(len(batch))
+        # One service submission per estimator name: requests picking
+        # different registry entries cannot share a forward pass.
+        groups: dict[str | None, list[_PendingRequest]] = {}
+        for request in batch:
+            if not request.future.set_running_or_notify_cancel():
+                continue  # caller cancelled before dispatch
+            groups.setdefault(request.estimator, []).append(request)
+        for estimator, requests in groups.items():
+            try:
+                served = self.service.submit_batch(
+                    [request.query for request in requests], estimator=estimator
+                )
+            except Exception:
+                self._serve_individually(requests, estimator)
+            else:
+                for request, item in zip(requests, served):
+                    request.future.set_result(item)
+                self.stats.record_completed(len(requests))
+
+    def _serve_individually(
+        self, requests: Sequence[_PendingRequest], estimator: str | None
+    ) -> None:
+        """Fallback when a coalesced batch fails as a whole.
+
+        Retrying one by one confines the failure to the poison request(s):
+        every other caller still receives its estimate, and each failing
+        future carries the exception its request would have raised on the
+        sequential path.
+        """
+        for request in requests:
+            try:
+                served = self.service.submit_batch(
+                    [request.query], estimator=estimator
+                )[0]
+            except Exception as error:
+                request.future.set_exception(error)
+                self.stats.record_failed()
+            else:
+                request.future.set_result(served)
+                self.stats.record_completed()

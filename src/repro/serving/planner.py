@@ -19,6 +19,12 @@ executes it with one batched ``estimate_containments`` call followed by the
 estimator's own :meth:`repro.core.cnt2crd.Cnt2CrdEstimator.estimates_from_rates`
 / :meth:`repro.core.cnt2crd.Cnt2CrdEstimator.collapse` steps — which is why
 served estimates are bit-for-bit identical to the per-request path.
+
+The planner holds no mutable state of its own, so concurrent plans are safe:
+each request's eligible entries are captured in one
+:meth:`repro.core.queries_pool.QueriesPool.matching_entries` snapshot (the
+pool locks internally), so a pool entry added mid-plan is either fully part
+of a request's scoring work or not part of it at all.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ bit-for-bit identical to calling ``estimate_cardinality`` per request.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping, Sequence
@@ -67,7 +68,12 @@ class ServedEstimate:
 
 @dataclass
 class ServiceStats:
-    """Cumulative service-level counters (reset with :meth:`reset`)."""
+    """Cumulative service-level counters (reset with :meth:`reset`).
+
+    The owning :class:`EstimationService` guards every mutation with its
+    stats lock, so the counters stay consistent under concurrent
+    submissions; plain reads of individual fields are safe from any thread.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -108,6 +114,16 @@ class ServiceStats:
 class EstimationService:
     """An online, batching, caching front-end over the paper's estimators.
 
+    The service is thread-safe: the registry is guarded by a lock (so
+    :meth:`register` / :meth:`replace` can hot-swap estimators while other
+    threads submit), stats updates are atomic, and the caches and the
+    queries pool take their own fine-grained locks.  Model forward passes
+    themselves only *read* shared state, so concurrent ``submit_batch``
+    calls do not serialize on the scoring work — but each call still pays
+    its own planning and featurization.  For high-concurrency traffic,
+    front the service with a :class:`repro.serving.ServingDispatcher`, which
+    coalesces many callers' requests into few shared batches.
+
     Args:
         fallback: optional registry name answering requests for which the
             primary estimator raises :class:`NoMatchingPoolQueryError` (see
@@ -130,6 +146,8 @@ class EstimationService:
         self.featurization_cache = featurization_cache
         self.encoding_cache = encoding_cache
         self.stats = ServiceStats()
+        self._registry_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # registry
@@ -140,30 +158,62 @@ class EstimationService:
         """Register ``estimator`` under ``name`` (first registration is the default)."""
         if not name:
             raise ValueError("estimator name must be non-empty")
-        self._registry[name] = estimator
-        if default or self._default is None:
-            self._default = name
+        with self._registry_lock:
+            self._registry[name] = estimator
+            if default or self._default is None:
+                self._default = name
+
+    def replace(self, name: str, estimator: CardinalityEstimator) -> CardinalityEstimator:
+        """Atomically hot-swap the estimator registered under ``name``.
+
+        This is the zero-downtime update path: in-flight batches finish on
+        the estimator object they already resolved, and every submission
+        that resolves after this call is served by the replacement.  To swap
+        a retrained CRN that shares the service's encoding cache, call
+        :meth:`repro.serving.EncodingCache.rebind` with the new model before
+        building the replacement estimator.
+
+        Returns:
+            The estimator previously registered under ``name``.
+
+        Raises:
+            KeyError: when ``name`` was never registered (use
+                :meth:`register` for new entries — replacing an unknown name
+                is almost always a typo).
+        """
+        with self._registry_lock:
+            if name not in self._registry:
+                raise KeyError(
+                    f"cannot replace unregistered estimator {name!r}; "
+                    f"registered: {sorted(self._registry)}"
+                )
+            previous = self._registry[name]
+            self._registry[name] = estimator
+            return previous
 
     def names(self) -> list[str]:
         """All registered estimator names, in registration order."""
-        return list(self._registry)
+        with self._registry_lock:
+            return list(self._registry)
 
     @property
     def default_estimator(self) -> str:
         """The name served when a request does not pick an estimator."""
-        if self._default is None:
-            raise LookupError("no estimator registered")
-        return self._default
+        with self._registry_lock:
+            if self._default is None:
+                raise LookupError("no estimator registered")
+            return self._default
 
     def get(self, name: str | None = None) -> CardinalityEstimator:
         """The estimator registered under ``name`` (default when None)."""
-        chosen = name if name is not None else self.default_estimator
-        try:
-            return self._registry[chosen]
-        except KeyError:
-            raise KeyError(
-                f"unknown estimator {chosen!r}; registered: {sorted(self._registry)}"
-            ) from None
+        with self._registry_lock:
+            chosen = name if name is not None else self.default_estimator
+            try:
+                return self._registry[chosen]
+            except KeyError:
+                raise KeyError(
+                    f"unknown estimator {chosen!r}; registered: {sorted(self._registry)}"
+                ) from None
 
     # ------------------------------------------------------------------ #
     # serving
@@ -189,8 +239,11 @@ class EstimationService:
         chosen = self.get(name)
         start = time.perf_counter()
         if isinstance(chosen, Cnt2CrdEstimator):
-            served = self._submit_cnt2crd(queries, name, chosen)
+            served, planned_pairs, scored_pairs = self._submit_cnt2crd(
+                queries, name, chosen
+            )
         else:
+            planned_pairs = scored_pairs = 0
             served = [
                 self._served(query, name, self._guarded_estimate(query, name, chosen))
                 for query in queries
@@ -198,10 +251,13 @@ class EstimationService:
         elapsed = time.perf_counter() - start
         latency = elapsed / len(queries)
         served = [replace(item, latency_seconds=latency) for item in served]
-        self.stats.requests += len(queries)
-        self.stats.batches += 1
-        self.stats.total_seconds += elapsed
-        self.stats.fallbacks += sum(1 for item in served if item.used_fallback)
+        with self._stats_lock:
+            self.stats.requests += len(queries)
+            self.stats.batches += 1
+            self.stats.planned_pairs += planned_pairs
+            self.stats.scored_pairs += scored_pairs
+            self.stats.total_seconds += elapsed
+            self.stats.fallbacks += sum(1 for item in served if item.used_fallback)
         return served
 
     def warm(self, queries: Iterable[Query]) -> None:
@@ -216,7 +272,9 @@ class EstimationService:
         if self.featurization_cache is not None:
             self.featurization_cache.warm(queries)
         warmed: set[int] = set()
-        for estimator in self._registry.values():
+        with self._registry_lock:
+            estimators = list(self._registry.values())
+        for estimator in estimators:
             if not isinstance(estimator, Cnt2CrdEstimator):
                 continue
             containment = estimator.containment_estimator
@@ -225,17 +283,22 @@ class EstimationService:
                 warmed.add(id(containment))
 
     def stats_snapshot(self) -> dict[str, float]:
-        """Service counters plus cache hit rates, ready for reporting."""
-        snapshot: dict[str, float] = {
-            "requests": float(self.stats.requests),
-            "batches": float(self.stats.batches),
-            "planned_pairs": float(self.stats.planned_pairs),
-            "scored_pairs": float(self.stats.scored_pairs),
-            "deduplicated_pairs": float(self.stats.deduplicated_pairs),
-            "fallbacks": float(self.stats.fallbacks),
-            "mean_latency_ms": self.stats.mean_latency_seconds * 1000.0,
-            "throughput_qps": self.stats.throughput_qps,
-        }
+        """Service counters plus cache hit rates, ready for reporting.
+
+        The counter block is read under the stats lock, so the snapshot is
+        internally consistent even while other threads are submitting.
+        """
+        with self._stats_lock:
+            snapshot: dict[str, float] = {
+                "requests": float(self.stats.requests),
+                "batches": float(self.stats.batches),
+                "planned_pairs": float(self.stats.planned_pairs),
+                "scored_pairs": float(self.stats.scored_pairs),
+                "deduplicated_pairs": float(self.stats.deduplicated_pairs),
+                "fallbacks": float(self.stats.fallbacks),
+                "mean_latency_ms": self.stats.mean_latency_seconds * 1000.0,
+                "throughput_qps": self.stats.throughput_qps,
+            }
         if self.featurization_cache is not None:
             snapshot["featurization_hit_rate"] = self.featurization_cache.stats.hit_rate
             snapshot["featurization_entries"] = float(len(self.featurization_cache))
@@ -249,7 +312,7 @@ class EstimationService:
 
     def _submit_cnt2crd(
         self, queries: Sequence[Query], name: str, estimator: Cnt2CrdEstimator
-    ) -> list[ServedEstimate]:
+    ) -> tuple[list[ServedEstimate], int, int]:
         plan = BatchPlanner(estimator).plan(queries)
         rates = (
             estimator.containment_estimator.estimate_containments(list(plan.pairs))
@@ -260,11 +323,11 @@ class EstimationService:
             self._answer_request(request, name, estimator, rates)
             for request in plan.requests
         ]
-        # Stats only count completed batches: when a request with no fallback
-        # raises above, the counters stay consistent with requests/batches.
-        self.stats.planned_pairs += plan.planned_pairs
-        self.stats.scored_pairs += plan.unique_pairs
-        return served
+        # Pair counts are returned (not applied here) so the caller records
+        # them atomically with requests/batches — and only for completed
+        # batches: when a request with no fallback raises above, no counter
+        # moves at all.
+        return served, plan.planned_pairs, plan.unique_pairs
 
     def _answer_request(
         self,

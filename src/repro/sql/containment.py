@@ -47,6 +47,12 @@ class ValueInterval:
         """Whether every value satisfying ``other`` also satisfies ``self``."""
         if other.is_empty:
             return True
+        if self.is_empty:
+            # An empty interval contains only empty intervals; without this
+            # guard an unsatisfiable point interval (e.g. from
+            # ``kind < 1 AND kind = 1``) would still "contain" a matching
+            # non-empty equality interval via the point comparison below.
+            return False
         if self.point is not None:
             return other.point == self.point
         if other.point is not None:

@@ -69,6 +69,56 @@ class TestPoolBasics:
             assert entry.cardinality == imdb_oracle.cardinality(entry.query)
 
 
+class TestAddScaling:
+    def test_add_does_not_linearly_scan_the_bucket(self):
+        # Regression: add() used to dedup with a linear scan of the FROM
+        # signature's bucket, making pool construction O(n^2) per signature.
+        # Buckets are now keyed by query, so adding N entries to one bucket
+        # must trigger at most a handful of Query equality checks (hash
+        # collisions only), not ~N^2/2 of them.
+        from repro.sql.query import Query
+
+        queries = [_title_query(year) for year in range(1000, 1400)]
+        comparisons = 0
+        original_eq = Query.__eq__
+
+        def counting_eq(self, other):
+            nonlocal comparisons
+            comparisons += 1
+            return original_eq(self, other)
+
+        Query.__eq__ = counting_eq
+        try:
+            pool = QueriesPool()
+            for index, query in enumerate(queries):
+                pool.add(query, index)
+        finally:
+            Query.__eq__ = original_eq
+        assert len(pool) == len(queries)
+        assert comparisons < len(queries)
+
+    def test_concurrent_adds_lose_no_entries(self):
+        import threading
+
+        pool = QueriesPool()
+        shards = [
+            [_title_query(year) for year in range(1000 + shard * 500, 1500 + shard * 500)]
+            for shard in range(4)
+        ]
+
+        def add_shard(shard):
+            for index, query in enumerate(shard):
+                pool.add(query, index)
+
+        threads = [threading.Thread(target=add_shard, args=(shard,)) for shard in shards]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(pool) == sum(len(shard) for shard in shards)
+        assert sum(1 for _ in pool) == len(pool)
+
+
 class TestSubset:
     def _pool_with_two_signatures(self) -> QueriesPool:
         pool = QueriesPool()

@@ -63,6 +63,29 @@ class TestTrainCRN:
         assert errors.shape == (20,)
         assert np.all(errors >= 1.0)
 
+    def test_evaluate_pairs_q_error_uses_training_epsilon(self, tiny_training_run):
+        # Regression: evaluation used to default to epsilon=1e-6 while the
+        # training/validation metric floors zero rates at
+        # TrainingConfig.loss_epsilon (1e-3), so reported q-errors disagreed
+        # with the early-stopping metric on zero-rate pairs.
+        pairs, result = tiny_training_run
+        estimator = result.estimator()
+        config = TrainingConfig()
+        by_default = evaluate_pairs_q_error(estimator, pairs[:20])
+        from_config = evaluate_pairs_q_error(estimator, pairs[:20], training_config=config)
+        explicit = evaluate_pairs_q_error(
+            estimator, pairs[:20], epsilon=config.loss_epsilon
+        )
+        np.testing.assert_array_equal(by_default, explicit)
+        np.testing.assert_array_equal(from_config, explicit)
+        # A pair with a true rate of exactly 0 is floored at loss_epsilon,
+        # not at the old 1e-6: its q-error is estimate/1e-3, 1000x smaller.
+        zero_pairs = [pair for pair in pairs if pair.containment_rate == 0.0]
+        if zero_pairs:
+            old_style = evaluate_pairs_q_error(estimator, zero_pairs[:1], epsilon=1e-6)
+            new_style = evaluate_pairs_q_error(estimator, zero_pairs[:1])
+            assert new_style[0] <= old_style[0]
+
     def test_empty_pairs_rejected(self, imdb_featurizer):
         with pytest.raises(ValueError):
             train_crn(imdb_featurizer, [])

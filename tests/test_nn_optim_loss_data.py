@@ -97,6 +97,32 @@ class TestDataUtilities:
         with pytest.raises(ValueError):
             train_validation_split([1, 2, 3], validation_fraction=1.0)
 
+    def test_small_dataset_keeps_a_nonempty_validation_set(self):
+        # Regression: round(2 * 0.2) == 0 used to leave the validation set
+        # empty, so early stopping silently "validated" on the training data.
+        for size in (2, 3, 4):
+            train, validation = train_validation_split(
+                list(range(size)), validation_fraction=0.2, seed=0
+            )
+            assert len(validation) >= 1
+            assert len(train) >= 1
+            assert sorted(train + validation) == list(range(size))
+
+    def test_training_side_never_empties(self):
+        # round(3 * 0.9) == 3 used to hand every item to validation.
+        train, validation = train_validation_split(
+            list(range(3)), validation_fraction=0.9, seed=0
+        )
+        assert len(train) >= 1
+
+    def test_single_item_and_zero_fraction_stay_trainable(self):
+        train, validation = train_validation_split([1], validation_fraction=0.2)
+        assert train == [1] and validation == []
+        train, validation = train_validation_split(
+            list(range(10)), validation_fraction=0.0
+        )
+        assert len(train) == 10 and validation == []
+
     def test_batch_iterator_covers_dataset_each_epoch(self):
         iterator = BatchIterator(num_items=25, batch_size=8, seed=0)
         for _ in range(3):

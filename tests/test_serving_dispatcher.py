@@ -1,0 +1,401 @@
+"""Concurrency stress suite for the request-coalescing serving dispatcher.
+
+Covers the tentpole guarantees: no lost or duplicated responses under many
+submitting threads, estimates bit-identical to the sequential ``submit``
+path, cache/dispatcher stats that add up, clean shutdown with in-flight
+requests, failure isolation, and hot-swapping estimators (and growing the
+queries pool) mid-traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import (
+    Cnt2CrdEstimator,
+    CRNConfig,
+    CRNEstimator,
+    CRNModel,
+    NoMatchingPoolQueryError,
+    QueriesPool,
+)
+from repro.core.estimators import CardinalityEstimator
+from repro.datasets import build_queries_pool_queries
+from repro.serving import (
+    DispatcherShutdownError,
+    EstimationService,
+    ServingDispatcher,
+    build_crn_service,
+)
+from repro.sql.builder import QueryBuilder
+
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def pool(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=60, seed=17, oracle=imdb_oracle)
+    return QueriesPool.from_labeled_queries(labeled)
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=24, seed=23, oracle=imdb_oracle)
+    return [item.query for item in labeled]
+
+
+@pytest.fixture(scope="module")
+def model(imdb_featurizer):
+    return CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=5))
+
+
+def build_service(model, imdb_small, imdb_featurizer, pool, **kwargs):
+    return build_crn_service(
+        model,
+        imdb_featurizer,
+        pool,
+        fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def sequential_estimates(model, imdb_small, imdb_featurizer, pool, workload):
+    """The reference answers: a fresh service serving one query at a time."""
+    service = build_service(model, imdb_small, imdb_featurizer, pool)
+    return {query: service.submit(query).estimate for query in workload}
+
+
+def unmatched_query():
+    # The generator only joins fact tables through title, so a FROM clause
+    # of two fact tables without title never appears in the pool.
+    return (
+        QueryBuilder()
+        .table("movie_companies", "mc")
+        .table("movie_keyword", "mk")
+        .build()
+    )
+
+
+class ConstantEstimator(CardinalityEstimator):
+    """A stand-in replacement estimator with a recognizable answer."""
+
+    name = "constant"
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def estimate_cardinality(self, query) -> float:
+        return self.value
+
+
+class TestConcurrentServing:
+    def test_n_threads_m_queries_no_lost_or_duplicated_responses(
+        self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        results: dict[int, list] = {}
+
+        def worker(thread_index: int) -> None:
+            # Each thread submits the whole workload in a thread-specific order.
+            ordered = workload[thread_index:] + workload[:thread_index]
+            futures = [(query, dispatcher.submit(query)) for query in ordered]
+            results[thread_index] = [(query, future.result()) for query, future in futures]
+
+        with ServingDispatcher(service, max_batch=32, max_wait_ms=5.0) as dispatcher:
+            threads = [
+                threading.Thread(target=worker, args=(index,)) for index in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        # No thread lost a response and every response answers its own query.
+        assert set(results) == set(range(THREADS))
+        served_objects = set()
+        for thread_index, answered in results.items():
+            assert len(answered) == len(workload)
+            for query, served in answered:
+                assert served.query == query
+                assert served.estimate == sequential_estimates[query]
+                served_objects.add(id(served))
+        # Every future resolved with its own ServedEstimate (no duplication).
+        assert len(served_objects) == THREADS * len(workload)
+        assert dispatcher.stats.submitted == THREADS * len(workload)
+        assert dispatcher.stats.completed == THREADS * len(workload)
+        assert dispatcher.stats.failed == 0
+
+    def test_cache_and_service_stats_sum_correctly(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+
+        def worker() -> None:
+            for future in [dispatcher.submit(query) for query in workload]:
+                future.result()
+
+        with ServingDispatcher(service, max_batch=16, max_wait_ms=2.0) as dispatcher:
+            threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snapshot = {**service.stats_snapshot(), **dispatcher.stats.snapshot()}
+
+        total = THREADS * len(workload)
+        assert snapshot["submitted"] == total
+        assert snapshot["completed"] == total
+        assert snapshot["failed"] == 0
+        # Every submitted request was served by the service, exactly once.
+        assert snapshot["requests"] == total
+        assert snapshot["scored_pairs"] <= snapshot["planned_pairs"]
+        # The dispatcher thread is the single cache writer, so hit/miss
+        # accounting is exact: only first-sight queries miss.
+        feat_stats = service.featurization_cache.stats
+        assert feat_stats.lookups == feat_stats.hits + feat_stats.misses
+        pool_queries = {entry.query for entry in pool}
+        fresh = {query for query in workload if query not in pool_queries}
+        assert feat_stats.misses <= len(pool_queries) + len(fresh)
+        enc_stats = service.encoding_cache.stats
+        assert enc_stats.misses <= 2 * (len(pool_queries) + len(fresh))
+
+    def test_requests_enqueued_before_start_coalesce_into_one_batch(
+        self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service, max_batch=64, max_wait_ms=0.0)
+        futures = [dispatcher.submit(query) for query in workload]
+        assert dispatcher.queue_depth() == len(workload)
+        dispatcher.start()
+        estimates = [future.result(timeout=30) for future in futures]
+        dispatcher.shutdown()
+        assert [item.estimate for item in estimates] == [
+            sequential_estimates[query] for query in workload
+        ]
+        # Everything was already queued when the thread woke up: one batch.
+        assert dispatcher.stats.batches == 1
+        assert dispatcher.stats.mean_batch_size == len(workload)
+        assert dispatcher.stats.coalesced_requests == len(workload)
+        assert dispatcher.stats.max_queue_depth == len(workload)
+
+    def test_max_batch_bounds_coalescing(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service, max_batch=10, max_wait_ms=0.0)
+        futures = [dispatcher.submit(query) for query in workload]
+        dispatcher.start()
+        for future in futures:
+            future.result(timeout=30)
+        dispatcher.shutdown()
+        assert dispatcher.stats.batches >= len(workload) // 10
+        assert dispatcher.stats.mean_batch_size <= 10
+
+
+class TestConcurrencyMetrics:
+    def test_time_concurrent_service_and_table(
+        self, model, imdb_small, imdb_featurizer, imdb_oracle, pool
+    ):
+        from repro.evaluation import (
+            format_concurrent_table,
+            format_service_stats,
+            time_concurrent_service,
+        )
+
+        labeled = build_queries_pool_queries(
+            imdb_small, count=16, seed=31, oracle=imdb_oracle
+        )
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        with ServingDispatcher(service, max_batch=16, max_wait_ms=2.0) as dispatcher:
+            timed = time_concurrent_service(dispatcher, labeled, threads=4)
+        assert timed.name == "crn"
+        assert timed.requests == len(labeled)
+        assert timed.threads == 4
+        assert timed.failed == 0
+        assert timed.throughput_qps > 0.0
+        assert timed.coalesced_batches >= 1
+        assert timed.mean_batch_size > 0.0
+        table = format_concurrent_table({"dispatcher": timed}, title="concurrent")
+        assert "dispatcher" in table and "queue depth" in table
+        merged = {**service.stats_snapshot(), **dispatcher.stats.snapshot()}
+        text = format_service_stats(merged, title="stats")
+        assert "coalesced batches" in text and "max queue depth" in text
+
+    def test_time_concurrent_service_validates_input(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        from repro.evaluation import time_concurrent_service
+
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        with ServingDispatcher(service) as dispatcher:
+            with pytest.raises(ValueError, match="empty workload"):
+                time_concurrent_service(dispatcher, [])
+            with pytest.raises(ValueError, match="threads"):
+                time_concurrent_service(dispatcher, [object()], threads=0)
+
+
+class TestLifecycle:
+    def test_clean_shutdown_resolves_in_flight_requests(
+        self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service, max_batch=4, max_wait_ms=0.0)
+        futures = [dispatcher.submit(query) for query in workload * 2]
+        dispatcher.start()
+        # Shut down immediately: everything already queued must still be served.
+        dispatcher.shutdown(wait=True)
+        assert all(future.done() for future in futures)
+        for query, future in zip(workload * 2, futures):
+            assert future.result().estimate == sequential_estimates[query]
+
+    def test_shutdown_before_start_still_serves_queued_requests(
+        self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates
+    ):
+        # Regression: requests may be enqueued before start(); shutting down
+        # a never-started dispatcher used to abandon them (futures hung).
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service, max_batch=8, max_wait_ms=0.0)
+        futures = [dispatcher.submit(query) for query in workload[:5]]
+        dispatcher.shutdown(wait=True)
+        assert all(future.done() for future in futures)
+        for query, future in zip(workload[:5], futures):
+            assert future.result().estimate == sequential_estimates[query]
+
+    def test_submit_after_shutdown_raises(self, model, imdb_small, imdb_featurizer, pool, workload):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service)
+        dispatcher.start()
+        dispatcher.shutdown()
+        with pytest.raises(DispatcherShutdownError):
+            dispatcher.submit(workload[0])
+        # Idempotent shutdown, and start after shutdown is refused too.
+        dispatcher.shutdown()
+        with pytest.raises(DispatcherShutdownError):
+            dispatcher.start()
+
+    def test_context_manager_starts_and_drains(
+        self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        with ServingDispatcher(service, max_wait_ms=1.0) as dispatcher:
+            futures = [dispatcher.submit(query) for query in workload]
+        assert all(future.done() for future in futures)
+        assert [f.result().estimate for f in futures] == [
+            sequential_estimates[query] for query in workload
+        ]
+
+
+class TestFailureIsolation:
+    def test_poison_request_fails_alone_others_still_served(
+        self, model, imdb_featurizer, pool, workload
+    ):
+        # No fallback: the unmatched query raises on the sequential path, and
+        # a naive dispatcher would fail its whole coalesced batch with it.
+        service = EstimationService()
+        service.register(
+            "crn", Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool)
+        )
+        reference = {query: service.submit(query).estimate for query in workload[:6]}
+        dispatcher = ServingDispatcher(service, max_batch=16, max_wait_ms=0.0)
+        good = [dispatcher.submit(query) for query in workload[:3]]
+        poison = dispatcher.submit(unmatched_query())
+        more_good = [dispatcher.submit(query) for query in workload[3:6]]
+        dispatcher.start()
+        dispatcher.shutdown()
+        for query, future in zip(workload[:3] + workload[3:6], good + more_good):
+            assert future.result().estimate == reference[query]
+        with pytest.raises(NoMatchingPoolQueryError):
+            poison.result()
+        assert dispatcher.stats.failed == 1
+        assert dispatcher.stats.completed == 6
+
+
+class TestHotSwap:
+    def test_replace_estimator_mid_traffic(
+        self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        replacement = ConstantEstimator(42.0)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def client() -> None:
+            while not stop.is_set():
+                for query in workload[:6]:
+                    try:
+                        served = dispatcher.estimate(query, timeout=30)
+                    except BaseException as error:  # noqa: BLE001
+                        failures.append(error)
+                        stop.set()
+                        return
+                    # A request in flight during the swap may be answered by
+                    # either estimator, but never by anything else — and
+                    # never fail.
+                    if served.estimate not in {sequential_estimates[query], 42.0}:
+                        failures.append(
+                            AssertionError(f"unexpected estimate {served.estimate}")
+                        )
+                        stop.set()
+                        return
+
+        with ServingDispatcher(service, max_batch=8, max_wait_ms=1.0) as dispatcher:
+            clients = [threading.Thread(target=client) for _ in range(4)]
+            for thread in clients:
+                thread.start()
+            time.sleep(0.1)
+            previous = service.replace("crn", replacement)
+            time.sleep(0.1)
+            stop.set()
+            for thread in clients:
+                thread.join()
+            assert not failures
+            # New traffic is answered by the replacement, without downtime.
+            assert dispatcher.estimate(workload[0], timeout=30).estimate == 42.0
+        assert isinstance(previous, Cnt2CrdEstimator)
+        with pytest.raises(KeyError, match="cannot replace"):
+            service.replace("never-registered", replacement)
+
+    def test_pool_add_while_serving(
+        self, model, imdb_small, imdb_featurizer, imdb_oracle, workload
+    ):
+        # A private pool (the module fixture is shared) that starts small and
+        # grows concurrently with traffic.
+        labeled = build_queries_pool_queries(
+            imdb_small, count=40, seed=29, oracle=imdb_oracle
+        )
+        growing_pool = QueriesPool.from_labeled_queries(labeled[:10])
+        service = build_service(model, imdb_small, imdb_featurizer, growing_pool)
+        failures: list[BaseException] = []
+        done = threading.Event()
+
+        def adder() -> None:
+            for item in labeled[10:]:
+                growing_pool.add(item.query, item.cardinality)
+            done.set()
+
+        def client() -> None:
+            while not done.is_set():
+                for query in workload[:4]:
+                    try:
+                        served = dispatcher.estimate(query, timeout=30)
+                    except BaseException as error:  # noqa: BLE001
+                        failures.append(error)
+                        done.set()
+                        return
+                    assert served.estimate >= 0.0
+
+        with ServingDispatcher(service, max_batch=8, max_wait_ms=1.0) as dispatcher:
+            threads = [threading.Thread(target=adder)] + [
+                threading.Thread(target=client) for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not failures
+        assert len(growing_pool) == len({item.query for item in labeled})

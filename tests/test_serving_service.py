@@ -107,6 +107,43 @@ class TestEncodingCache:
         with pytest.raises(ValueError, match="already bound"):
             CRNEstimator(other, imdb_featurizer, encoding_cache=cache)
 
+    def test_rebind_clears_and_accepts_a_retrained_model(self, model, imdb_featurizer, workload):
+        cache = EncodingCache()
+        estimator = CRNEstimator(model, imdb_featurizer, encoding_cache=cache)
+        estimator.encode_query(workload[0], 1)
+        assert len(cache) == 1
+        retrained = CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=99))
+        cache.rebind(retrained)
+        assert len(cache) == 0  # the old model's encodings are gone
+        CRNEstimator(retrained, imdb_featurizer, encoding_cache=cache)  # no raise
+
+    def test_encodings_scoped_to_featurizer_snapshot(self, model, imdb_featurizer, workload):
+        # Regression: the cache used to key by (query, position) only, so a
+        # featurizer rebound to an updated database snapshot (see
+        # repro.extensions.updates) silently served the old snapshot's
+        # encodings.  The snapshot fingerprint is now part of the key.
+        from repro.core.featurization import QueryFeaturizer
+        from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
+
+        cache = EncodingCache()
+        estimator = CRNEstimator(model, imdb_featurizer, encoding_cache=cache)
+        estimator.encode_query(workload[0], 1)
+        updated = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=350, seed=99))
+        updated_featurizer = QueryFeaturizer(updated)
+        assert updated_featurizer.fingerprint != imdb_featurizer.fingerprint
+        estimator.featurizer = updated_featurizer  # rebound after a db update
+        misses_before = cache.stats.misses
+        fresh = estimator.encode_query(workload[0], 1)
+        assert cache.stats.misses == misses_before + 1  # not served stale
+        np.testing.assert_array_equal(
+            fresh, model.encode_set(updated_featurizer.featurize(workload[0]), 1)
+        )
+        # Flipping back to the original snapshot hits its still-cached entry.
+        estimator.featurizer = imdb_featurizer
+        hits_before = cache.stats.hits
+        estimator.encode_query(workload[0], 1)
+        assert cache.stats.hits == hits_before + 1
+
     def test_featurization_deduplicated_within_call_without_cache(
         self, model, imdb_featurizer, workload
     ):

@@ -32,6 +32,15 @@ class TestValueInterval:
         assert ValueInterval(lower=2, upper=8, point=1.0).is_empty
         assert not ValueInterval(lower=2, upper=8, point=5.0).is_empty
 
+    def test_empty_interval_contains_only_empty_intervals(self):
+        # Regression: an unsatisfiable interval that still carries a point
+        # (e.g. folded from ``kind < 1 AND kind = 1``) used to "contain" a
+        # matching non-empty point interval via the point comparison.
+        empty_point = ValueInterval(upper=1.0, point=1.0)
+        assert empty_point.is_empty
+        assert not empty_point.contains_interval(ValueInterval(point=1.0))
+        assert empty_point.contains_interval(ValueInterval(lower=5, upper=5))
+
 
 class TestAnalyticContainment:
     def test_tighter_range_is_contained(self):
@@ -56,6 +65,14 @@ class TestAnalyticContainment:
         empty = _title_query(("t.production_year", ">", 2010), ("t.production_year", "<", 2000))
         other = _title_query(("t.kind_id", "=", 1))
         assert analytically_contained(empty, other)
+
+    def test_nothing_nonempty_is_contained_in_an_unsatisfiable_query(self):
+        # The hypothesis-found counterexample: Q2 = (kind < 1 AND kind = 1)
+        # selects nothing, so it cannot contain Q1 = (kind = 1).
+        satisfiable = _title_query(("t.kind_id", "=", 1))
+        empty = _title_query(("t.kind_id", "<", 1), ("t.kind_id", "=", 1))
+        assert not analytically_contained(satisfiable, empty)
+        assert analytically_contained(empty, satisfiable)
 
     def test_different_from_clauses_are_never_contained(self):
         single = _title_query(("t.production_year", ">", 2000))
