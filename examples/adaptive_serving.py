@@ -1,0 +1,184 @@
+"""Adaptive serving: feedback → drift trigger → background retrain → hot swap.
+
+Builds on the serving workflow (``examples/serving_workflow.py``) and closes
+the Section 9 loop for a *live* service:
+
+1. train a CRN and wire the serving stack (service + coalescing dispatcher);
+2. attach the adaptation subsystem: a :class:`repro.serving.FeedbackCollector`
+   recording (estimate, true cardinality) observations, a drift policy, and
+   an :class:`repro.serving.AdaptationManager` running on a background
+   worker thread;
+3. serve healthy traffic — the drift monitor freezes a baseline window;
+4. apply a **database update** (the data triples): ground truth moves under
+   the stale model, the rolling q-error degrades, the policy fires;
+5. the worker retrains incrementally against the new snapshot, refreshes the
+   queries pool, validates the candidate on the freshest feedback slice, and
+   hot-swaps it with ``rebind()`` + ``replace()`` — while requests keep
+   flowing through the dispatcher;
+6. print the recovery (pre-update vs degraded vs post-swap windows) and the
+   lifecycle counters.
+
+Run with::
+
+    python examples/adaptive_serving.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import CRNConfig, QueriesPool, QueryFeaturizer, TrainingConfig, train_crn
+from repro.datasets import (
+    SyntheticIMDbConfig,
+    build_queries_pool_queries,
+    build_synthetic_imdb,
+    build_training_pairs,
+)
+from repro.db import TrueCardinalityOracle
+from repro.evaluation import (
+    evaluate_adaptation,
+    format_adaptation_table,
+    format_service_stats,
+)
+from repro.serving import (
+    AdaptationManager,
+    CRNRetrainer,
+    DriftPolicy,
+    FeedbackCollector,
+    ServingDispatcher,
+    build_crn_service,
+)
+
+
+def serve_and_record(dispatcher, collector, workload, oracle):
+    """One round of traffic: estimate every query, report the executed truth."""
+    for labeled in workload:
+        served = dispatcher.estimate(labeled.query)
+        collector.record_served(
+            served, true_cardinality=float(oracle.cardinality(labeled.query))
+        )
+
+
+def main() -> None:
+    # 1. Database, trained CRN, pool, serving stack.
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=500))
+    oracle = TrueCardinalityOracle(database)
+    featurizer = QueryFeaturizer(database)
+    print("Training CRN ...")
+    trained = train_crn(
+        featurizer,
+        build_training_pairs(database, count=400, oracle=oracle),
+        crn_config=CRNConfig(hidden_size=32),
+        training_config=TrainingConfig(epochs=10, batch_size=64),
+    )
+    pool = QueriesPool.from_labeled_queries(
+        build_queries_pool_queries(database, count=150, oracle=oracle)
+    )
+    workload = build_queries_pool_queries(database, count=50, seed=47, oracle=oracle)
+    service = build_crn_service(
+        trained.model,
+        featurizer,
+        pool,
+        fallback_estimator=PostgresCardinalityEstimator(database),
+    )
+
+    # 2. The adaptation subsystem: collector + policy + background manager.
+    collector = FeedbackCollector(max_observations=200)
+    policy = DriftPolicy(
+        quantile=0.5,            # watch the rolling median: the p90+ tail is
+                                 # dominated by near-zero-truth queries whose
+                                 # huge ratios swamp a real 3x data shift
+        max_q_error=None,        # no absolute bar -- compare against ourselves
+        degradation_ratio=1.5,   # fire at 1.5x the healthy baseline window
+        min_observations=25,
+        cooldown_seconds=0.0,
+    )
+    retrainer = CRNRetrainer(
+        trained,
+        database,
+        pool,
+        training_pairs=400,
+        incremental_epochs=10,
+        on_progress=lambda p: print(
+            f"    retrain [{p.mode}] epoch {p.epochs_completed}/{p.target_epochs} "
+            f"validation q-error {p.validation_q_error:.2f}"
+        ),
+    )
+    manager = AdaptationManager(
+        service,
+        collector,
+        retrainer,
+        policy=policy,
+        poll_interval_seconds=0.1,
+        holdout_size=25,
+    )
+
+    with ServingDispatcher(service, max_batch=32, max_wait_ms=1.0) as dispatcher:
+        with manager:
+            # 3. Healthy traffic: the monitor freezes its baseline window.
+            print("\nServing healthy traffic ...")
+            serve_and_record(dispatcher, collector, workload, oracle)
+            deadline = time.monotonic() + 30.0
+            while not manager.monitor.baseline_frozen:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"baseline never froze; worker error: {manager.last_error!r}"
+                    )
+                time.sleep(0.05)
+            pre_update = collector.summary()
+            print(
+                f"baseline frozen: rolling p50/p90 q-error "
+                f"{pre_update.p50:.2f} / {pre_update.p90:.2f}"
+            )
+
+            # 4. The database update lands: 3x the data, same schema.
+            print("\nApplying the database update (500 -> 1500 titles) ...")
+            updated = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=1500))
+            updated_oracle = TrueCardinalityOracle(updated)
+            retrainer.set_database(updated)
+
+            # 5. Stale traffic degrades; the worker retrains and hot-swaps
+            #    while the dispatcher keeps serving.
+            degraded = pre_update
+            deadline = time.monotonic() + 120.0
+            while manager.stats.swaps < 1:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"no hot swap within 120s; last outcome: {manager.last_outcome}, "
+                        f"worker error: {manager.last_error!r}"
+                    )
+                serve_and_record(dispatcher, collector, workload, updated_oracle)
+                window = collector.summary()
+                if window.p50 > degraded.p50:
+                    degraded = window
+                verdict = manager.monitor.evaluate()
+                print(
+                    f"  rolling p50 {window.p50:8.2f}   "
+                    f"swaps {manager.stats.swaps}   "
+                    f"drifted: {verdict.triggered}"
+                )
+            print("hot swap completed; the service never stopped serving")
+
+            # 6. Post-swap traffic: accuracy recovers.
+            collector.clear()
+            serve_and_record(dispatcher, collector, workload, updated_oracle)
+            recovered = collector.summary()
+            print()
+            print(
+                format_adaptation_table(
+                    {"crn": evaluate_adaptation(manager, pre_update, degraded, recovered)},
+                    title="adaptation episode (rolling median q-error)",
+                )
+            )
+            print()
+            print(
+                format_service_stats(
+                    {**dispatcher.stats.snapshot(), **manager.stats.snapshot()},
+                    title="dispatcher + lifecycle stats",
+                )
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -326,12 +326,12 @@ class CRNEstimator(ContainmentEstimator):
         """The ``Qvec`` of ``query`` in pair slot ``position`` (cached if possible)."""
         scope = self._encoding_scope()
         if self.encoding_cache is not None:
-            cached = self.encoding_cache.get(query, position, scope=scope)
+            cached = self.encoding_cache.get(query, position, scope=scope, owner=self.model)
             if cached is not None:
                 return cached
         encoding = self.model.encode_set(self.featurizer.featurize(query), position)
         if self.encoding_cache is not None:
-            self.encoding_cache.put(query, position, encoding, scope=scope)
+            self.encoding_cache.put(query, position, encoding, scope=scope, owner=self.model)
         return encoding
 
     def warm(self, queries) -> None:
@@ -360,7 +360,9 @@ class CRNEstimator(ContainmentEstimator):
                 if key in encodings:
                     continue
                 if self.encoding_cache is not None:
-                    cached = self.encoding_cache.get(query, position, scope=scope)
+                    cached = self.encoding_cache.get(
+                        query, position, scope=scope, owner=self.model
+                    )
                     if cached is not None:
                         encodings[key] = cached
                         continue
@@ -368,6 +370,8 @@ class CRNEstimator(ContainmentEstimator):
                     features[query] = self.featurizer.featurize(query)
                 encoding = self.model.encode_set(features[query], position)
                 if self.encoding_cache is not None:
-                    self.encoding_cache.put(query, position, encoding, scope=scope)
+                    self.encoding_cache.put(
+                        query, position, encoding, scope=scope, owner=self.model
+                    )
                 encodings[key] = encoding
         return encodings

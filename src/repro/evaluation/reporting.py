@@ -138,9 +138,10 @@ def format_convergence(history: Sequence[Mapping[str, float]], title: str = "") 
 
 #: ``stats_snapshot`` keys rendered by :func:`format_service_stats`, with label
 #: and formatting (rates as percentages, latency in ms, counters as integers).
-#: The tail rows cover :meth:`repro.serving.DispatcherStats.snapshot`, so one
-#: merged ``{**service.stats_snapshot(), **dispatcher.stats.snapshot()}`` dict
-#: renders as a single coherent report.
+#: The tail rows cover :meth:`repro.serving.DispatcherStats.snapshot` and
+#: :meth:`repro.serving.LifecycleStats.snapshot`, so one merged
+#: ``{**service.stats_snapshot(), **dispatcher.stats.snapshot(),
+#: **manager.stats.snapshot()}`` dict renders as a single coherent report.
 _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("requests", "requests served", "{:.0f}"),
     ("batches", "batches executed", "{:.0f}"),
@@ -161,6 +162,22 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("coalesced_requests", "requests coalesced", "{:.0f}"),
     ("mean_batch_size", "mean batch size", "{:.1f}"),
     ("max_queue_depth", "max queue depth", "{:.0f}"),
+    ("evaluations", "drift evaluations", "{:.0f}"),
+    ("drift_triggers", "drift triggers", "{:.0f}"),
+    ("manual_triggers", "manual triggers", "{:.0f}"),
+    ("retrains", "retrains", "{:.0f}"),
+    ("incremental_retrains", "incremental retrains", "{:.0f}"),
+    ("full_retrains", "full retrains", "{:.0f}"),
+    ("retrain_failures", "retrain failures", "{:.0f}"),
+    ("promote_failures", "promote failures", "{:.0f}"),
+    ("escalations", "escalations to full", "{:.0f}"),
+    ("candidates_rejected", "candidates rejected", "{:.0f}"),
+    ("swaps", "models hot-swapped", "{:.0f}"),
+    ("mean_retrain_seconds", "mean retrain time", "{:.2f}s"),
+    ("last_retrain_seconds", "last retrain time", "{:.2f}s"),
+    ("pre_swap_q_error", "pre-swap gate q-error", "{:.2f}"),
+    ("post_swap_q_error", "post-swap gate q-error", "{:.2f}"),
+    ("requests_between_swaps", "requests between swaps", "{:.0f}"),
 )
 
 

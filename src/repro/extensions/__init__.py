@@ -16,6 +16,8 @@ from repro.extensions.strings import (
     string_equality_predicate,
 )
 from repro.extensions.updates import (
+    RetrainProgress,
+    RetrainSession,
     incremental_update,
     refresh_queries_pool,
     retrain_from_scratch,
@@ -28,6 +30,8 @@ __all__ = [
     "ExceptQuery",
     "HASH_SPACE",
     "OrQuery",
+    "RetrainProgress",
+    "RetrainSession",
     "StringDictionary",
     "UnionQuery",
     "hash_string",

@@ -16,23 +16,39 @@ which runs a topological sort over the recorded computation graph.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+#: Graph-construction mode is **per thread**.  A process-wide flag would race
+#: under concurrent inference (the serving dispatcher thread plus client
+#: threads all enter/exit ``no_grad``): interleaved save/restore pairs can
+#: restore a stale ``previous`` and leave gradient tracking off for every
+#: thread — after which newly built models silently have no trainable
+#: parameters.  Thread-local state makes each thread's ``no_grad`` blocks
+#: independent, matching how PyTorch scopes its grad mode.
+_GRAD_STATE = threading.local()
+
+
+def _grad_enabled() -> bool:
+    """Whether the *current thread* is building autodiff graphs."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
-    """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (inference mode).
+
+    Scoped to the calling thread: concurrent serving threads can run
+    inference inside ``no_grad`` while another thread trains.
+    """
+    previous = _grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -63,7 +79,7 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and _grad_enabled()
         self._parents = parents if self.requires_grad else ()
         self._backward = backward if self.requires_grad else None
 
@@ -112,7 +128,7 @@ class Tensor:
         return Tensor(value)
 
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
-        requires_grad = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        requires_grad = _grad_enabled() and any(parent.requires_grad for parent in parents)
         return Tensor(data, requires_grad=requires_grad, parents=parents, backward=backward)
 
     def _accumulate(self, gradient: np.ndarray) -> None:
@@ -356,7 +372,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     tensors = [Tensor._coerce(tensor) for tensor in tensors]
     out_data = np.concatenate([tensor.data for tensor in tensors], axis=axis)
     sizes = [tensor.data.shape[axis] for tensor in tensors]
-    requires_grad = _GRAD_ENABLED and any(tensor.requires_grad for tensor in tensors)
+    requires_grad = _grad_enabled() and any(tensor.requires_grad for tensor in tensors)
 
     def backward(gradient: np.ndarray) -> None:
         splits = np.cumsum(sizes)[:-1]

@@ -22,6 +22,18 @@ forward passes.  This package amortizes that work across requests:
   thread-safe micro-batching front-end: concurrent callers submit from many
   threads and get futures; one dispatcher thread coalesces their requests
   (``max_batch`` / ``max_wait_ms``) into shared service batches.
+* :mod:`repro.serving.feedback` -- :class:`FeedbackCollector`, the bounded
+  rolling window of ``(query, estimate, true cardinality)`` observations
+  with per-estimator q-error quantiles — the signal the adaptation
+  subsystem watches.
+* :mod:`repro.serving.lifecycle` -- the adaptation subsystem:
+  :class:`DriftMonitor` / :class:`DriftPolicy` decide when the serving model
+  has gone stale (rolling q-error threshold, degradation vs. a baseline
+  window, row-count delta), and :class:`AdaptationManager` retrains in the
+  background (:class:`CRNRetrainer` over
+  :mod:`repro.extensions.updates`, incremental escalating to full), gates
+  the candidate on a held-out feedback slice, and hot-swaps it with
+  ``replace()`` / ``rebind()`` while the dispatcher keeps serving.
 
 The whole layer is safe under concurrent access: caches, stats, the
 estimator registry (with :meth:`EstimationService.replace` for zero-downtime
@@ -41,6 +53,20 @@ from repro.serving.dispatcher import (
     DispatcherStats,
     ServingDispatcher,
 )
+from repro.serving.feedback import (
+    FeedbackCollector,
+    FeedbackObservation,
+    FeedbackSummary,
+)
+from repro.serving.lifecycle import (
+    AdaptationManager,
+    AdaptationOutcome,
+    CRNRetrainer,
+    DriftMonitor,
+    DriftPolicy,
+    DriftVerdict,
+    LifecycleStats,
+)
 from repro.serving.planner import BatchPlan, BatchPlanner, RequestPlan
 from repro.serving.service import (
     EstimationService,
@@ -50,14 +76,24 @@ from repro.serving.service import (
 )
 
 __all__ = [
+    "AdaptationManager",
+    "AdaptationOutcome",
     "BatchPlan",
     "BatchPlanner",
+    "CRNRetrainer",
     "CacheStats",
     "DispatcherShutdownError",
     "DispatcherStats",
+    "DriftMonitor",
+    "DriftPolicy",
+    "DriftVerdict",
     "EncodingCache",
     "EstimationService",
     "FeaturizationCache",
+    "FeedbackCollector",
+    "FeedbackObservation",
+    "FeedbackSummary",
+    "LifecycleStats",
     "RequestPlan",
     "ServedEstimate",
     "ServiceStats",

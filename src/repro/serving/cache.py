@@ -181,6 +181,11 @@ class FeaturizationCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    @property
+    def max_entries(self) -> int | None:
+        """The LRU bound this cache was built with (None = unbounded)."""
+        return self._store._max_entries
+
     def clear(self) -> None:
         """Drop all cached featurizations (keeps the stats)."""
         self._store.clear()
@@ -279,18 +284,56 @@ class EncodingCache:
         This is the hot-swap path: build the replacement estimator against
         the same cache by calling ``cache.rebind(new_model)`` first, then
         register it with :meth:`repro.serving.EstimationService.replace`.
+        Writers that identify themselves (the ``owner=`` argument of
+        :meth:`put`) are fenced by the rebind: an in-flight request still
+        running on the *old* model cannot re-poison the cleared cache, so the
+        swap can happen mid-traffic without ever serving the new model an old
+        model's encoding.
         """
         with self._bind_lock:
             self._store.clear()
             self._owner = owner
 
-    def get(self, query: Query, position: int, scope=None) -> np.ndarray | None:
-        """The cached encoding for ``(scope, query, position)``, or None on a miss."""
-        return self._store.get((scope, query, position))
+    def get(self, query: Query, position: int, scope=None, owner=None) -> np.ndarray | None:
+        """The cached encoding for ``(scope, query, position)``, or None on a miss.
 
-    def put(self, query: Query, position: int, encoding: np.ndarray, scope=None) -> None:
-        """Record an encoding (evicting the least recently used if bounded)."""
-        self._store.put((scope, query, position), encoding)
+        ``owner`` (the calling estimator's model) turns the lookup into a
+        guaranteed miss when it no longer matches the bound model — a reader
+        racing a :meth:`rebind` simply recomputes instead of observing the
+        swap partially.  The check and the store read happen under the bind
+        lock as one unit: checked-then-read without it, a reader could pass
+        the fence, lose the CPU to a rebind-plus-warm, and then *hit* on the
+        new model's encoding under the same key (two models over the same
+        snapshot share the scope fingerprint) — handing the old model's pair
+        head the new model's encoding.
+        """
+        if owner is None:
+            return self._store.get((scope, query, position))
+        with self._bind_lock:
+            if owner is not self._owner:
+                self.stats.record_miss()
+                return None
+            return self._store.get((scope, query, position))
+
+    def put(self, query: Query, position: int, encoding: np.ndarray, scope=None, owner=None) -> None:
+        """Record an encoding (evicting the least recently used if bounded).
+
+        ``owner`` makes the write conditional on still being the bound model,
+        atomically with respect to :meth:`rebind`.  Without it, a request
+        in flight on the old model during a same-featurizer hot swap could
+        insert an old-weights encoding *after* the rebind cleared the store —
+        under a key the new model would then read (the snapshot scope alone
+        cannot distinguish two models trained on the same database).  Callers
+        that identify themselves can never serve the swapped-in model a torn
+        mix of old and new encodings.
+        """
+        if owner is None:
+            self._store.put((scope, query, position), encoding)
+            return
+        with self._bind_lock:
+            if owner is not self._owner:
+                return  # stale writer: the model was swapped away mid-request
+            self._store.put((scope, query, position), encoding)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -68,11 +68,14 @@ class ServedEstimate:
 
 @dataclass
 class ServiceStats:
-    """Cumulative service-level counters (reset with :meth:`reset`).
+    """Cumulative service-level counters.
 
     The owning :class:`EstimationService` guards every mutation with its
     stats lock, so the counters stay consistent under concurrent
     submissions; plain reads of individual fields are safe from any thread.
+    To reset, go through :meth:`EstimationService.reset_stats` (or
+    :meth:`EstimationService.drain_stats` for an atomic snapshot-and-reset) —
+    calling :meth:`reset` directly from another thread bypasses that lock.
     """
 
     requests: int = 0
@@ -191,6 +194,38 @@ class EstimationService:
             self._registry[name] = estimator
             return previous
 
+    def unregister(self, name: str) -> CardinalityEstimator:
+        """Remove the estimator registered under ``name`` and return it.
+
+        This is how the lifecycle retires a rejected candidate (see
+        :mod:`repro.serving.lifecycle`).  Reassignment rules:
+
+        * if ``name`` was the default, the earliest remaining registration
+          becomes the new default (none when the registry empties — the next
+          :meth:`register` call becomes the default again);
+        * if ``name`` was the registry :attr:`fallback`, the fallback is
+          cleared (unmatched requests raise again rather than routing to a
+          retired estimator).
+
+        In-flight batches that already resolved the estimator object finish
+        on it, exactly as with :meth:`replace`.
+
+        Raises:
+            KeyError: when ``name`` is not registered.
+        """
+        with self._registry_lock:
+            if name not in self._registry:
+                raise KeyError(
+                    f"cannot unregister unknown estimator {name!r}; "
+                    f"registered: {sorted(self._registry)}"
+                )
+            estimator = self._registry.pop(name)
+            if self._default == name:
+                self._default = next(iter(self._registry), None)
+            if self.fallback == name:
+                self.fallback = None
+            return estimator
+
     def names(self) -> list[str]:
         """All registered estimator names, in registration order."""
         with self._registry_lock:
@@ -235,8 +270,13 @@ class EstimationService:
         """
         if not queries:
             return []
-        name = estimator if estimator is not None else self.default_estimator
-        chosen = self.get(name)
+        # Name and estimator resolve under ONE registry-lock acquisition:
+        # resolving the default and then looking it up separately would let a
+        # concurrent unregister() of that name land in between and fail the
+        # request, instead of letting it finish on the resolved estimator.
+        with self._registry_lock:
+            name = estimator if estimator is not None else self.default_estimator
+            chosen = self.get(name)
         start = time.perf_counter()
         if isinstance(chosen, Cnt2CrdEstimator):
             served, planned_pairs, scored_pairs = self._submit_cnt2crd(
@@ -289,16 +329,7 @@ class EstimationService:
         internally consistent even while other threads are submitting.
         """
         with self._stats_lock:
-            snapshot: dict[str, float] = {
-                "requests": float(self.stats.requests),
-                "batches": float(self.stats.batches),
-                "planned_pairs": float(self.stats.planned_pairs),
-                "scored_pairs": float(self.stats.scored_pairs),
-                "deduplicated_pairs": float(self.stats.deduplicated_pairs),
-                "fallbacks": float(self.stats.fallbacks),
-                "mean_latency_ms": self.stats.mean_latency_seconds * 1000.0,
-                "throughput_qps": self.stats.throughput_qps,
-            }
+            snapshot = self._counters_locked()
         if self.featurization_cache is not None:
             snapshot["featurization_hit_rate"] = self.featurization_cache.stats.hit_rate
             snapshot["featurization_entries"] = float(len(self.featurization_cache))
@@ -307,8 +338,51 @@ class EstimationService:
             snapshot["encoding_entries"] = float(len(self.encoding_cache))
         return snapshot
 
+    def drain_stats(self) -> dict[str, float]:
+        """Atomically snapshot **and reset** the service counter block.
+
+        ``stats_snapshot()`` followed by ``stats.reset()`` is not atomic:
+        submissions landing between the two calls are counted by neither the
+        drained interval nor the next one, and a reset racing a snapshot can
+        yield a torn view (requests from before the reset, seconds from
+        after).  Draining does both under the stats lock, so periodic
+        consumers — the lifecycle metrics path attributes serving counters to
+        the model generation that produced them this way — see every request
+        exactly once.
+
+        Returns only the counter block (no cache rows: cache hit rates are
+        cumulative gauges owned by the caches, not per-interval counters).
+        """
+        with self._stats_lock:
+            snapshot = self._counters_locked()
+            self.stats.reset()
+        return snapshot
+
+    def reset_stats(self) -> None:
+        """Zero the service counters under the stats lock.
+
+        Prefer this over calling ``stats.reset()`` directly: the plain
+        dataclass method does not take the service's stats lock, so a direct
+        call can interleave with a concurrent submission's counter updates.
+        """
+        with self._stats_lock:
+            self.stats.reset()
+
     # ------------------------------------------------------------------ #
     # internals
+
+    def _counters_locked(self) -> dict[str, float]:
+        """The counter block of :meth:`stats_snapshot`; caller holds the stats lock."""
+        return {
+            "requests": float(self.stats.requests),
+            "batches": float(self.stats.batches),
+            "planned_pairs": float(self.stats.planned_pairs),
+            "scored_pairs": float(self.stats.scored_pairs),
+            "deduplicated_pairs": float(self.stats.deduplicated_pairs),
+            "fallbacks": float(self.stats.fallbacks),
+            "mean_latency_ms": self.stats.mean_latency_seconds * 1000.0,
+            "throughput_qps": self.stats.throughput_qps,
+        }
 
     def _submit_cnt2crd(
         self, queries: Sequence[Query], name: str, estimator: Cnt2CrdEstimator
@@ -339,7 +413,7 @@ class EstimationService:
         if not request.has_match:
             try:
                 value = estimator.fallback_estimate(request.query)
-                return self._served(request.query, name, (value, False))
+                return self._served(request.query, name, (value, None))
             except NoMatchingPoolQueryError:
                 return self._served(
                     request.query, name, self._registry_fallback(request.query, name)
@@ -361,32 +435,47 @@ class EstimationService:
 
     def _guarded_estimate(
         self, query: Query, name: str, estimator: CardinalityEstimator
-    ) -> tuple[float, bool]:
+    ) -> tuple[float, str | None]:
         try:
-            return estimator.estimate_cardinality(query), False
+            return estimator.estimate_cardinality(query), None
         except NoMatchingPoolQueryError:
             return self._registry_fallback(query, name)
 
-    def _registry_fallback(self, query: Query, failed: str) -> tuple[float, bool]:
-        if self.fallback is None or self.fallback == failed:
+    def _registry_fallback(self, query: Query, failed: str) -> tuple[float, str]:
+        """Route a request the primary could not answer to the registry fallback.
+
+        Returns ``(estimate, fallback name)``.  Name and estimator resolve
+        under one registry-lock acquisition (and the name travels with the
+        result): a concurrent :meth:`unregister` of the fallback entry must
+        make this request raise cleanly or finish on the resolved object —
+        never crash on a half-removed entry or stamp a vanished name.
+        """
+        with self._registry_lock:
+            fallback = self.fallback
+            estimator = (
+                self._registry.get(fallback)
+                if fallback is not None and fallback != failed
+                else None
+            )
+        if estimator is None:
             raise NoMatchingPoolQueryError(
                 f"estimator {failed!r} has no matching pool query for "
                 f"{query.from_signature()} and the service has no fallback estimator"
             )
-        return self.get(self.fallback).estimate_cardinality(query), True
+        return estimator.estimate_cardinality(query), fallback
 
     def _served(
-        self, query: Query, name: str, outcome: tuple[float, bool]
+        self, query: Query, name: str, outcome: tuple[float, str | None]
     ) -> ServedEstimate:
-        value, used_fallback = outcome
+        value, fallback_name = outcome
         return ServedEstimate(
             query=query,
             estimate=value,
-            estimator_name=self.fallback if used_fallback else name,
+            estimator_name=fallback_name if fallback_name is not None else name,
             latency_seconds=0.0,
             pool_matches=0,
             pairs_scored=0,
-            used_fallback=used_fallback,
+            used_fallback=fallback_name is not None,
         )
 
 

@@ -116,6 +116,35 @@ class TestMechanics:
         with pytest.raises(RuntimeError):
             output.backward()
 
+    def test_no_grad_is_thread_local(self):
+        # Regression: grad mode used to be one process-wide flag, so
+        # concurrent no_grad enter/exit across serving threads could restore
+        # a stale "previous" and leave gradient tracking off for the whole
+        # process — after which freshly built models had zero trainable
+        # parameters.  Each thread's inference mode must be independent.
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        worker_saw: list[bool] = []
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(5.0)
+                worker_saw.append(Tensor(1.0, requires_grad=True).requires_grad)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(5.0)
+        # Another thread's inference mode must not leak into this one ...
+        assert Tensor(1.0, requires_grad=True).requires_grad
+        release.set()
+        thread.join()
+        # ... and the worker's own no_grad stayed in force throughout.
+        assert worker_saw == [False]
+        assert Tensor(1.0, requires_grad=True).requires_grad
+
     def test_backward_requires_scalar_without_gradient(self):
         tensor = Tensor(np.ones((2, 2)), requires_grad=True)
         with pytest.raises(RuntimeError):

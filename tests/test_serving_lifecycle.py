@@ -1,0 +1,531 @@
+"""Tests for the adaptive model lifecycle (feedback, drift, retrain, hot swap)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import (
+    Cnt2CrdEstimator,
+    CRNConfig,
+    CRNEstimator,
+    CRNModel,
+    QueriesPool,
+    TrainingConfig,
+    train_crn,
+)
+from repro.datasets import build_queries_pool_queries, build_training_pairs
+from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
+from repro.db import TrueCardinalityOracle
+from repro.serving import (
+    AdaptationManager,
+    CRNRetrainer,
+    DriftMonitor,
+    DriftPolicy,
+    FeedbackCollector,
+    ServingDispatcher,
+    build_crn_service,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(request):
+    imdb_small = request.getfixturevalue("imdb_small")
+    imdb_featurizer = request.getfixturevalue("imdb_featurizer")
+    imdb_oracle = request.getfixturevalue("imdb_oracle")
+    pairs = build_training_pairs(imdb_small, count=80, seed=12, oracle=imdb_oracle)
+    return train_crn(
+        imdb_featurizer,
+        pairs,
+        crn_config=CRNConfig(hidden_size=16, seed=2),
+        training_config=TrainingConfig(epochs=4, batch_size=32),
+    )
+
+
+@pytest.fixture(scope="module")
+def pool(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=60, seed=17, oracle=imdb_oracle)
+    return QueriesPool.from_labeled_queries(labeled)
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small, imdb_oracle):
+    return build_queries_pool_queries(imdb_small, count=25, seed=23, oracle=imdb_oracle)
+
+
+def make_service(trained, imdb_small, pool):
+    return build_crn_service(
+        trained.model,
+        trained.featurizer,
+        pool,
+        fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+    )
+
+
+class TestFeedbackCollector:
+    def test_record_and_quantiles(self, workload):
+        collector = FeedbackCollector(max_observations=10)
+        collector.record(workload[0].query, 20.0, 10.0, estimator_name="crn")
+        collector.record(workload[1].query, 10.0, 10.0, estimator_name="crn")
+        collector.record(workload[2].query, 40.0, 10.0, estimator_name="other")
+        assert len(collector) == 3
+        assert collector.quantile(1.0) == 4.0
+        assert collector.quantile(1.0, estimator="crn") == 2.0
+        assert collector.mean_q_error(estimator="crn") == pytest.approx(1.5)
+        summary = collector.summary()
+        assert summary.count == 3 and summary.max == 4.0
+
+    def test_window_is_bounded(self, workload):
+        collector = FeedbackCollector(max_observations=4)
+        for index in range(10):
+            collector.record(workload[0].query, float(index + 1), 1.0)
+        assert len(collector) == 4
+        assert collector.total_recorded == 10
+        # Only the four most recent estimates remain (7, 8, 9, 10).
+        assert collector.window_errors() == [7.0, 8.0, 9.0, 10.0]
+        assert [obs.sequence for obs in collector.observations()] == [6, 7, 8, 9]
+
+    def test_holdout_is_most_recent(self, workload):
+        collector = FeedbackCollector()
+        for index in range(6):
+            collector.record(workload[0].query, float(index + 1), 1.0)
+        holdout = collector.holdout(2)
+        assert [obs.q_error for obs in holdout] == [5.0, 6.0]
+
+    def test_record_served_with_oracle_ground_truth(
+        self, trained, imdb_small, imdb_oracle, pool, workload
+    ):
+        service = make_service(trained, imdb_small, pool)
+        collector = FeedbackCollector(oracle=imdb_oracle)
+        served = service.submit(workload[0].query)
+        observation = collector.record_served(served)
+        assert observation.true_cardinality == workload[0].cardinality
+        assert observation.estimator_name == served.estimator_name
+        assert observation.q_error >= 1.0
+
+    def test_record_served_requires_truth_or_oracle(
+        self, trained, imdb_small, pool, workload
+    ):
+        service = make_service(trained, imdb_small, pool)
+        served = service.submit(workload[0].query)
+        collector = FeedbackCollector()
+        with pytest.raises(ValueError, match="no true_cardinality"):
+            collector.record_served(served)
+        collector.record_served(served, true_cardinality=workload[0].cardinality)
+        assert len(collector) == 1
+
+    def test_concurrent_recording_loses_nothing(self, workload):
+        collector = FeedbackCollector(max_observations=10_000)
+
+        def writer():
+            for _ in range(200):
+                collector.record(workload[0].query, 2.0, 1.0)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(collector) == 800
+        assert collector.total_recorded == 800
+
+
+class TestDriftMonitor:
+    def record_errors(self, collector, workload, estimates):
+        for value in estimates:
+            collector.record(workload[0].query, value, 1.0)
+
+    def test_conditions_armed_only_after_min_observations(self, workload):
+        collector = FeedbackCollector()
+        monitor = DriftMonitor(
+            collector, DriftPolicy(max_q_error=2.0, min_observations=5)
+        )
+        self.record_errors(collector, workload, [10.0] * 4)
+        assert not monitor.evaluate().triggered
+        self.record_errors(collector, workload, [10.0])
+        verdict = monitor.evaluate()
+        assert verdict.triggered
+        assert any("exceeds" in reason for reason in verdict.reasons)
+        assert verdict.observations == 5
+
+    def test_baseline_freezes_and_degradation_fires(self, workload):
+        collector = FeedbackCollector(max_observations=8)
+        policy = DriftPolicy(
+            max_q_error=None, degradation_ratio=2.0, min_observations=4
+        )
+        monitor = DriftMonitor(collector, policy)
+        self.record_errors(collector, workload, [1.5] * 8)
+        verdict = monitor.evaluate()
+        assert monitor.baseline_frozen
+        assert not verdict.triggered  # current == baseline
+        # The window degrades: errors double the baseline.
+        self.record_errors(collector, workload, [4.0] * 8)
+        verdict = monitor.evaluate()
+        assert verdict.triggered
+        assert any("degraded" in reason for reason in verdict.reasons)
+        monitor.rebaseline()
+        assert not monitor.baseline_frozen
+
+    def test_row_delta_fires_without_feedback(self, workload):
+        collector = FeedbackCollector()
+        monitor = DriftMonitor(collector, DriftPolicy(max_row_delta=0.25))
+        quiet = monitor.evaluate(current_rows=110, rows_at_refresh=100)
+        assert not quiet.triggered and quiet.row_delta == pytest.approx(0.1)
+        verdict = monitor.evaluate(current_rows=200, rows_at_refresh=100)
+        assert verdict.triggered
+        assert any("row count" in reason for reason in verdict.reasons)
+
+    def test_estimator_filter_ignores_other_estimators_feedback(self, workload):
+        collector = FeedbackCollector()
+        monitor = DriftMonitor(
+            collector,
+            DriftPolicy(max_q_error=2.0, min_observations=3),
+            estimator="crn",
+        )
+        # A drifted *baseline* estimator sharing the collector must not fire
+        # the CRN's policy.
+        for _ in range(5):
+            collector.record(workload[0].query, 100.0, 1.0, estimator_name="postgres")
+        verdict = monitor.evaluate()
+        assert not verdict.triggered and verdict.observations == 0
+        for _ in range(3):
+            collector.record(workload[0].query, 100.0, 1.0, estimator_name="crn")
+        assert monitor.evaluate().triggered
+
+    def test_unattributed_feedback_counts_toward_any_filter(self, workload):
+        collector = FeedbackCollector()
+        monitor = DriftMonitor(
+            collector,
+            DriftPolicy(max_q_error=2.0, min_observations=3),
+            estimator="crn",
+        )
+        # Caller-supplied feedback without an estimator name must still arm
+        # the watched estimator's conditions (the common single-estimator
+        # deployment never labels its feedback).
+        for _ in range(3):
+            collector.record(workload[0].query, 100.0, 1.0)
+        assert monitor.evaluate().triggered
+
+    def test_window_bound_must_admit_min_observations(self, workload):
+        collector = FeedbackCollector(max_observations=8)
+        with pytest.raises(ValueError, match="window bound"):
+            DriftMonitor(collector, DriftPolicy(min_observations=20))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            DriftPolicy(quantile=0.0)
+        with pytest.raises(ValueError):
+            DriftPolicy(degradation_ratio=1.0)
+        with pytest.raises(ValueError):
+            DriftPolicy(min_observations=0)
+
+
+class TestAdaptationManager:
+    def build(self, trained, imdb_small, pool, **kwargs):
+        service = make_service(trained, imdb_small, pool)
+        collector = FeedbackCollector()
+        retrainer = CRNRetrainer(
+            trained,
+            imdb_small,
+            pool,
+            training_pairs=20,
+            incremental_epochs=1,
+            full_epochs=1,
+            training_config=TrainingConfig(epochs=1, batch_size=32),
+            seed=7,
+        )
+        defaults = dict(policy=DriftPolicy(cooldown_seconds=0.0), holdout_size=8)
+        defaults.update(kwargs)
+        manager = AdaptationManager(service, collector, retrainer, **defaults)
+        return service, collector, retrainer, manager
+
+    def test_manual_trigger_swaps_without_feedback(self, trained, imdb_small, pool):
+        service, _, retrainer, manager = self.build(trained, imdb_small, pool)
+        before = service.get("crn")
+        outcome = manager.trigger()  # not started: runs synchronously
+        assert outcome.swapped and outcome.mode == "incremental"
+        assert service.get("crn") is not before
+        assert manager.stats.swaps == 1
+        assert retrainer.result is not trained  # accepted state advanced
+        # The shadow candidate was retired: the registry is back to normal.
+        assert set(service.names()) == {"crn", "fallback"}
+
+    def test_gate_rejects_and_unregisters_candidate(
+        self, trained, imdb_small, imdb_oracle, pool, workload
+    ):
+        service, collector, _, manager = self.build(
+            trained, imdb_small, pool, accept_ratio=1e-9  # nothing can pass the gate
+        )
+        for labeled in workload[:10]:
+            collector.record_served(
+                service.submit(labeled.query), true_cardinality=labeled.cardinality
+            )
+        before = service.get("crn")
+        outcome = manager.trigger()
+        assert outcome.action == "rejected"
+        assert service.get("crn") is before
+        assert manager.stats.candidates_rejected == 1
+        assert set(service.names()) == {"crn", "fallback"}
+
+    def test_escalates_to_full_after_repeated_failures(
+        self, trained, imdb_small, pool
+    ):
+        service, _, _, manager = self.build(
+            trained, imdb_small, pool, max_incremental_failures=0
+        )
+        outcome = manager.trigger()
+        assert outcome.swapped and outcome.mode == "full"
+        assert manager.stats.full_retrains == 1
+        assert manager.stats.escalations == 1
+
+    def test_paused_policy_cycle_does_nothing(self, trained, imdb_small, pool, workload):
+        _, collector, _, manager = self.build(
+            trained,
+            imdb_small,
+            pool,
+            policy=DriftPolicy(max_q_error=1.5, min_observations=2, cooldown_seconds=0.0),
+        )
+        # Simulate a badly drifted incumbent: estimates 100x off the truth.
+        for labeled in workload[:2]:
+            collector.record(
+                labeled.query,
+                labeled.cardinality * 100.0 + 100.0,
+                labeled.cardinality,
+                estimator_name="crn",
+            )
+        manager.pause()
+        outcome = manager.run_cycle()
+        assert outcome.action == "paused"
+        manager.resume()
+        outcome = manager.run_cycle()
+        assert outcome.swapped
+
+    def test_accept_ratio_validation(self, trained, imdb_small, pool):
+        with pytest.raises(ValueError):
+            self.build(trained, imdb_small, pool, accept_ratio=0.0)
+
+
+class TestHotSwapUnderTraffic:
+    def test_replace_rebind_mid_flight_never_tears_a_request(
+        self, imdb_small, imdb_featurizer, pool, workload
+    ):
+        """Stress the swap primitives: every estimate comes wholly from one model.
+
+        Client threads hammer the dispatcher while the main thread hot-swaps
+        between two models (rebind + replace) repeatedly.  No request may be
+        dropped, fail, or observe a *mix* of the two models — each served
+        estimate must be bit-identical to one model's reference answer.
+        Before encoding-cache writes were owner-fenced, an in-flight request
+        on the outgoing model could re-poison the rebound cache and serve the
+        incoming model a torn estimate.
+        """
+        queries = [labeled.query for labeled in workload]
+        fallback = PostgresCardinalityEstimator(imdb_small)
+        model_a = CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=5))
+        model_b = CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=99))
+        references = {}
+        for key, model in (("a", model_a), ("b", model_b)):
+            reference_service = build_crn_service(
+                model, imdb_featurizer, pool, fallback_estimator=fallback
+            )
+            references[key] = {
+                query: item.estimate
+                for query, item in zip(queries, reference_service.submit_batch(queries))
+            }
+
+        service = build_crn_service(
+            model_a, imdb_featurizer, pool, fallback_estimator=fallback
+        )
+        encoding_cache = service.encoding_cache
+        featurization_cache = service.featurization_cache
+        stop = threading.Event()
+        results: list[list[tuple]] = [[] for _ in range(4)]
+        errors: list[BaseException] = []
+
+        def client(index):
+            share = queries[index::4]
+            try:
+                while not stop.is_set():
+                    futures = [(query, dispatcher.submit(query)) for query in share]
+                    results[index].extend(
+                        (query, future.result(timeout=30).estimate)
+                        for query, future in futures
+                    )
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+
+        with ServingDispatcher(service, max_batch=16, max_wait_ms=1.0) as dispatcher:
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            current = model_b
+            for _ in range(6):  # several swaps while requests are in flight
+                time.sleep(0.03)
+                encoding_cache.rebind(current)
+                crn = CRNEstimator(
+                    current, featurization_cache, encoding_cache=encoding_cache
+                )
+                service.replace("crn", Cnt2CrdEstimator(crn, pool))
+                current = model_a if current is model_b else model_b
+            time.sleep(0.03)
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        assert not errors, f"client raised: {errors[0]!r}"
+        assert dispatcher.stats.failed == 0
+        total = sum(len(chunk) for chunk in results)
+        assert dispatcher.stats.completed == total
+        assert total > 0
+        torn = [
+            (query, estimate)
+            for chunk in results
+            for query, estimate in chunk
+            if estimate != references["a"][query] and estimate != references["b"][query]
+        ]
+        assert not torn, f"{len(torn)} estimates match neither model: {torn[:3]}"
+
+
+class TestEndToEndAdaptation:
+    def test_database_update_degrade_retrain_swap_recover(
+        self, trained, imdb_small, imdb_oracle, pool, workload
+    ):
+        """The acceptance scenario: update → drift → background retrain → swap.
+
+        A database update triples the data under a live service.  The stale
+        model's rolling q-error degrades past the degradation-ratio policy,
+        the background worker retrains and hot-swaps while client threads
+        keep submitting through the dispatcher, and the post-swap rolling
+        q-error recovers to within 1.5x of the healthy pre-update window.
+        No request is dropped or failed across the whole episode.
+        """
+        service = make_service(trained, imdb_small, pool)
+        collector = FeedbackCollector(max_observations=60)
+        policy = DriftPolicy(
+            quantile=0.5,  # the rolling median: robust to the near-zero-truth
+            # tail, shifts ~3x with the simulated update
+            max_q_error=None,
+            degradation_ratio=1.5,
+            min_observations=15,
+            cooldown_seconds=0.0,
+        )
+        retrainer = CRNRetrainer(
+            trained,
+            imdb_small,
+            pool,
+            training_pairs=30,
+            incremental_epochs=2,
+            full_epochs=2,
+            training_config=TrainingConfig(epochs=2, batch_size=32),
+            seed=9,
+        )
+        manager = AdaptationManager(
+            service,
+            collector,
+            retrainer,
+            policy=policy,
+            poll_interval_seconds=0.05,
+            holdout_size=15,
+            accept_ratio=1.0,
+        )
+        updated_database = build_synthetic_imdb(
+            SyntheticIMDbConfig(num_titles=900, seed=3)
+        )
+        updated_oracle = TrueCardinalityOracle(updated_database)
+        truth_lock = threading.Lock()
+        truths = {
+            labeled.query: float(labeled.cardinality) for labeled in workload
+        }
+
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def client():
+            while not stop.is_set():
+                for labeled in workload:
+                    if stop.is_set():
+                        break
+                    try:
+                        served = dispatcher.estimate(labeled.query, timeout=30)
+                        with truth_lock:
+                            truth = truths[labeled.query]
+                        collector.record_served(served, true_cardinality=truth)
+                    except BaseException as error:  # noqa: BLE001
+                        failures.append(error)
+                        return
+
+        with ServingDispatcher(service, max_batch=32, max_wait_ms=1.0) as dispatcher:
+            with manager:
+                # Phase 1 — healthy traffic against the original snapshot.
+                for labeled in workload:
+                    served = dispatcher.estimate(labeled.query, timeout=30)
+                    collector.record_served(
+                        served, true_cardinality=float(labeled.cardinality)
+                    )
+                deadline = time.monotonic() + 10.0
+                while not manager.monitor.baseline_frozen:
+                    assert time.monotonic() < deadline, "baseline never froze"
+                    time.sleep(0.02)
+                pre_update = collector.summary()
+                assert manager.stats.swaps == 0
+
+                # Phase 2 — the database update lands; ground truth moves.
+                retrainer.set_database(updated_database)
+                with truth_lock:
+                    for labeled in workload:
+                        truths[labeled.query] = float(
+                            updated_oracle.cardinality(labeled.query)
+                        )
+                clients = [threading.Thread(target=client) for _ in range(3)]
+                for thread in clients:
+                    thread.start()
+
+                # Phase 3 — the worker notices, retrains, swaps; traffic never stops.
+                deadline = time.monotonic() + 60.0
+                while manager.stats.swaps < 1:
+                    assert time.monotonic() < deadline, (
+                        f"no hot swap within 60s; last outcome: {manager.last_outcome}"
+                    )
+                    time.sleep(0.05)
+                stop.set()
+                for thread in clients:
+                    thread.join()
+
+                # Phase 4 — post-swap traffic against the refreshed estimator
+                # (lifecycle paused so a second swap cannot clear the window
+                # under the summary below).
+                manager.pause()
+                collector.clear()
+                for labeled in workload:
+                    served = dispatcher.estimate(labeled.query, timeout=30)
+                    collector.record_served(
+                        served,
+                        true_cardinality=float(
+                            updated_oracle.cardinality(labeled.query)
+                        ),
+                    )
+                recovered = collector.summary()
+
+        assert not failures, f"client raised: {failures[0]!r}"
+        assert dispatcher.stats.failed == 0
+        assert dispatcher.stats.completed == dispatcher.stats.submitted
+        assert manager.stats.swaps >= 1
+        assert manager.stats.retrains >= 1
+        # The swap was provoked by the drift policy (not forced), and the
+        # accept gate guaranteed the promoted candidate beat the degraded
+        # incumbent on the held-out feedback slice.
+        assert manager.stats.drift_triggers >= 1
+        assert manager.stats.post_swap_q_error <= manager.stats.pre_swap_q_error
+        # The refreshed estimator serves the updated data about as well as the
+        # original served the original data (the acceptance bar is 1.5x on
+        # the rolling median; the tail gets slack because a few
+        # near-zero-truth queries dominate p90 regardless of model quality).
+        assert recovered.p50 <= 1.5 * pre_update.p50, (
+            f"post-swap p50 {recovered.p50:.2f} vs pre-update p50 {pre_update.p50:.2f}"
+        )
+        assert recovered.p90 <= 3.0 * pre_update.p90, (
+            f"post-swap p90 {recovered.p90:.2f} vs pre-update p90 {pre_update.p90:.2f}"
+        )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -116,6 +118,28 @@ class TestEncodingCache:
         cache.rebind(retrained)
         assert len(cache) == 0  # the old model's encodings are gone
         CRNEstimator(retrained, imdb_featurizer, encoding_cache=cache)  # no raise
+
+    def test_rebind_fences_stale_writers_and_readers(self, model, imdb_featurizer, workload):
+        # The torn-swap race: during a same-featurizer hot swap, a request
+        # still in flight on the old model must not re-poison the rebound
+        # cache (its write lands after rebind cleared the store, under a key
+        # the new model would read).  Owner-identified writes are fenced.
+        cache = EncodingCache()
+        estimator = CRNEstimator(model, imdb_featurizer, encoding_cache=cache)
+        scope = imdb_featurizer.fingerprint
+        old_encoding = estimator.encode_query(workload[0], 1)
+        retrained = CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=99))
+        cache.rebind(retrained)
+        # The old model's in-flight write is dropped, not stored.
+        cache.put(workload[0], 1, old_encoding, scope=scope, owner=model)
+        assert len(cache) == 0
+        assert cache.get(workload[0], 1, scope=scope, owner=retrained) is None
+        # The old model's in-flight reads miss instead of observing the swap.
+        assert cache.get(workload[0], 1, scope=scope, owner=model) is None
+        # The new model's writes land normally.
+        fresh = CRNEstimator(retrained, imdb_featurizer, encoding_cache=cache)
+        new_encoding = fresh.encode_query(workload[0], 1)
+        assert cache.get(workload[0], 1, scope=scope, owner=retrained) is new_encoding
 
     def test_encodings_scoped_to_featurizer_snapshot(self, model, imdb_featurizer, workload):
         # Regression: the cache used to key by (query, position) only, so a
@@ -321,6 +345,104 @@ class TestEstimationService:
         new_misses = service.featurization_cache.stats.misses - misses_after_warm
         # Only never-seen incoming queries miss; pool queries never miss again.
         assert new_misses <= len({q for q in workload if q not in pool_queries})
+
+
+class TestRegistryUnregister:
+    def test_unregister_returns_estimator_and_reassigns_default(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        service.register("extra", PostgresCardinalityEstimator(imdb_small))
+        crn = service.get("crn")
+        removed = service.unregister("crn")
+        assert removed is crn
+        # The earliest remaining registration becomes the default.
+        assert service.default_estimator == "fallback"
+        assert set(service.names()) == {"fallback", "extra"}
+
+    def test_unregister_fallback_clears_fallback_routing(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        unmatched = (
+            QueryBuilder()
+            .table("movie_companies", "mc")
+            .table("movie_keyword", "mk")
+            .build()
+        )
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        service.unregister("fallback")
+        assert service.fallback is None
+        with pytest.raises(NoMatchingPoolQueryError):
+            service.submit(unmatched)
+
+    def test_unregister_unknown_raises(self, model, imdb_small, imdb_featurizer, pool):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        with pytest.raises(KeyError, match="cannot unregister"):
+            service.unregister("nope")
+
+    def test_unregister_last_entry_empties_registry(self, imdb_small):
+        service = EstimationService()
+        service.register("only", PostgresCardinalityEstimator(imdb_small))
+        service.unregister("only")
+        assert service.names() == []
+        with pytest.raises(LookupError):
+            service.default_estimator
+        # The next registration becomes the default again.
+        service.register("fresh", PostgresCardinalityEstimator(imdb_small))
+        assert service.default_estimator == "fresh"
+
+
+class TestStatsDraining:
+    def test_drain_returns_counters_and_zeroes_them(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        service.submit_batch(workload[:5])
+        drained = service.drain_stats()
+        assert drained["requests"] == 5.0
+        assert drained["batches"] == 1.0
+        assert "featurization_hit_rate" not in drained  # counters only
+        assert service.stats.requests == 0
+        assert service.stats_snapshot()["requests"] == 0.0
+
+    def test_reset_stats_zeroes_under_lock(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        service.submit_batch(workload[:3])
+        service.reset_stats()
+        assert service.stats.requests == 0
+
+    def test_concurrent_drains_count_every_request_exactly_once(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        # The race drain_stats closes: with separate snapshot + reset calls,
+        # requests landing between the two are lost (or double-counted by
+        # the next interval).  Drained intervals must partition the traffic.
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        rounds, submitters = 20, 4
+        drained: list[float] = []
+        stop = threading.Event()
+
+        def submit_worker():
+            for _ in range(rounds):
+                service.submit_batch(workload[:3])
+
+        def drain_worker():
+            while not stop.is_set():
+                drained.append(service.drain_stats()["requests"])
+
+        drainer = threading.Thread(target=drain_worker)
+        workers = [threading.Thread(target=submit_worker) for _ in range(submitters)]
+        drainer.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop.set()
+        drainer.join()
+        drained.append(service.drain_stats()["requests"])
+        assert sum(drained) == rounds * submitters * 3
 
 
 class TestServingMetrics:
