@@ -1,0 +1,176 @@
+"""Pool encoding index: vectorized whole-pool scoring vs the per-pair path.
+
+The Cnt2Crd technique scores an incoming query against *every* matching pool
+query, so per-request cost scales linearly with the matching bucket's size —
+exactly the axis the paper's Table 14 pool-size sweep varies.  This benchmark
+sweeps bucket-heavy pools (two FROM signatures, so the bucket size tracks the
+pool size) and serves the same single-request workload two ways:
+
+* **legacy** -- ``build_crn_service(..., use_pool_index=False)``: warmed
+  featurization/encoding caches, but every request still materializes
+  ``2·E`` Python pair tuples, performs ``2·E`` dict-keyed cache lookups, and
+  stacks ``2·E`` encoding rows before the pair head runs;
+* **indexed** -- the default service: per-signature contiguous encoding
+  matrices (:class:`repro.serving.PoolEncodingIndex`), so a request is
+  *encode Qnew once → two strided writes → the fixed-shape slab path*.
+
+Both paths run the identical slab matmuls, so the estimates must be
+**bit-for-bit identical** — asserted per request — and the win is the
+removed per-pair Python/bookkeeping work, asserted as a ≥3× single-request
+p50 speedup at pool sizes ≥ 2048.
+
+Smoke mode (``REPRO_SMOKE=1``, used by CI) shrinks the sweep and skips the
+timing requirement — the bit-identity assertions and the index machinery
+still run on every push.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import CRNConfig, CRNModel, QueriesPool, QueryFeaturizer
+from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
+from repro.evaluation import format_service_stats
+from repro.serving import build_crn_service
+from repro.sql.builder import QueryBuilder
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
+POOL_SIZES = (64, 256) if SMOKE else (256, 1024, 2048, 4096)
+REQUESTS = 10 if SMOKE else 25
+REQUIRED_SPEEDUP = 3.0
+SPEEDUP_AT_OR_ABOVE = 2048  # the acceptance bar applies to big pools
+
+
+def build_bucket_heavy_pool(size: int) -> QueriesPool:
+    """A pool whose entries concentrate on two FROM signatures.
+
+    Distinct predicate grids over ``title`` (and ``title ⋈ movie_companies``)
+    keep every query unique while the per-signature bucket grows with the
+    pool — the regime where per-request scoring cost is dominated by the
+    bucket size.  Cardinality labels are synthetic: the benchmark measures
+    scoring cost and bit-identity, not estimation accuracy.
+    """
+    pool = QueriesPool()
+    for index in range(size):
+        low = 1900 + (index % 90)
+        high = low + 1 + index // 90
+        if index % 2 == 0:
+            query = (
+                QueryBuilder()
+                .table("title", "t")
+                .where("t.production_year", ">", low - 0.5)
+                .where("t.production_year", "<", high + 0.5)
+                .build()
+            )
+        else:
+            query = (
+                QueryBuilder()
+                .table("title", "t")
+                .table("movie_companies", "mc")
+                .join("t.id", "mc.movie_id")
+                .where("t.production_year", ">", low - 0.5)
+                .where("t.production_year", "<", high + 0.5)
+                .build()
+            )
+        pool.add(query, index % 997 + 1)
+    return pool
+
+
+def build_requests(count: int) -> list:
+    """Request queries over the same signatures, disjoint from the pool grid."""
+    requests = []
+    for index in range(count):
+        value = 1900 + (index * 7) % 95
+        if index % 2 == 0:
+            query = (
+                QueryBuilder()
+                .table("title", "t")
+                .where("t.production_year", ">", value + 0.5)
+                .build()
+            )
+        else:
+            query = (
+                QueryBuilder()
+                .table("title", "t")
+                .table("movie_companies", "mc")
+                .join("t.id", "mc.movie_id")
+                .where("t.production_year", "<", value + 0.5)
+                .build()
+            )
+        requests.append(query)
+    return requests
+
+
+def serve_timed(service, requests) -> tuple[list[float], float]:
+    """Serve each request alone; return (estimates, single-request p50 seconds)."""
+    estimates: list[float] = []
+    latencies: list[float] = []
+    for query in requests:
+        start = time.perf_counter()
+        served = service.submit(query)
+        latencies.append(time.perf_counter() - start)
+        estimates.append(served.estimate)
+    return estimates, float(np.median(latencies))
+
+
+def test_pool_index_speedup_and_bit_identity(results_dir):
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=300, seed=11))
+    featurizer = QueryFeaturizer(database)
+    model = CRNModel(featurizer.vector_size, CRNConfig(hidden_size=32, seed=5))
+    requests = build_requests(REQUESTS)
+
+    rows = []
+    last_indexed_service = None
+    for size in POOL_SIZES:
+        pool = build_bucket_heavy_pool(size)
+        legacy = build_crn_service(
+            model, featurizer, pool, use_pool_index=False
+        )
+        indexed = build_crn_service(model, featurizer, pool)
+        last_indexed_service = indexed
+
+        legacy_estimates, legacy_p50 = serve_timed(legacy, requests)
+        indexed_estimates, indexed_p50 = serve_timed(indexed, requests)
+        assert indexed_estimates == legacy_estimates, (
+            f"indexed estimates diverged from the per-pair path at pool size {size}"
+        )
+        index_stats = indexed.stats_snapshot()
+        assert index_stats["pool_index_served"] >= len(requests), (
+            "the indexed service silently fell back to the legacy path"
+        )
+
+        speedup = legacy_p50 / indexed_p50 if indexed_p50 > 0 else float("inf")
+        rows.append((size, legacy_p50, indexed_p50, speedup))
+        if not SMOKE and size >= SPEEDUP_AT_OR_ABOVE:
+            assert speedup >= REQUIRED_SPEEDUP, (
+                f"expected the indexed path to be >= {REQUIRED_SPEEDUP:.0f}x faster "
+                f"at pool size {size}, measured {speedup:.1f}x "
+                f"({legacy_p50 * 1000:.2f}ms vs {indexed_p50 * 1000:.2f}ms)"
+            )
+
+    header = f"{'pool size':>10}{'legacy p50':>14}{'indexed p50':>14}{'speedup':>10}"
+    table = [header] + [
+        f"{size:>10}{legacy * 1000:>12.2f}ms{indexed * 1000:>12.2f}ms{speedup:>9.1f}x"
+        for size, legacy, indexed, speedup in rows
+    ]
+    report = "\n".join(
+        [
+            f"pool encoding index, single-request p50 over {REQUESTS} requests"
+            + (" (smoke)" if SMOKE else ""),
+            "",
+            *table,
+            "",
+            f"bit-for-bit identical at every size; requirement: >= "
+            f"{REQUIRED_SPEEDUP:.0f}x at pool size >= {SPEEDUP_AT_OR_ABOVE}"
+            + (" (timing not enforced in smoke mode)" if SMOKE else ""),
+            "",
+            format_service_stats(
+                last_indexed_service.stats_snapshot(), title="indexed service stats"
+            ),
+        ]
+    )
+    (results_dir / "pool_index.txt").write_text(report + "\n")
+    print(f"\n{report}\n")

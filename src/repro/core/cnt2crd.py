@@ -50,6 +50,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.estimators import CardinalityEstimator, ContainmentEstimator
 from repro.core.final_functions import FinalFunction, get_final_function
 from repro.core.queries_pool import PoolEntry, QueriesPool
@@ -57,12 +59,14 @@ from repro.sql.query import Query
 
 
 class NoMatchingPoolQueryError(LookupError):
-    """Raised when no pool query can be used to estimate a query's cardinality.
+    """Raised when no pool query shares the FROM clause of the query to estimate.
 
-    This happens when the pool has no entry with the query's FROM clause, or
-    when every matching entry's ``Qnew ⊂% Qold`` rate is below the epsilon
-    threshold.  Callers can avoid it by seeding the pool with predicate-free
-    "frame" queries (Section 5.2) or by configuring a fallback estimator.
+    Callers can avoid it by seeding the pool with predicate-free "frame"
+    queries (Section 5.2) or by configuring a fallback estimator.  The
+    related degenerate case — matching entries exist but every one is
+    filtered by the ``y_rate <= epsilon`` guard — does not raise: it routes
+    to the configured fallback when one exists and collapses to 0 otherwise
+    (see :meth:`Cnt2CrdEstimator.estimate_cardinality`).
     """
 
 
@@ -90,7 +94,15 @@ class Cnt2CrdEstimator(CardinalityEstimator):
             learned rate would amplify its relative error into an arbitrarily
             large cardinality estimate.
         fallback: optional cardinality estimator used when no pool query
-            matches; when omitted, :class:`NoMatchingPoolQueryError` is raised.
+            can contribute an estimate — the FROM clause matches nothing, or
+            every matching entry was filtered by the epsilon guard; when
+            omitted, :class:`NoMatchingPoolQueryError` is raised.
+        pool_index: optional :class:`repro.serving.PoolEncodingIndex`.  When
+            it can serve a query (CRN containment model, bound owner,
+            matching pool), :meth:`pool_estimates` scores the whole matching
+            bucket through pre-built encoding matrices instead of per-pair
+            dict lookups — bit-for-bit identical, much faster on large
+            pools; otherwise the legacy per-pair path runs unchanged.
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class Cnt2CrdEstimator(CardinalityEstimator):
         final_function: str | FinalFunction = "median",
         epsilon: float = 1e-3,
         fallback: CardinalityEstimator | None = None,
+        pool_index=None,
     ) -> None:
         self.containment_estimator = containment_estimator
         self.pool = pool
@@ -108,6 +121,15 @@ class Cnt2CrdEstimator(CardinalityEstimator):
         )
         self.epsilon = epsilon
         self.fallback = fallback
+        self.pool_index = pool_index
+        if pool_index is not None:
+            # Index rows are a function of the containment model's weights;
+            # binding on attach mirrors the EncodingCache contract (the
+            # attribute is duck-typed so core never imports the serving layer).
+            model = getattr(containment_estimator, "model", None)
+            bind = getattr(pool_index, "bind", None)
+            if model is not None and bind is not None:
+                bind(model)
         self.name = f"Cnt2Crd({containment_estimator.name})"
 
     # ------------------------------------------------------------------ #
@@ -143,6 +165,11 @@ class Cnt2CrdEstimator(CardinalityEstimator):
     ) -> list[PoolEstimate]:
         """Turn pre-computed containment rates back into per-pool-query estimates.
 
+        This is the observability-friendly form (each surviving entry's rates
+        travel with its estimate); hot paths that only need the estimate
+        *values* use the vectorized :meth:`estimate_values_from_rates`, which
+        is bit-for-bit equivalent.
+
         Args:
             query: the incoming query.
             entries: the eligible entries the rates were computed for.
@@ -168,12 +195,85 @@ class Cnt2CrdEstimator(CardinalityEstimator):
             )
         return estimates
 
+    def estimate_values_from_rates(
+        self,
+        entries: Sequence[PoolEntry],
+        rates: Sequence[float],
+        cardinalities: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """The per-entry estimate *values* surviving the epsilon guard, vectorized.
+
+        Bit-for-bit equal to ``[e.estimate for e in estimates_from_rates(...)]``:
+        ``x / y * cardinality`` runs elementwise in float64 (identical IEEE
+        operations to the scalar loop), and the guard keeps exactly the
+        entries the scalar ``y_rate <= epsilon`` test would keep — including
+        its NaN behaviour (a NaN rate is *kept*, both ways).  On a
+        2000-entry bucket this replaces thousands of Python loop iterations
+        and :class:`PoolEstimate` allocations per request with four array
+        operations.
+
+        Args:
+            entries: the eligible entries the rates were computed for.
+            rates: the :meth:`containment_pairs`-ordered rates.
+            cardinalities: optional precomputed ``(len(entries),)`` float64
+                entry cardinalities, row-aligned with ``entries`` (the pool
+                index keeps one per slab so the per-request path performs no
+                Python iteration over the entries at all).
+        """
+        values = np.asarray(rates, dtype=np.float64)
+        if values.shape[0] != 2 * len(entries):
+            raise ValueError(
+                f"expected {2 * len(entries)} rates for {len(entries)} entries, "
+                f"got {values.shape[0]}"
+            )
+        x_rates = values[0::2]
+        y_rates = values[1::2]
+        keep = ~(y_rates <= self.epsilon)  # NOT (y <= eps): NaN is kept, as in the scalar guard
+        if cardinalities is None:
+            cardinalities = np.fromiter(
+                (entry.cardinality for entry in entries),
+                dtype=np.float64,
+                count=len(entries),
+            )
+        return x_rates[keep] / y_rates[keep] * cardinalities[keep]
+
+    def _indexed_rates(self, query: Query):
+        """Resolve ``query`` through the pool index and score its slab.
+
+        The single owner of the resolve-or-fall-back contract, shared by the
+        observability path (:meth:`pool_estimates`) and the value-level hot
+        path (:meth:`_estimate_values`) so they cannot drift apart.  Returns
+        ``(slab, rates)`` — rates empty when the bucket has no eligible
+        entries — or ``None`` when the request must take the legacy per-pair
+        path (no index, fenced owner, foreign pool, non-CRN containment).
+        """
+        if self.pool_index is None:
+            return None
+        resolved = self.pool_index.resolve(self, query)
+        if resolved is None:
+            return None
+        if not resolved.entries:
+            return resolved, np.empty(0, dtype=np.float64)
+        rates = self.containment_estimator.rates_against_pool(
+            query, resolved.first, resolved.second
+        )
+        return resolved, rates
+
     def pool_estimates(self, query: Query) -> list[PoolEstimate]:
         """The per-pool-query estimates for ``query`` (the technique's inner loop).
 
-        Containment rates for all matching pool queries are estimated in one
-        batched call so learned estimators can vectorize the work.
+        With a usable :attr:`pool_index` the whole matching bucket is scored
+        against its pre-built encoding matrices (no per-pair Python work);
+        otherwise containment rates for all matching pool queries are
+        estimated in one batched per-pair call.  Both paths produce
+        bit-for-bit identical estimates.
         """
+        indexed = self._indexed_rates(query)
+        if indexed is not None:
+            slab, rates = indexed
+            if not slab.entries:
+                return []
+            return self.estimates_from_rates(query, slab.entries, rates.tolist())
         entries = self.eligible_entries(query)
         if not entries:
             return []
@@ -185,14 +285,27 @@ class Cnt2CrdEstimator(CardinalityEstimator):
     def collapse(self, estimates: Sequence[PoolEstimate]) -> float:
         """Collapse per-pool-query estimates with the final function ``F``.
 
-        An empty list means matching pool queries existed but the new query
-        was estimated to be contained ~0% in all of them, which (with frame
-        queries in the pool) only happens when the new query's result is
-        empty — so the collapsed estimate is 0.
+        An empty list collapses to 0: with *exact* rates (or frame queries
+        in the pool) matched-but-all-filtered only happens when the new
+        query's result really is empty.  With learned rates that zero can be
+        spurious, which is why :meth:`estimate_cardinality` routes the empty
+        case to the configured :attr:`fallback` first and only collapses to
+        0 when no fallback exists.
         """
         if not estimates:
             return 0.0
         return float(self.final_function([estimate.estimate for estimate in estimates]))
+
+    def collapse_values(self, values: np.ndarray) -> float:
+        """:meth:`collapse` over plain estimate values (the vectorized path).
+
+        Bit-for-bit equal to ``collapse(estimates_from_rates(...))`` for the
+        matching values: the final function sees the identical list of
+        floats either way.
+        """
+        if values.size == 0:
+            return 0.0
+        return float(self.final_function(values.tolist()))
 
     def fallback_estimate(self, query: Query) -> float:
         """Estimate a query with no matching pool entry (or raise).
@@ -205,10 +318,44 @@ class Cnt2CrdEstimator(CardinalityEstimator):
             f"no pool query shares the FROM clause {query.from_signature()}"
         )
 
+    def _estimate_values(self, query: Query) -> np.ndarray:
+        """The surviving per-entry estimate values for ``query`` (fast inner loop).
+
+        Value-level twin of :meth:`pool_estimates` — indexed when the pool
+        index can serve, per-pair otherwise, vectorized guard either way —
+        producing exactly the values :meth:`pool_estimates` would carry.
+        """
+        indexed = self._indexed_rates(query)
+        if indexed is not None:
+            slab, rates = indexed
+            if not slab.entries:
+                return np.empty(0, dtype=np.float64)
+            return self.estimate_values_from_rates(
+                slab.entries, rates, cardinalities=slab.cardinalities
+            )
+        entries = self.eligible_entries(query)
+        if not entries:
+            return np.empty(0, dtype=np.float64)
+        rates = self.containment_estimator.estimate_containments(
+            self.containment_pairs(query, entries)
+        )
+        return self.estimate_values_from_rates(entries, rates)
+
     def estimate_cardinality(self, query: Query) -> float:
         if not self.pool.has_match(query):
             return self.fallback_estimate(query)
-        return self.collapse(self.pool_estimates(query))
+        values = self._estimate_values(query)
+        if values.size == 0 and self.fallback is not None:
+            # Matched, but every eligible entry was filtered by the epsilon
+            # guard (or every match had an empty result).  A learned rate
+            # model estimating ~0 containment against every matching entry
+            # does not reliably mean "empty result" — collapsing to 0.0 here
+            # would silently bypass the configured fallback and emit a
+            # spurious zero with unbounded q-error.  Without a fallback the
+            # legacy collapse-to-0 stands: it is exactly right for exact
+            # rates and frame-seeded pools, and there is no better answer.
+            return self.fallback.estimate_cardinality(query)
+        return self.collapse_values(values)
 
 
 def cnt2crd(
@@ -217,6 +364,7 @@ def cnt2crd(
     final_function: str | FinalFunction = "median",
     epsilon: float = 1e-3,
     fallback: CardinalityEstimator | None = None,
+    pool_index=None,
 ) -> Cnt2CrdEstimator:
     """Functional alias for :class:`Cnt2CrdEstimator` (matches the paper's notation)."""
     return Cnt2CrdEstimator(
@@ -225,4 +373,5 @@ def cnt2crd(
         final_function=final_function,
         epsilon=epsilon,
         fallback=fallback,
+        pool_index=pool_index,
     )

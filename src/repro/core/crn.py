@@ -229,6 +229,79 @@ class CRNModel(Module):
             rates[start : start + count] = out[:count]
         return rates
 
+    def rates_against_pool(
+        self,
+        query_first_repr: np.ndarray,
+        query_second_repr: np.ndarray,
+        pool_first_reprs: np.ndarray,
+        pool_second_reprs: np.ndarray,
+        slab_size: int = 256,
+    ) -> np.ndarray:
+        """Score one query against a whole pool-side encoding matrix.
+
+        The Cnt2Crd technique needs, per eligible pool entry ``Qold``, the
+        ordered pairs ``(Qold, Qnew)`` then ``(Qnew, Qold)``
+        (:meth:`repro.core.cnt2crd.Cnt2CrdEstimator.containment_pairs`).
+        Given the pool side pre-encoded as contiguous matrices (one per pair
+        slot), this assembles the ``(2n, H)`` pair-head inputs with two
+        vectorized strided writes — no per-pair Python tuples, dict lookups,
+        or row stacking — and runs the ordinary fixed-shape slab path.
+
+        Bit-for-bit identity with the per-request path is by construction:
+        the assembled rows are exactly the rows ``estimate_containments``
+        would have stacked for the same pairs, in the same interleaved
+        order, and :meth:`rates_from_encodings` makes each row's rate
+        independent of batch composition.
+
+        Args:
+            query_first_repr: ``(H,)`` encoding of the incoming query from
+                :meth:`encode_set` position 1 (it is the *first* element of
+                every ``(Qnew, Qold)`` y-rate pair).
+            query_second_repr: ``(H,)`` position-2 encoding of the incoming
+                query (the *second* element of every ``(Qold, Qnew)`` pair).
+            pool_first_reprs: ``(n, H)`` position-1 encodings of the eligible
+                pool queries, row ``i`` belonging to entry ``i``.
+            pool_second_reprs: ``(n, H)`` position-2 encodings, same order.
+            slab_size: rows per pair-head forward pass.
+
+        Returns:
+            A ``(2n,)`` float64 array of rates in ``containment_pairs``
+            order: ``rates[2i]`` is entry ``i``'s x_rate, ``rates[2i + 1]``
+            its y_rate.
+        """
+        first, second = self.assemble_pool_pairs(
+            query_first_repr, query_second_repr, pool_first_reprs, pool_second_reprs
+        )
+        return self.rates_from_encodings(first, second, slab_size=slab_size)
+
+    def assemble_pool_pairs(
+        self,
+        query_first_repr: np.ndarray,
+        query_second_repr: np.ndarray,
+        pool_first_reprs: np.ndarray,
+        pool_second_reprs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(2n, H)`` pair-head input matrices of one query-vs-pool scoring.
+
+        Split out of :meth:`rates_against_pool` so batched callers (the
+        serving layer scoring many requests at once) can concatenate several
+        requests' assembled blocks and run the pair head over one large
+        fixed-shape slab sequence — each row's rate is batch-composition
+        invariant, so the fusion changes no bits while amortizing slab
+        padding across requests.
+        """
+        if pool_first_reprs.shape != pool_second_reprs.shape:
+            raise ValueError("pool encoding matrices must have the same shape")
+        count = pool_first_reprs.shape[0]
+        hidden = self.hidden_size
+        first = np.empty((2 * count, hidden), dtype=np.float64)
+        second = np.empty((2 * count, hidden), dtype=np.float64)
+        first[0::2] = pool_first_reprs  # x_rate pairs: (Qold, Qnew)
+        first[1::2] = query_first_repr  # y_rate pairs: (Qnew, Qold)
+        second[0::2] = query_second_repr
+        second[1::2] = pool_second_reprs
+        return first, second
+
     # ------------------------------------------------------------------ #
     # bookkeeping
 
@@ -333,6 +406,66 @@ class CRNEstimator(ContainmentEstimator):
         if self.encoding_cache is not None:
             self.encoding_cache.put(query, position, encoding, scope=scope, owner=self.model)
         return encoding
+
+    def rates_against_pool(
+        self, query: Query, pool_first_reprs: np.ndarray, pool_second_reprs: np.ndarray
+    ) -> np.ndarray:
+        """Containment rates of ``query`` against a pre-encoded pool slab.
+
+        Encodes the incoming query once per pair slot (through the encoding
+        cache when attached) and hands the pool-side matrices straight to
+        :meth:`CRNModel.rates_against_pool` — the whole-pool scoring path the
+        :class:`repro.serving.PoolEncodingIndex` feeds.  Returns rates in
+        :meth:`repro.core.cnt2crd.Cnt2CrdEstimator.containment_pairs` order,
+        bit-for-bit identical to :meth:`estimate_containments` over the same
+        pairs.
+        """
+        first_repr = self.encode_query(query, 1)
+        second_repr = self.encode_query(query, 2)
+        return self.model.rates_against_pool(
+            first_repr,
+            second_repr,
+            pool_first_reprs,
+            pool_second_reprs,
+            slab_size=self.batch_size,
+        )
+
+    def rates_against_pools(self, items) -> list[np.ndarray]:
+        """Score many ``(query, pool_first, pool_second)`` requests at once.
+
+        Each item's pair rows are assembled exactly as
+        :meth:`rates_against_pool` would, but all blocks run through *one*
+        fixed-shape slab sequence: with many concurrent requests over small
+        buckets, per-request slab runs would each pad to a full slab and
+        waste most of the pair-head compute.  Because every row's rate is
+        independent of batch composition, the fused run returns bit-for-bit
+        the same rates as one call per item.
+
+        Returns one ``(2 * n_i,)`` rate array per item, in order.
+        """
+        blocks = []
+        for query, pool_first, pool_second in items:
+            first_repr = self.encode_query(query, 1)
+            second_repr = self.encode_query(query, 2)
+            blocks.append(
+                self.model.assemble_pool_pairs(
+                    first_repr, second_repr, pool_first, pool_second
+                )
+            )
+        if not blocks:
+            return []
+        stacked_first = np.concatenate([first for first, _ in blocks], axis=0)
+        stacked_second = np.concatenate([second for _, second in blocks], axis=0)
+        rates = self.model.rates_from_encodings(
+            stacked_first, stacked_second, slab_size=self.batch_size
+        )
+        results: list[np.ndarray] = []
+        offset = 0
+        for first, _ in blocks:
+            count = first.shape[0]
+            results.append(rates[offset : offset + count])
+            offset += count
+        return results
 
     def warm(self, queries) -> None:
         """Pre-featurize and pre-encode ``queries`` for both pair slots.

@@ -50,6 +50,11 @@ class QueriesPool:
         # FROM signature -> {query -> entry}; the inner dict gives O(1)
         # dedup/update and preserves insertion order like the old list did.
         self._by_from: dict[tuple[tuple[str, str], ...], dict[Query, PoolEntry]] = {}
+        # Per-signature mutation counters: every add() bumps its bucket's
+        # version, so incremental consumers (the serving layer's
+        # PoolEncodingIndex) can detect "this bucket changed" in O(1)
+        # instead of re-diffing the bucket on every read.
+        self._bucket_versions: dict[tuple[tuple[str, str], ...], int] = {}
         self._size = 0
         self._lock = threading.Lock()
         for entry in entries:
@@ -93,6 +98,7 @@ class QueriesPool:
             if query not in bucket:
                 self._size += 1
             bucket[query] = entry
+            self._bucket_versions[signature] = self._bucket_versions.get(signature, 0) + 1
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -118,6 +124,33 @@ class QueriesPool:
                 entry for bucket in self._by_from.values() for entry in bucket.values()
             ]
         return iter(snapshot)
+
+    def bucket_version(self, signature: tuple[tuple[str, str], ...]) -> int:
+        """The mutation counter of one FROM-signature bucket (0 when absent).
+
+        Every :meth:`add` touching the bucket increments it, so a consumer
+        that cached derived per-bucket state (e.g. the serving layer's pool
+        encoding index) can check "did this bucket change?" in O(1) without
+        copying the bucket.
+        """
+        with self._lock:
+            return self._bucket_versions.get(signature, 0)
+
+    def bucket_snapshot(
+        self, signature: tuple[tuple[str, str], ...]
+    ) -> tuple[list[PoolEntry], int]:
+        """One bucket's entries plus its version, read atomically.
+
+        Reading entries and version under one lock acquisition means the
+        returned version describes exactly the returned entries: an
+        :meth:`add` landing concurrently is either fully included (and the
+        version reflects it) or fully excluded — a consumer caching by
+        version can never associate a version with a partially-applied state.
+        """
+        with self._lock:
+            bucket = self._by_from.get(signature)
+            entries = list(bucket.values()) if bucket else []
+            return entries, self._bucket_versions.get(signature, 0)
 
     def from_signatures(self) -> list[tuple[tuple[str, str], ...]]:
         """All distinct FROM-clause signatures present in the pool."""

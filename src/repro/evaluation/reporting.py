@@ -155,6 +155,13 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("featurization_entries", "featurizations cached", "{:.0f}"),
     ("encoding_hit_rate", "encoding hit rate", "{:.1%}"),
     ("encoding_entries", "encodings cached", "{:.0f}"),
+    ("pool_index_signatures", "pool index signatures", "{:.0f}"),
+    ("pool_index_rows", "pool index rows", "{:.0f}"),
+    ("pool_index_served", "pool index served", "{:.0f}"),
+    ("pool_index_fallbacks", "pool index fallbacks", "{:.0f}"),
+    ("pool_index_builds", "pool index builds", "{:.0f}"),
+    ("pool_index_rebuilds", "pool index rebuilds", "{:.0f}"),
+    ("pool_index_appended_rows", "pool index rows appended", "{:.0f}"),
     ("submitted", "requests submitted", "{:.0f}"),
     ("completed", "requests completed", "{:.0f}"),
     ("failed", "requests failed", "{:.0f}"),
@@ -190,14 +197,20 @@ def format_service_stats(snapshot: Mapping[str, float], title: str = "") -> str:
     skipped), optionally merged with
     :meth:`repro.serving.DispatcherStats.snapshot` for the dispatcher's
     concurrency counters.
+
+    NaN values render as ``—`` ("no reading yet"): gauges like the lifecycle's
+    pre/post-swap q-errors, or a :class:`repro.serving.FeedbackCollector`
+    quantile over an empty window, are NaN until their first event, and a
+    literal ``nan`` cell reads like a corrupted metric rather than an absent
+    one.
     """
     rows = [
-        (label, fmt.format(snapshot[key]))
+        (label, _format_stat(snapshot[key], fmt))
         for key, label, fmt in _SERVICE_STAT_ROWS
         if key in snapshot
     ]
     extras = sorted(set(snapshot) - {key for key, _, _ in _SERVICE_STAT_ROWS})
-    rows.extend((key, f"{snapshot[key]:.2f}") for key in extras)
+    rows.extend((key, _format_stat(snapshot[key], "{:.2f}")) for key in extras)
     label_width = max([len(label) for label, _ in rows] + [0]) + 2
     lines: list[str] = []
     if title:
@@ -205,6 +218,13 @@ def format_service_stats(snapshot: Mapping[str, float], title: str = "") -> str:
     for label, value in rows:
         lines.append(label.ljust(label_width) + value.rjust(14))
     return "\n".join(lines)
+
+
+def _format_stat(value: float, float_format: str) -> str:
+    """One service-stats cell; NaN means "no reading yet" and renders as —."""
+    if isinstance(value, float) and np.isnan(value):
+        return "—"
+    return float_format.format(value)
 
 
 def _format_cell(value: float, float_format: str) -> str:

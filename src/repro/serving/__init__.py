@@ -9,10 +9,15 @@ forward passes.  This package amortizes that work across requests:
   vectors, memoized once per pool query, ever) and :class:`EncodingCache`
   (query → CRN ``Qvec`` per pair slot), both with LRU bounds and hit/miss
   accounting.
-* :mod:`repro.serving.planner` -- :class:`BatchPlanner`, which flattens the
-  ``(Qnew, Qold)`` scoring pairs of many concurrent requests (both
-  directions) into one deduplicated pair list executed as a few large
-  fixed-shape forward passes.
+* :mod:`repro.serving.pool_index` -- :class:`PoolEncodingIndex`, per-FROM-
+  signature contiguous pool-query encoding matrices (one per pair slot),
+  maintained incrementally on :meth:`repro.core.queries_pool.QueriesPool.add`
+  and owner-fenced like the encoding cache, so a request is scored as one
+  vectorized whole-pool slab pass instead of ``2·E`` per-pair lookups.
+* :mod:`repro.serving.planner` -- :class:`BatchPlanner`, which plans
+  index-servable requests as slab references and flattens everything else's
+  ``(Qnew, Qold)`` scoring pairs (both directions) into one deduplicated
+  pair list executed as a few large fixed-shape forward passes.
 * :mod:`repro.serving.service` -- :class:`EstimationService`, the façade with
   a named estimator registry, ``submit`` / ``submit_batch``, registry-level
   fallback for :class:`repro.core.cnt2crd.NoMatchingPoolQueryError`, and
@@ -68,6 +73,7 @@ from repro.serving.lifecycle import (
     LifecycleStats,
 )
 from repro.serving.planner import BatchPlan, BatchPlanner, RequestPlan
+from repro.serving.pool_index import IndexedSlab, PoolEncodingIndex, PoolIndexStats
 from repro.serving.service import (
     EstimationService,
     ServedEstimate,
@@ -93,7 +99,10 @@ __all__ = [
     "FeedbackCollector",
     "FeedbackObservation",
     "FeedbackSummary",
+    "IndexedSlab",
     "LifecycleStats",
+    "PoolEncodingIndex",
+    "PoolIndexStats",
     "RequestPlan",
     "ServedEstimate",
     "ServiceStats",

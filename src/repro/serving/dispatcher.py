@@ -31,6 +31,13 @@ stops accepting new requests and (by default) drains everything already
 queued before returning, and the context-manager form brackets both.
 Requests may be enqueued before :meth:`start`; they are served as soon as
 the thread runs.
+
+Liveness: an accepted future always resolves.  On a clean shutdown every
+queued request is served before the thread exits; if the thread ever dies of
+a dispatcher bug instead, it closes the dispatcher (further submissions
+raise), fails the in-progress batch and everything still queued with the
+error, and records it on :attr:`ServingDispatcher.last_error` — a caller
+blocked on ``future.result()`` sees the exception, never a hang.
 """
 
 from __future__ import annotations
@@ -178,6 +185,11 @@ class ServingDispatcher:
         self.max_batch = max_batch
         self.max_wait_seconds = max_wait_ms / 1000.0
         self.stats = DispatcherStats()
+        #: The exception that killed the dispatcher thread, if one ever did
+        #: (a dispatcher bug outside the per-batch isolation).  The thread
+        #: fails every pending future and refuses new submissions before
+        #: exiting, so callers observe the error instead of hanging.
+        self.last_error: BaseException | None = None
         self._queue: queue.Queue = queue.Queue()
         self._state_lock = threading.Lock()
         self._closed = False
@@ -267,27 +279,89 @@ class ServingDispatcher:
     # dispatcher thread
 
     def _run(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _SENTINEL:
-                return
-            batch, saw_sentinel = self._coalesce(item)
-            try:
-                self._serve(batch)
-            except BaseException as error:  # pragma: no cover - defensive
-                # _serve isolates per-request errors; anything reaching here
-                # is a dispatcher bug.  Fail the batch's futures rather than
-                # leaving callers blocked forever, and keep the thread alive.
-                for request in batch:
-                    if not request.future.done():
-                        request.future.set_exception(error)
-                self.stats.record_failed(len(batch))
-            if saw_sentinel:
-                return
+        # The liveness contract: this thread never exits while a submitted
+        # future could still be unresolved.  The body keeps `batch` in scope
+        # so even an exception raised *between* serve calls — mid-coalesce,
+        # in stats recording — cannot strand the requests already pulled off
+        # the queue, and the finally block closes the dispatcher and fails
+        # whatever is still queued before the thread is allowed to die.
+        error: BaseException | None = None
+        batch: list[_PendingRequest] = []
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _SENTINEL:
+                    return
+                batch = [item]
+                saw_sentinel = self._coalesce(batch)
+                try:
+                    self._serve(batch)
+                except BaseException as serve_error:  # pragma: no cover - defensive
+                    # _serve isolates per-request errors; anything reaching
+                    # here is a dispatcher bug.  Fail the batch's futures
+                    # rather than leaving callers blocked forever, and keep
+                    # the thread alive.
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.set_exception(serve_error)
+                    self.stats.record_failed(len(batch))
+                batch = []
+                if saw_sentinel:
+                    return
+        except BaseException as run_error:
+            # A bug outside the per-batch isolation (e.g. in _coalesce).
+            # Without the cleanup below the thread would die silently: the
+            # partial batch's futures would hang forever, and — worse — the
+            # dispatcher would keep *accepting* requests into a queue nobody
+            # drains.  Record the error and fall through to the drain.
+            error = run_error
+            self.last_error = run_error
+        finally:
+            self._fail_pending(batch, error)
 
-    def _coalesce(self, first: _PendingRequest) -> tuple[list[_PendingRequest], bool]:
-        """Gather up to ``max_batch`` requests within the ``max_wait`` window."""
-        batch = [first]
+    def _fail_pending(
+        self, batch: list[_PendingRequest], error: BaseException | None
+    ) -> None:
+        """Close the dispatcher and resolve every still-pending future.
+
+        Runs on every thread exit.  After a clean drain (sentinel) the
+        dispatcher is already closed and the queue empty, so this is a
+        no-op; after a crash it (1) closes the dispatcher *first* — once any
+        future resolves with the error, callers must deterministically see
+        new submissions refused rather than swallowed by a dead queue — then
+        (2) fails the partially-coalesced batch and everything still queued.
+        """
+        with self._state_lock:
+            self._closed = True
+        failed = 0
+        pending = list(batch)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL:
+                pending.append(item)
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(
+                    error
+                    if error is not None
+                    else DispatcherShutdownError(
+                        "dispatcher thread exited before serving this request"
+                    )
+                )
+                failed += 1
+        if failed:
+            self.stats.record_failed(failed)
+
+    def _coalesce(self, batch: list[_PendingRequest]) -> bool:
+        """Gather up to ``max_batch`` requests within the ``max_wait`` window.
+
+        Appends onto the caller's ``batch`` (seeded with the first request)
+        so the requests stay reachable for cleanup even if this method
+        raises; returns whether the shutdown sentinel was consumed.
+        """
         deadline = time.monotonic() + self.max_wait_seconds
         while len(batch) < self.max_batch:
             remaining = deadline - time.monotonic()
@@ -301,9 +375,9 @@ class ServingDispatcher:
             except queue.Empty:
                 break
             if item is _SENTINEL:
-                return batch, True
+                return True
             batch.append(item)
-        return batch, False
+        return False
 
     def _serve(self, batch: list[_PendingRequest]) -> None:
         self.stats.record_batch(len(batch))

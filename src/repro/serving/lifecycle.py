@@ -226,12 +226,26 @@ class DriftMonitor:
             if count
             else float("nan")
         )
-        if count >= policy.min_observations and not self.baseline_frozen:
+        # Never freeze a NaN-poisoned window as the healthy reference: a
+        # diverged model emitting NaN estimates during the *first* full
+        # window would otherwise bake a NaN baseline in forever (rebaseline
+        # only runs after a swap, and a NaN baseline can never arm the
+        # degradation condition that would cause one).
+        if (
+            count >= policy.min_observations
+            and not np.isnan(observed)
+            and not self.baseline_frozen
+        ):
             self.freeze_baseline()
         baseline = self.baseline_quantile()
         label = f"p{policy.quantile * 100:.0f}"
         reasons: list[str] = []
-        if count >= policy.min_observations:
+        # A NaN quantile (empty window, or a NaN observation poisoning the
+        # window — e.g. a diverged model emitting NaN estimates) is "no
+        # signal", not "infinite error".  The q-error conditions require a
+        # non-NaN reading *explicitly*: NaN comparisons happen to be False,
+        # but a policy must not hinge on IEEE comparison semantics.
+        if count >= policy.min_observations and not np.isnan(observed):
             if policy.max_q_error is not None and observed > policy.max_q_error:
                 reasons.append(
                     f"rolling {label} q-error {observed:.2f} exceeds {policy.max_q_error:.2f}"
@@ -250,11 +264,15 @@ class DriftMonitor:
         row_delta = float("nan")
         if current_rows is not None and rows_at_refresh is not None and rows_at_refresh > 0:
             row_delta = abs(current_rows - rows_at_refresh) / rows_at_refresh
-            if policy.max_row_delta is not None and row_delta > policy.max_row_delta:
-                reasons.append(
-                    f"row count changed {row_delta:.1%} since the last refresh "
-                    f"(threshold {policy.max_row_delta:.1%})"
-                )
+        if (
+            policy.max_row_delta is not None
+            and not np.isnan(row_delta)  # unknown row counts are "no signal"
+            and row_delta > policy.max_row_delta
+        ):
+            reasons.append(
+                f"row count changed {row_delta:.1%} since the last refresh "
+                f"(threshold {policy.max_row_delta:.1%})"
+            )
         return DriftVerdict(
             triggered=bool(reasons),
             reasons=tuple(reasons),
@@ -787,12 +805,19 @@ class AdaptationManager:
             # incumbent fenced out of its own cache.  Re-bind it, count the
             # failure, and keep the worker alive.
             self.last_error = error
-            if self.service.encoding_cache is not None and isinstance(
-                incumbent.containment_estimator, CRNEstimator
-            ):
-                self.service.encoding_cache.rebind(
-                    incumbent.containment_estimator.model
-                )
+            if isinstance(incumbent.containment_estimator, CRNEstimator):
+                if self.service.encoding_cache is not None:
+                    self.service.encoding_cache.rebind(
+                        incumbent.containment_estimator.model
+                    )
+                if self.service.pool_index is not None:
+                    # Symmetric recovery: the index was already rebound to
+                    # the candidate; hand it back (with the incumbent's pool)
+                    # so the still-serving incumbent is not fenced out of its
+                    # own fast path.  Slabs rebuild lazily from the cache.
+                    self.service.pool_index.rebind(
+                        incumbent.containment_estimator.model, pool=incumbent.pool
+                    )
             self._consecutive_failures += 1
             self.stats.record_promote_failure()
             self._cooldown_until = time.monotonic() + policy.cooldown_seconds
@@ -859,6 +884,14 @@ class AdaptationManager:
             )
         )
         incumbent_q = float(np.median([item.q_error for item in holdout]))
+        if np.isnan(candidate_q) or np.isnan(incumbent_q):
+            # NaN medians (NaN estimates from a diverged candidate, or NaN
+            # observations in the window) are "no signal": reject explicitly
+            # instead of letting the always-False NaN comparison decide —
+            # which would also, by accident, reject on a NaN *incumbent*
+            # where promoting a finite candidate might look tempting but
+            # would ship a model validated against nothing.
+            return incumbent_q, candidate_q, False, len(holdout)
         accepted = candidate_q <= self.accept_ratio * incumbent_q
         return incumbent_q, candidate_q, accepted, len(holdout)
 
@@ -896,6 +929,14 @@ class AdaptationManager:
         if shared and self.service.encoding_cache is not None:
             self.service.encoding_cache.rebind(candidate.model)
             encoding_cache = self.service.encoding_cache
+        pool_index = None
+        if shared and self.service.pool_index is not None:
+            # Same fence discipline as the encoding cache: drop the outgoing
+            # model's slabs and retarget the refreshed pool atomically, so
+            # in-flight old-model requests degrade to the legacy path instead
+            # of ever reading rows the candidate will own.
+            self.service.pool_index.rebind(candidate.model, pool=pool)
+            pool_index = self.service.pool_index
         crn = CRNEstimator(
             candidate.model,
             featurization_cache,
@@ -908,6 +949,7 @@ class AdaptationManager:
             final_function=incumbent.final_function,
             epsilon=incumbent.epsilon,
             fallback=incumbent.fallback,
+            pool_index=pool_index,
         )
 
     def _promote(
@@ -929,6 +971,12 @@ class AdaptationManager:
         containment = estimator.containment_estimator
         if self.warm_on_swap:
             containment.warm(entry.query for entry in pool)
+            if estimator.pool_index is not None:
+                # Rebuild the whole-pool encoding matrices with the candidate
+                # model *before* the registry swap: the first post-swap
+                # request then scores against warm slabs instead of paying a
+                # full per-signature re-encoding stall.
+                estimator.pool_index.warm(estimator)
         self.service.replace(self.estimator_name, estimator)
         # The containment estimator's featurizer IS the new FeaturizationCache
         # (built in _build_estimator); point the service's reporting handle at it.

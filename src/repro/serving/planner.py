@@ -34,6 +34,7 @@ from typing import Sequence
 
 from repro.core.cnt2crd import Cnt2CrdEstimator
 from repro.core.queries_pool import PoolEntry
+from repro.serving.pool_index import IndexedSlab
 from repro.sql.query import Query
 
 
@@ -46,10 +47,16 @@ class RequestPlan:
         query: the incoming query.
         has_match: whether the pool has entries sharing the query's FROM
             clause (False routes the request to the fallback path).
-        entries: the eligible pool entries (positive cardinality).
+        entries: the eligible pool entries (positive cardinality).  For an
+            indexed request these come from the slab snapshot, so entry ``i``
+            is exactly the query encoded in the slab's row ``i``.
         pair_indices: for each of the ``2 * len(entries)`` containment pairs
             (in :meth:`Cnt2CrdEstimator.containment_pairs` order), its index
-            into :attr:`BatchPlan.pairs`.
+            into :attr:`BatchPlan.pairs`.  Empty for indexed requests.
+        slab: the resolved :class:`repro.serving.IndexedSlab` when the
+            estimator's pool encoding index can serve this request; its
+            rates then come from one whole-pool slab scoring call instead of
+            the shared pair list.
     """
 
     index: int
@@ -57,6 +64,7 @@ class RequestPlan:
     has_match: bool
     entries: tuple[PoolEntry, ...]
     pair_indices: tuple[int, ...]
+    slab: IndexedSlab | None = None
 
 
 @dataclass(frozen=True)
@@ -64,14 +72,21 @@ class BatchPlan:
     """A deduplicated scoring plan for a batch of concurrent requests.
 
     Attributes:
-        pairs: the unique ordered query pairs to score, in first-seen order.
+        pairs: the unique ordered query pairs to score, in first-seen order
+            (indexed requests contribute nothing here — their pool side
+            lives in the encoding index's matrices).
         requests: one :class:`RequestPlan` per submitted query, in order.
-        planned_pairs: total pair slots before deduplication.
+        planned_pairs: total pair slots before deduplication, including the
+            ``2 * len(entries)`` slots of every indexed request.
+        indexed_pairs: the subset of :attr:`planned_pairs` served from the
+            pool encoding index (before the executor's per-query
+            deduplication of identical indexed requests).
     """
 
     pairs: tuple[tuple[Query, Query], ...]
     requests: tuple[RequestPlan, ...]
     planned_pairs: int
+    indexed_pairs: int = 0
 
     @property
     def unique_pairs(self) -> int:
@@ -80,8 +95,13 @@ class BatchPlan:
 
     @property
     def deduplicated_pairs(self) -> int:
-        """Pair slots saved by cross-request deduplication."""
-        return self.planned_pairs - self.unique_pairs
+        """Pair-list slots saved by cross-request deduplication.
+
+        Indexed pair slots are excluded: they never enter the pair list, and
+        how many of them are actually computed is decided by the executor
+        (identical indexed requests share one slab scoring call).
+        """
+        return self.planned_pairs - self.indexed_pairs - self.unique_pairs
 
 
 class BatchPlanner:
@@ -96,13 +116,38 @@ class BatchPlanner:
         self.estimator = estimator
 
     def plan(self, queries: Sequence[Query]) -> BatchPlan:
-        """Flatten the scoring pairs of ``queries`` into one deduplicated plan."""
+        """Flatten the scoring pairs of ``queries`` into one deduplicated plan.
+
+        Requests the estimator's pool encoding index can serve are planned
+        as slab references — their pool side is already a contiguous
+        encoding matrix, so no pairs are materialized for them at all; the
+        executor scores each unique ``(query, slab)`` with one whole-pool
+        call.  Everything else takes the legacy deduplicated pair list.
+        """
+        pool_index = getattr(self.estimator, "pool_index", None)
         pair_index: dict[tuple[Query, Query], int] = {}
         pairs: list[tuple[Query, Query]] = []
         requests: list[RequestPlan] = []
         planned = 0
-        for index, query in enumerate(queries):
+        indexed = 0
+        for position_in_batch, query in enumerate(queries):
             has_match = self.estimator.pool.has_match(query)
+            if has_match and pool_index is not None:
+                slab = pool_index.resolve(self.estimator, query)
+                if slab is not None:
+                    planned += 2 * len(slab.entries)
+                    indexed += 2 * len(slab.entries)
+                    requests.append(
+                        RequestPlan(
+                            index=position_in_batch,
+                            query=query,
+                            has_match=True,
+                            entries=slab.entries,
+                            pair_indices=(),
+                            slab=slab,
+                        )
+                    )
+                    continue
             entries = tuple(self.estimator.eligible_entries(query)) if has_match else ()
             indices: list[int] = []
             for pair in self.estimator.containment_pairs(query, entries):
@@ -115,7 +160,7 @@ class BatchPlanner:
                 indices.append(position)
             requests.append(
                 RequestPlan(
-                    index=index,
+                    index=position_in_batch,
                     query=query,
                     has_match=has_match,
                     entries=entries,
@@ -123,5 +168,8 @@ class BatchPlanner:
                 )
             )
         return BatchPlan(
-            pairs=tuple(pairs), requests=tuple(requests), planned_pairs=planned
+            pairs=tuple(pairs),
+            requests=tuple(requests),
+            planned_pairs=planned,
+            indexed_pairs=indexed,
         )

@@ -1,0 +1,371 @@
+"""The pool-resident encoding index: whole-pool Cnt2Crd scoring without lookups.
+
+The Cnt2Crd technique scores one incoming query against *every* matching pool
+query, so a request over a bucket with ``E`` eligible entries needs ``2·E``
+containment rates.  The per-request path pays, per request, ``2·E`` Python
+pair tuples, ``2·E`` dict-keyed encoding-cache lookups (three lock
+acquisitions each), and a ``2·E``-row ``np.stack`` — even though the pool
+side of every pair is *identical* across all requests sharing a FROM
+signature.
+
+:class:`PoolEncodingIndex` hoists that invariant work out of the request
+path.  Per ``(featurizer-snapshot scope, FROM signature)`` it keeps two
+contiguous ``(E, H)`` matrices of pool-query encodings — one per pair slot,
+row ``i`` belonging to eligible entry ``i`` — maintained incrementally:
+
+* a :meth:`repro.core.queries_pool.QueriesPool.add` bumps the bucket's
+  version; the next request appends only the new tail rows (the matrices
+  grow geometrically, so appends are amortized O(1));
+* a cardinality *update* (re-adding an existing query) rebuilds the bucket's
+  slab — cheap, because the per-query encodings come straight back out of
+  the shared :class:`repro.serving.EncodingCache`;
+* a featurizer rebind changes the scope, so stale-snapshot slabs simply stop
+  matching (exactly the :class:`~repro.serving.EncodingCache` keying rule).
+
+A request is then served as *encode Qnew once → two strided writes → the
+fixed-shape slab path* (:meth:`repro.core.crn.CRNModel.rates_against_pool`):
+no per-pair Python work at all, and — because the assembled rows are exactly
+the rows the per-request path would have stacked, in the same order —
+**bit-for-bit identical** estimates.
+
+Owner fencing mirrors :class:`~repro.serving.EncodingCache`: the index is
+bound to the model whose weights produced its rows, :meth:`rebind`
+atomically drops every slab and re-ties it (optionally retargeting a
+refreshed pool), and :meth:`resolve` returns ``None`` — never stale rows —
+for an estimator whose model is not the bound owner.  Callers treat ``None``
+as "use the legacy per-pair path", so a lifecycle hot swap mid-traffic
+degrades in-flight old-model requests to the slow path instead of ever
+mixing two models' encodings.  The :class:`repro.serving.AdaptationManager`
+rebinds and re-warms the index with the candidate model *before* the
+registry swap, so the first post-swap request pays no re-encoding stall.
+
+Thread safety: one index lock guards the owner fence *and* the slab store as
+a unit (see the constructor comment for why they cannot be split), and long
+holders release it between signatures.  Returned :class:`IndexedSlab` views
+are snapshots — appends write past the snapshot's row count and rebuilds
+allocate fresh matrices, so rows handed to an in-flight request are never
+mutated under it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.crn import CRNEstimator
+from repro.core.queries_pool import PoolEntry, QueriesPool
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class IndexedSlab:
+    """One resolved per-signature scoring slab, handed to the serving path.
+
+    Attributes:
+        entries: the eligible pool entries, in bucket insertion order; row
+            ``i`` of both matrices encodes ``entries[i].query``.
+        first: ``(len(entries), H)`` position-1 encodings (the pool query as
+            the *first* element of its ``(Qold, Qnew)`` x-rate pair).  A
+            read-only view into index-owned storage — do not mutate.
+        second: ``(len(entries), H)`` position-2 encodings (the pool query as
+            the *second* element of its ``(Qnew, Qold)`` y-rate pair).
+        cardinalities: ``(len(entries),)`` float64 entry cardinalities, row-
+            aligned with the matrices — precomputed so the per-request
+            estimate math needs no Python loop over the entries at all.
+        token: a hashable identity of this slab state (scope, signature,
+            version, row count); two resolves with equal tokens carry
+            identical rows, so batched callers deduplicate rate computation
+            on ``(query, token)``.
+    """
+
+    entries: tuple[PoolEntry, ...]
+    first: np.ndarray
+    second: np.ndarray
+    cardinalities: np.ndarray
+    token: tuple
+
+
+class _Slab:
+    """Mutable per-(scope, signature) storage with geometric growth."""
+
+    __slots__ = ("entries", "first", "second", "cardinalities", "version")
+
+    def __init__(self, hidden: int, capacity: int) -> None:
+        self.entries: tuple[PoolEntry, ...] = ()
+        self.first = np.empty((capacity, hidden), dtype=np.float64)
+        self.second = np.empty((capacity, hidden), dtype=np.float64)
+        self.cardinalities = np.empty(capacity, dtype=np.float64)
+        self.version = -1
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def ensure_capacity(self, rows: int) -> None:
+        """Grow the matrices to hold ``rows`` rows (doubling, amortized O(1)).
+
+        Growth reallocates instead of resizing in place: an in-flight request
+        may still hold views into the old matrices, and those rows must stay
+        exactly what its resolve returned.
+        """
+        capacity = self.first.shape[0]
+        if rows <= capacity:
+            return
+        while capacity < rows:
+            capacity *= 2
+        grown_first = np.empty((capacity, self.first.shape[1]), dtype=np.float64)
+        grown_second = np.empty((capacity, self.second.shape[1]), dtype=np.float64)
+        grown_cardinalities = np.empty(capacity, dtype=np.float64)
+        grown_first[: self.count] = self.first[: self.count]
+        grown_second[: self.count] = self.second[: self.count]
+        grown_cardinalities[: self.count] = self.cardinalities[: self.count]
+        self.first = grown_first
+        self.second = grown_second
+        self.cardinalities = grown_cardinalities
+
+
+class PoolIndexStats:
+    """Thread-safe counters describing the index's maintenance and use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.served = 0
+        self.fallbacks = 0
+        self.builds = 0
+        self.rebuilds = 0
+        self.appended_rows = 0
+
+    def record_served(self) -> None:
+        """Count one request resolved from the index."""
+        with self._lock:
+            self.served += 1
+
+    def record_fallback(self) -> None:
+        """Count one resolve the fence (or estimator shape) turned away."""
+        with self._lock:
+            self.fallbacks += 1
+
+    def record_build(self, rows: int, rebuild: bool) -> None:
+        """Count one slab (re)build of ``rows`` encoded rows."""
+        with self._lock:
+            if rebuild:
+                self.rebuilds += 1
+            else:
+                self.builds += 1
+
+    def record_appended(self, rows: int) -> None:
+        """Count ``rows`` incrementally appended slab rows."""
+        with self._lock:
+            self.appended_rows += rows
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict counter view (gauges are added by the index)."""
+        with self._lock:
+            return {
+                "pool_index_served": float(self.served),
+                "pool_index_fallbacks": float(self.fallbacks),
+                "pool_index_builds": float(self.builds),
+                "pool_index_rebuilds": float(self.rebuilds),
+                "pool_index_appended_rows": float(self.appended_rows),
+            }
+
+
+class PoolEncodingIndex:
+    """Per-FROM-signature pool encoding matrices for whole-pool Cnt2Crd scoring.
+
+    Args:
+        pool: the queries pool whose buckets the index mirrors.  A lifecycle
+            promote retargets it with :meth:`rebind`.
+        initial_capacity: starting row capacity of a fresh slab (grows
+            geometrically).
+    """
+
+    def __init__(self, pool: QueriesPool, initial_capacity: int = 8) -> None:
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        self.pool = pool
+        self.stats = PoolIndexStats()
+        self._initial_capacity = initial_capacity
+        self._slabs: dict[tuple, _Slab] = {}
+        # One lock guards the owner fence AND the slab store: the fence
+        # check and the slab read/build must be a single unit, or a reader
+        # could pass the fence, lose the CPU to a rebind, and then rebuild a
+        # slab with the *old* model's rows under a key the new model would
+        # read (two models over the same snapshot share the scope).  Long
+        # holders (:meth:`warm`) release between signatures, so a fenced-out
+        # reader waits at most one bucket's sync, never a whole-pool build.
+        self._owner: object | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # owner fence (mirrors EncodingCache)
+
+    def bind(self, owner: object) -> None:
+        """Tie this index to the model whose weights produce its rows."""
+        with self._lock:
+            if self._owner is None:
+                self._owner = owner
+            elif self._owner is not owner:
+                raise ValueError(
+                    "PoolEncodingIndex is already bound to a different model; "
+                    "encodings are model-specific, use one index per model (or "
+                    "rebind() to hot-swap a retrained model)"
+                )
+
+    def rebind(self, owner: object, pool: QueriesPool | None = None) -> None:
+        """Atomically drop every slab and tie the index to a new model.
+
+        This is the hot-swap path: the lifecycle calls it with the candidate
+        model (and the refreshed pool) *before* building the replacement
+        estimator, then re-warms, so the swapped-in model never sees the
+        outgoing model's rows and the first post-swap request hits warm
+        slabs.  Stale readers are fenced exactly like
+        :meth:`repro.serving.EncodingCache.rebind` fences writers: an
+        in-flight request on the old model resolves ``None`` and takes the
+        legacy path instead of observing the swap partially.
+        """
+        with self._lock:
+            self._slabs.clear()
+            if pool is not None:
+                self.pool = pool
+            self._owner = owner
+
+    # ------------------------------------------------------------------ #
+    # resolution
+
+    def resolve(self, estimator, query: Query) -> IndexedSlab | None:
+        """The scoring slab for ``query``'s FROM signature, or ``None``.
+
+        ``None`` means "this request cannot be served from the index" — the
+        estimator's containment model is not the bound owner (a hot swap is
+        in flight), its pool is not the indexed pool, or it is not a CRN at
+        all.  Callers fall back to the legacy per-pair path, which is always
+        correct.  A usable resolve returns a snapshot: concurrent pool adds
+        or rebinds never mutate the returned rows.
+        """
+        containment = getattr(estimator, "containment_estimator", None)
+        if not isinstance(containment, CRNEstimator):
+            self.stats.record_fallback()
+            return None
+        if getattr(estimator, "pool", None) is not self.pool:
+            self.stats.record_fallback()
+            return None
+        scope = containment._encoding_scope()
+        signature = query.from_signature()
+        key = (scope, signature)
+        # Reading the bucket version outside the index lock is safe: a
+        # concurrent add is either reflected by the version (and the slab
+        # syncs) or lands after — the same either-in-or-out snapshot
+        # semantics matching_entries gives the legacy path.
+        version = self.pool.bucket_version(signature)
+        with self._lock:
+            if self._owner is not containment.model:
+                # Fenced: a hot swap rebound the index to another model.
+                fenced = True
+            else:
+                fenced = False
+                slab = self._slabs.get(key)
+                if slab is None or slab.version != version:
+                    slab = self._sync_locked(containment, scope, signature)
+                view = IndexedSlab(
+                    entries=slab.entries,
+                    first=slab.first[: slab.count],
+                    second=slab.second[: slab.count],
+                    cardinalities=slab.cardinalities[: slab.count],
+                    token=(scope, signature, slab.version, slab.count),
+                )
+        if fenced:
+            self.stats.record_fallback()
+            return None
+        self.stats.record_served()
+        return view
+
+    def warm(self, estimator) -> None:
+        """Build (or refresh) the slabs of every signature in the pool.
+
+        The promote path calls this with the candidate estimator after
+        :meth:`rebind`, so steady state is reached before the swap is
+        visible.  Raises when the estimator cannot be served by this index
+        at all — warming would otherwise silently do nothing.
+        """
+        containment = getattr(estimator, "containment_estimator", None)
+        if not isinstance(containment, CRNEstimator):
+            raise TypeError(
+                "PoolEncodingIndex.warm needs a Cnt2Crd estimator over a CRN "
+                f"containment model, got {type(estimator).__name__}"
+            )
+        self.bind(containment.model)
+        scope = containment._encoding_scope()
+        # One lock acquisition per signature (not one for the whole pool):
+        # concurrent resolves — including fenced-out old-model requests
+        # during a hot swap — wait at most one bucket's sync.
+        for signature in self.pool.from_signatures():
+            with self._lock:
+                if self._owner is not containment.model:
+                    return  # rebound mid-warm; the new owner re-warms
+                self._sync_locked(containment, scope, signature)
+
+    def clear(self) -> None:
+        """Drop every slab (keeps the binding and the stats)."""
+        with self._lock:
+            self._slabs.clear()
+
+    def __len__(self) -> int:
+        """Total indexed rows across all slabs."""
+        with self._lock:
+            return sum(slab.count for slab in self._slabs.values())
+
+    # ------------------------------------------------------------------ #
+    # maintenance (caller holds the index lock)
+
+    def _sync_locked(self, containment: CRNEstimator, scope, signature) -> _Slab:
+        """Bring one signature's slab up to date with the pool bucket."""
+        entries, version = self.pool.bucket_snapshot(signature)
+        eligible = tuple(entry for entry in entries if entry.cardinality > 0)
+        key = (scope, signature)
+        slab = self._slabs.get(key)
+        if slab is not None and slab.version == version:
+            return slab
+        if slab is not None and eligible[: slab.count] == slab.entries:
+            # Pure growth: encode only the appended tail.
+            tail = eligible[slab.count :]
+            slab.ensure_capacity(len(eligible))
+            for offset, entry in enumerate(tail, start=slab.count):
+                slab.first[offset] = containment.encode_query(entry.query, 1)
+                slab.second[offset] = containment.encode_query(entry.query, 2)
+                slab.cardinalities[offset] = entry.cardinality
+            slab.entries = eligible
+            slab.version = version
+            self.stats.record_appended(len(tail))
+            return slab
+        # An entry changed in place (cardinality update) or the slab is new:
+        # rebuild wholesale.  Encodings come back out of the shared
+        # EncodingCache, so a rebuild costs dict lookups, not matmuls.
+        rebuilt = _Slab(
+            containment.model.hidden_size,
+            max(self._initial_capacity, len(eligible)),
+        )
+        for offset, entry in enumerate(eligible):
+            rebuilt.first[offset] = containment.encode_query(entry.query, 1)
+            rebuilt.second[offset] = containment.encode_query(entry.query, 2)
+            rebuilt.cardinalities[offset] = entry.cardinality
+        rebuilt.entries = eligible
+        rebuilt.version = version
+        self.stats.record_build(len(eligible), rebuild=slab is not None)
+        self._slabs[key] = rebuilt
+        return rebuilt
+
+    # ------------------------------------------------------------------ #
+    # reporting
+
+    def stats_snapshot(self) -> dict[str, float]:
+        """Counters plus gauges, mergeable into ``format_service_stats``."""
+        with self._lock:
+            signatures = len(self._slabs)
+            rows = sum(slab.count for slab in self._slabs.values())
+        snapshot = self.stats.snapshot()
+        snapshot["pool_index_signatures"] = float(signatures)
+        snapshot["pool_index_rows"] = float(rows)
+        return snapshot

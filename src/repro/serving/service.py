@@ -11,10 +11,14 @@ hit-rate statistics (rendered by
 :func:`repro.evaluation.timing.time_service`).
 
 The batched path is exact, not approximate: planning only deduplicates which
-ordered pairs are scored, and the rates flow back through the estimator's own
-:meth:`repro.core.cnt2crd.Cnt2CrdEstimator.estimates_from_rates` and
-:meth:`repro.core.cnt2crd.Cnt2CrdEstimator.collapse`, so a served estimate is
-bit-for-bit identical to calling ``estimate_cardinality`` per request.
+ordered pairs are scored (and routes index-servable requests through the
+:class:`repro.serving.PoolEncodingIndex`'s whole-pool slabs), and the rates
+flow back through the estimator's own
+:meth:`repro.core.cnt2crd.Cnt2CrdEstimator.estimate_values_from_rates` and
+:meth:`repro.core.cnt2crd.Cnt2CrdEstimator.collapse_values` — the vectorized
+bit-equal twins of ``estimates_from_rates`` / ``collapse`` — so a served
+estimate is bit-for-bit identical to calling ``estimate_cardinality`` per
+request.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from repro.core.final_functions import FinalFunction
 from repro.core.queries_pool import QueriesPool
 from repro.serving.cache import EncodingCache, FeaturizationCache
 from repro.serving.planner import BatchPlanner, RequestPlan
+from repro.serving.pool_index import PoolEncodingIndex
 from repro.sql.query import Query
 
 
@@ -135,6 +140,10 @@ class EstimationService:
             featurizers, reported in :meth:`stats_snapshot` (optional).
         encoding_cache: the CRN encoding cache shared across requests,
             reported in :meth:`stats_snapshot` (optional).
+        pool_index: the shared :class:`repro.serving.PoolEncodingIndex`
+            backing the registered Cnt2Crd estimators, reported in
+            :meth:`stats_snapshot` and rebuilt by the adaptation lifecycle
+            on a model hot swap (optional).
     """
 
     def __init__(
@@ -142,12 +151,14 @@ class EstimationService:
         fallback: str | None = None,
         featurization_cache: FeaturizationCache | None = None,
         encoding_cache: EncodingCache | None = None,
+        pool_index: PoolEncodingIndex | None = None,
     ) -> None:
         self._registry: dict[str, CardinalityEstimator] = {}
         self._default: str | None = None
         self.fallback = fallback
         self.featurization_cache = featurization_cache
         self.encoding_cache = encoding_cache
+        self.pool_index = pool_index
         self.stats = ServiceStats()
         self._registry_lock = threading.RLock()
         self._stats_lock = threading.Lock()
@@ -336,6 +347,8 @@ class EstimationService:
         if self.encoding_cache is not None:
             snapshot["encoding_hit_rate"] = self.encoding_cache.stats.hit_rate
             snapshot["encoding_entries"] = float(len(self.encoding_cache))
+        if self.pool_index is not None:
+            snapshot.update(self.pool_index.stats_snapshot())
         return snapshot
 
     def drain_stats(self) -> dict[str, float]:
@@ -393,15 +406,42 @@ class EstimationService:
             if plan.pairs
             else []
         )
+        # Indexed requests are scored once per unique (query, slab state) —
+        # identical queries in a batch share one set of rates, mirroring the
+        # pair list's cross-request deduplication — and all unique requests
+        # run through ONE fused slab sequence (rates_against_pools): small
+        # buckets would otherwise each pad out a full slab per request.
+        indexed_rates: dict[tuple[Query, tuple], Sequence[float]] = {}
+        scored = plan.unique_pairs
+        containment = estimator.containment_estimator
+        pending: list[tuple[tuple[Query, tuple], RequestPlan]] = []
+        for request in plan.requests:
+            if request.slab is None or not request.entries:
+                continue
+            key = (request.query, request.slab.token)
+            if key in indexed_rates:
+                continue
+            indexed_rates[key] = ()  # claimed; filled from the fused run below
+            pending.append((key, request))
+            scored += 2 * len(request.entries)
+        if pending:
+            blocks = containment.rates_against_pools(
+                [
+                    (request.query, request.slab.first, request.slab.second)
+                    for _, request in pending
+                ]
+            )
+            for (key, _), block in zip(pending, blocks):
+                indexed_rates[key] = block
         served = [
-            self._answer_request(request, name, estimator, rates)
+            self._answer_request(request, name, estimator, rates, indexed_rates)
             for request in plan.requests
         ]
         # Pair counts are returned (not applied here) so the caller records
         # them atomically with requests/batches — and only for completed
         # batches: when a request with no fallback raises above, no counter
         # moves at all.
-        return served, plan.planned_pairs, plan.unique_pairs
+        return served, plan.planned_pairs, scored
 
     def _answer_request(
         self,
@@ -409,6 +449,7 @@ class EstimationService:
         name: str,
         estimator: Cnt2CrdEstimator,
         rates: Sequence[float],
+        indexed_rates: Mapping[tuple[Query, tuple], Sequence[float]],
     ) -> ServedEstimate:
         if not request.has_match:
             try:
@@ -418,18 +459,55 @@ class EstimationService:
                 return self._served(
                     request.query, name, self._registry_fallback(request.query, name)
                 )
-        request_rates = [rates[index] for index in request.pair_indices]
-        estimates = estimator.estimates_from_rates(
-            request.query, list(request.entries), request_rates
+        if request.slab is not None:
+            request_rates = (
+                indexed_rates[(request.query, request.slab.token)]
+                if request.entries
+                else []
+            )
+        else:
+            request_rates = [rates[index] for index in request.pair_indices]
+        # The vectorized values path is bit-for-bit equal to
+        # estimates_from_rates + collapse and skips the per-entry Python
+        # loop, which on large buckets costs as much as the forward passes
+        # (indexed requests reuse the slab's precomputed cardinality vector,
+        # so nothing iterates the entries at all).
+        values = estimator.estimate_values_from_rates(
+            request.entries,
+            request_rates,
+            cardinalities=request.slab.cardinalities if request.slab is not None else None,
         )
-        value = estimator.collapse(estimates)
+        if values.size == 0:
+            # Matched, but every eligible entry was filtered by the epsilon
+            # guard (or every match had an empty result): with a learned rate
+            # model, collapsing to 0.0 would bypass the fallbacks with a
+            # spurious zero.  Recovery chain mirrors the FROM-miss route —
+            # the estimator's own fallback first, then the flagged registry
+            # re-route; only when neither exists does the legacy collapse-
+            # to-0 stand (exactly right for exact rates and framed pools).
+            try:
+                value = estimator.fallback_estimate(request.query)
+                outcome: tuple[float, str | None] = (value, None)
+            except NoMatchingPoolQueryError:
+                try:
+                    outcome = self._registry_fallback(request.query, name)
+                except NoMatchingPoolQueryError:
+                    outcome = (estimator.collapse_values(values), None)
+            return self._served(
+                request.query,
+                name,
+                outcome,
+                pool_matches=len(request.entries),
+                pairs_scored=len(request_rates),
+            )
+        value = estimator.collapse_values(values)
         return ServedEstimate(
             query=request.query,
             estimate=value,
             estimator_name=name,
             latency_seconds=0.0,
             pool_matches=len(request.entries),
-            pairs_scored=len(request.pair_indices),
+            pairs_scored=len(request_rates),
             used_fallback=False,
         )
 
@@ -465,7 +543,12 @@ class EstimationService:
         return estimator.estimate_cardinality(query), fallback
 
     def _served(
-        self, query: Query, name: str, outcome: tuple[float, str | None]
+        self,
+        query: Query,
+        name: str,
+        outcome: tuple[float, str | None],
+        pool_matches: int = 0,
+        pairs_scored: int = 0,
     ) -> ServedEstimate:
         value, fallback_name = outcome
         return ServedEstimate(
@@ -473,8 +556,8 @@ class EstimationService:
             estimate=value,
             estimator_name=fallback_name if fallback_name is not None else name,
             latency_seconds=0.0,
-            pool_matches=0,
-            pairs_scored=0,
+            pool_matches=pool_matches,
+            pairs_scored=pairs_scored,
             used_fallback=fallback_name is not None,
         )
 
@@ -490,11 +573,13 @@ def build_crn_service(
     extra_estimators: Mapping[str, CardinalityEstimator] | None = None,
     max_cache_entries: int | None = None,
     warm_pool: bool = True,
+    use_pool_index: bool = True,
 ) -> EstimationService:
     """Wire a ready-to-serve CRN-backed estimation service.
 
     Builds the featurization and encoding caches, a cache-aware
-    :class:`CRNEstimator`, the :class:`Cnt2CrdEstimator` on top, registers it
+    :class:`CRNEstimator`, the :class:`Cnt2CrdEstimator` on top (backed by a
+    :class:`repro.serving.PoolEncodingIndex` unless disabled), registers it
     as ``"crn"`` (the default), optionally registers ``fallback_estimator`` as
     ``"fallback"`` plus any ``extra_estimators``, and pre-warms the caches
     with the queries pool so pool queries are featurized once, ever.
@@ -509,7 +594,12 @@ def build_crn_service(
         fallback_estimator: answers requests with no matching pool query.
         extra_estimators: additional registry entries (e.g. improved models).
         max_cache_entries: optional LRU bound for both caches.
-        warm_pool: pre-featurize/encode all pool queries up front.
+        warm_pool: pre-featurize/encode all pool queries up front (and
+            pre-build the pool index's encoding matrices).
+        use_pool_index: keep per-FROM-signature pool encoding matrices so a
+            request is scored as one vectorized whole-pool slab pass instead
+            of ``2·E`` per-pair cache lookups (bit-for-bit identical; see
+            ``benchmarks/bench_pool_index.py`` for the win).
     """
     featurization_cache = FeaturizationCache(featurizer, max_entries=max_cache_entries)
     # The encoding cache holds two entries per query (one per pair slot), so
@@ -521,13 +611,15 @@ def build_crn_service(
     crn = CRNEstimator(
         model, featurization_cache, batch_size=batch_size, encoding_cache=encoding_cache
     )
+    pool_index = PoolEncodingIndex(pool) if use_pool_index else None
     cnt2crd = Cnt2CrdEstimator(
-        crn, pool, final_function=final_function, epsilon=epsilon
+        crn, pool, final_function=final_function, epsilon=epsilon, pool_index=pool_index
     )
     service = EstimationService(
         fallback="fallback" if fallback_estimator is not None else None,
         featurization_cache=featurization_cache,
         encoding_cache=encoding_cache,
+        pool_index=pool_index,
     )
     service.register("crn", cnt2crd, default=True)
     if fallback_estimator is not None:
@@ -536,4 +628,6 @@ def build_crn_service(
         service.register(name, estimator)
     if warm_pool:
         service.warm(entry.query for entry in pool)
+        if pool_index is not None:
+            pool_index.warm(cnt2crd)
     return service

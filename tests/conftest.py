@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.estimators import ContainmentEstimator
 from repro.core.featurization import QueryFeaturizer
 from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
 from repro.db.database import Database
@@ -63,6 +64,20 @@ def toy_database() -> Database:
 def toy_executor(toy_database: Database) -> QueryExecutor:
     """A shared executor over the toy database."""
     return QueryExecutor(toy_database)
+
+
+class ZeroRatesContainment(ContainmentEstimator):
+    """A containment stub whose every rate falls under any epsilon guard.
+
+    Shared by the matched-but-all-filtered regression tests: with every
+    ``Qnew ⊂% Qold`` rate at 0, a Cnt2Crd estimator keeps no pool estimate
+    and must route to its fallback instead of collapsing to a spurious 0.
+    """
+
+    name = "zero-rates"
+
+    def estimate_containment(self, first, second) -> float:
+        return 0.0
 
 
 @pytest.fixture(scope="session")

@@ -20,6 +20,7 @@ from repro.core.oracle import OracleCardinalityEstimator, OracleContainmentEstim
 from repro.core.queries_pool import QueriesPool
 from repro.datasets.workloads import build_crd_test1, build_queries_pool_queries
 from repro.sql.builder import QueryBuilder
+from tests.conftest import ZeroRatesContainment
 
 
 def _movies(*conditions):
@@ -144,6 +145,50 @@ class TestCnt2Crd:
             assert 0.0 <= pool_estimate.x_rate <= 1.0
             assert 0.0 < pool_estimate.y_rate <= 1.0
             assert pool_estimate.estimate >= 0.0
+
+    def test_all_filtered_routes_to_configured_fallback(self, imdb_small, imdb_oracle, oracle_pool):
+        # Regression: a matched query whose every y_rate fell under the
+        # epsilon guard used to collapse to 0.0, silently bypassing the
+        # configured fallback — a spurious zero with unbounded q-error when
+        # the pool has no frame queries.  A rate model estimating ~0
+        # containment everywhere (a badly drifted CRN) must route to the
+        # fallback, exactly like a FROM miss.
+
+        fallback = OracleCardinalityEstimator(imdb_small, oracle=imdb_oracle)
+        estimator = Cnt2CrdEstimator(ZeroRatesContainment(), oracle_pool, fallback=fallback)
+        query = QueryBuilder().table("title", "t").where("t.kind_id", "=", 1).build()
+        assert oracle_pool.has_match(query)
+        assert estimator.pool_estimates(query) == []  # everything filtered
+        assert estimator.estimate_cardinality(query) == imdb_oracle.cardinality(query)
+
+    def test_all_filtered_without_fallback_keeps_the_zero_collapse(self, oracle_pool):
+        # Without any fallback there is no better answer, and with exact
+        # rates the empty estimate list genuinely means "empty result" — the
+        # legacy collapse-to-0 must survive (it must NOT start raising).
+
+        estimator = Cnt2CrdEstimator(ZeroRatesContainment(), oracle_pool)
+        query = QueryBuilder().table("title", "t").where("t.kind_id", "=", 1).build()
+        assert estimator.estimate_cardinality(query) == 0.0
+
+    def test_all_matches_empty_result_routes_to_fallback_too(
+        self, imdb_small, imdb_oracle
+    ):
+        # The sibling degenerate case: every matching entry has cardinality
+        # 0, so no entry is even eligible — same spurious-zero hazard, same
+        # route to the configured fallback.
+        pool = QueriesPool()
+        empty_pool_query = (
+            QueryBuilder().table("title", "t").where("t.production_year", ">", 3000).build()
+        )
+        pool.add(empty_pool_query, 0)
+        fallback = OracleCardinalityEstimator(imdb_small, oracle=imdb_oracle)
+        estimator = Cnt2CrdEstimator(
+            OracleContainmentEstimator(imdb_small), pool, fallback=fallback
+        )
+        query = QueryBuilder().table("title", "t").where("t.kind_id", "=", 1).build()
+        assert pool.has_match(query)
+        assert estimator.eligible_entries(query) == []
+        assert estimator.estimate_cardinality(query) == imdb_oracle.cardinality(query)
 
     def test_final_function_changes_estimate(self, imdb_small, oracle_pool):
         crn_like = OracleContainmentEstimator(imdb_small)

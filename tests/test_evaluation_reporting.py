@@ -105,3 +105,29 @@ class TestOtherTables:
         summary = ErrorSummary.from_errors("CRN", [1.0, 2.0])
         text = format_pool_size_table([(50, summary, 0.004), (300, summary, 0.016)], title="Table 14")
         assert "50" in text and "4.00ms" in text and "16.00ms" in text
+
+    def test_service_stats_render_nan_gauges_as_dashes(self):
+        # Regression: lifecycle gauges are NaN until their first event (and a
+        # FeedbackCollector quantile over an empty window is NaN too); those
+        # used to render as a literal "nan" cell, which reads like a
+        # corrupted metric rather than an absent one.
+        from repro.evaluation import format_service_stats
+
+        nan = float("nan")
+        text = format_service_stats(
+            {
+                "requests": 12.0,
+                "pre_swap_q_error": nan,  # known row
+                "post_swap_q_error": 3.5,
+                "feedback_p90": nan,  # extras row (merged collector quantile)
+            },
+            title="service stats",
+        )
+        assert "nan" not in text.lower()
+        assert "—" in text
+        assert "12" in text and "3.50" in text
+        # The dash lands on the NaN rows, not the finite ones.
+        lines = {line.split("  ")[0].strip(): line for line in text.splitlines()}
+        assert "—" in lines["pre-swap gate q-error"]
+        assert "—" in lines["feedback_p90"]
+        assert "—" not in lines["post-swap gate q-error"]

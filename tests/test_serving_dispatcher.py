@@ -266,6 +266,69 @@ class TestLifecycle:
         for query, future in zip(workload[:5], futures):
             assert future.result().estimate == sequential_estimates[query]
 
+    def test_shutdown_under_load_resolves_every_accepted_future(
+        self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates
+    ):
+        # Stress the shutdown/submit race: many threads submitting while the
+        # main thread shuts the dispatcher down mid-stream.  Every future the
+        # dispatcher *accepted* must resolve with its estimate — no request
+        # is ever left hanging, none is dropped, and threads racing past the
+        # close see DispatcherShutdownError rather than a silent swallow.
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service, max_batch=4, max_wait_ms=0.5).start()
+        accepted: list[tuple[object, object]] = []  # (query, future); GIL-safe appends
+        started = threading.Barrier(THREADS + 1)
+
+        def submitter():
+            started.wait()
+            for query in workload * 3:
+                try:
+                    accepted.append((query, dispatcher.submit(query)))
+                except DispatcherShutdownError:
+                    return  # raced past the close: the documented refusal
+
+        threads = [threading.Thread(target=submitter) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        started.wait()
+        time.sleep(0.01)  # let the flood build a backlog
+        dispatcher.shutdown(wait=True)
+        for thread in threads:
+            thread.join()
+        assert accepted  # the race actually exercised accepted requests
+        for query, future in accepted:
+            assert future.done()
+            assert future.result(timeout=5).estimate == sequential_estimates[query]
+        assert dispatcher.stats.completed == len(accepted)
+        assert dispatcher.stats.failed == 0
+
+    def test_dispatcher_thread_crash_fails_pending_futures_and_closes(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        # Regression: an exception escaping the coalescing loop (a dispatcher
+        # bug outside _serve's per-batch isolation) used to kill the thread
+        # silently — the pulled request's future hung forever and the
+        # dispatcher kept accepting new requests into a queue nobody drains.
+        # The thread must fail everything pending and close the dispatcher.
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service, max_wait_ms=50.0)
+        boom = RuntimeError("injected coalescing bug")
+
+        def broken_coalesce(batch):
+            raise boom
+
+        dispatcher._coalesce = broken_coalesce
+        dispatcher.start()
+        future = dispatcher.submit(workload[0])
+        with pytest.raises(RuntimeError, match="injected coalescing bug"):
+            future.result(timeout=5)
+        assert dispatcher.last_error is boom
+        # The dispatcher closed itself before resolving the future, so the
+        # refusal is deterministic by the time result() returned.
+        with pytest.raises(DispatcherShutdownError):
+            dispatcher.submit(workload[0])
+        assert dispatcher.stats.failed >= 1
+
     def test_submit_after_shutdown_raises(self, model, imdb_small, imdb_featurizer, pool, workload):
         service = build_service(model, imdb_small, imdb_featurizer, pool)
         dispatcher = ServingDispatcher(service)

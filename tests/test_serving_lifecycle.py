@@ -178,6 +178,64 @@ class TestDriftMonitor:
         assert verdict.triggered
         assert any("row count" in reason for reason in verdict.reasons)
 
+    def test_empty_window_nan_quantile_is_no_signal(self):
+        # Regression: an empty window yields a NaN rolling quantile; the
+        # policy must treat it explicitly as "no signal" — quiet verdict, no
+        # reasons — not as something NaN comparison semantics happen to hide.
+        collector = FeedbackCollector()
+        monitor = DriftMonitor(
+            collector, DriftPolicy(max_q_error=1.5, min_observations=1)
+        )
+        verdict = monitor.evaluate()
+        assert not verdict.triggered
+        assert verdict.reasons == ()
+        assert verdict.q_error != verdict.q_error  # NaN, surfaced as-is
+
+    def test_nan_observations_poisoning_the_window_do_not_fire(self, workload):
+        # A diverged model can emit NaN estimates; their q-errors are NaN and
+        # NaN-poison every window quantile.  The armed conditions must stay
+        # explicitly quiet instead of relying on `NaN > threshold` being
+        # False, and the degradation condition must not divide by the NaN.
+        collector = FeedbackCollector()
+        policy = DriftPolicy(max_q_error=1.5, degradation_ratio=2.0, min_observations=2)
+        monitor = DriftMonitor(collector, policy)
+        self.record_errors(collector, workload, [1.0] * 4)  # healthy baseline
+        assert not monitor.evaluate().triggered
+        self.record_errors(collector, workload, [float("nan")] * 4)
+        verdict = monitor.evaluate()
+        assert not verdict.triggered
+        assert verdict.reasons == ()
+        assert verdict.q_error != verdict.q_error  # NaN reading, reported
+
+    def test_nan_window_is_never_frozen_as_the_baseline(self, workload):
+        # Regression (ordering matters): a model diverging during its FIRST
+        # full window used to freeze the NaN window as the baseline — and
+        # since rebaseline() only runs after a swap, the degradation
+        # condition could then never arm again, even after the window
+        # recovered and later genuinely degraded.
+        collector = FeedbackCollector(max_observations=4)
+        policy = DriftPolicy(
+            max_q_error=None, degradation_ratio=2.0, min_observations=4
+        )
+        monitor = DriftMonitor(collector, policy)
+        self.record_errors(collector, workload, [float("nan")] * 4)
+        assert not monitor.evaluate().triggered
+        assert not monitor.baseline_frozen  # the NaN window was refused
+        self.record_errors(collector, workload, [1.0] * 4)  # recovery
+        assert not monitor.evaluate().triggered
+        assert monitor.baseline_frozen  # the healthy window froze instead
+        self.record_errors(collector, workload, [10.0] * 4)  # real degradation
+        verdict = monitor.evaluate()
+        assert verdict.triggered
+        assert any("degraded" in reason for reason in verdict.reasons)
+
+    def test_unknown_row_counts_are_no_signal(self):
+        collector = FeedbackCollector()
+        monitor = DriftMonitor(collector, DriftPolicy(max_row_delta=0.1))
+        verdict = monitor.evaluate()  # row counts not supplied -> NaN delta
+        assert not verdict.triggered
+        assert verdict.row_delta != verdict.row_delta  # NaN
+
     def test_estimator_filter_ignores_other_estimators_feedback(self, workload):
         collector = FeedbackCollector()
         monitor = DriftMonitor(
@@ -269,6 +327,53 @@ class TestAdaptationManager:
         assert service.get("crn") is before
         assert manager.stats.candidates_rejected == 1
         assert set(service.names()) == {"crn", "fallback"}
+
+    def test_nan_holdout_signal_rejects_the_candidate(
+        self, trained, imdb_small, pool, workload
+    ):
+        # NaN feedback (a diverged incumbent recording NaN estimates) gives
+        # the accept gate a NaN incumbent median.  That is "no signal": the
+        # gate must reject explicitly rather than let NaN comparisons decide.
+        service, collector, _, manager = self.build(trained, imdb_small, pool)
+        for labeled in workload[:10]:
+            collector.record(
+                labeled.query, float("nan"), labeled.cardinality, estimator_name="crn"
+            )
+        before = service.get("crn")
+        outcome = manager.trigger()
+        assert outcome.action == "rejected"
+        assert service.get("crn") is before
+        assert outcome.incumbent_q_error != outcome.incumbent_q_error  # NaN
+
+    def test_promote_rebuilds_the_pool_index_before_the_swap(
+        self, trained, imdb_small, pool, workload
+    ):
+        service, _, _, manager = self.build(trained, imdb_small, pool)
+        index = service.pool_index
+        assert index is not None
+        outcome = manager.trigger()
+        assert outcome.swapped
+        swapped = service.get("crn")
+        # The shared index now belongs to the candidate: it is wired into the
+        # swapped-in estimator, retargeted to the refreshed pool, and its
+        # slabs were rebuilt during the promote (warm_on_swap) so the first
+        # post-swap request resolves without a re-encoding stall.
+        assert swapped.pool_index is index
+        assert index.pool is swapped.pool
+        assert len(index) > 0
+        builds_before = index.stats.builds + index.stats.rebuilds
+        query = next(l.query for l in workload if swapped.pool.has_match(l.query))
+        assert index.resolve(swapped, query) is not None
+        assert index.stats.builds + index.stats.rebuilds == builds_before
+        # Serving through the swapped estimator matches a fresh index-less
+        # estimator on the same model/pool, bit for bit.
+        reference = Cnt2CrdEstimator(
+            CRNEstimator(
+                manager.retrainer.result.model, manager.retrainer.result.featurizer
+            ),
+            swapped.pool,
+        )
+        assert swapped.pool_estimates(query) == reference.pool_estimates(query)
 
     def test_escalates_to_full_after_repeated_failures(
         self, trained, imdb_small, pool

@@ -1,0 +1,361 @@
+"""Tests for the pool-resident encoding index (whole-pool Cnt2Crd scoring).
+
+The load-bearing guarantee is bit-for-bit identity: the indexed path must
+produce exactly the estimates the per-request ``pool_estimates`` path
+produces — across random pools, incremental ``add``s mid-serving, cardinality
+updates, and a model hot swap.  The hypothesis property test at the bottom
+covers all three axes in one run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import (
+    Cnt2CrdEstimator,
+    CRNConfig,
+    CRNEstimator,
+    CRNModel,
+    QueriesPool,
+)
+from repro.core.queries_pool import PoolEntry
+from repro.datasets import build_queries_pool_queries
+from repro.serving import (
+    EncodingCache,
+    PoolEncodingIndex,
+    build_crn_service,
+)
+from repro.sql.builder import QueryBuilder
+
+
+@pytest.fixture(scope="module")
+def labeled(imdb_small, imdb_oracle):
+    return build_queries_pool_queries(imdb_small, count=80, seed=17, oracle=imdb_oracle)
+
+
+@pytest.fixture(scope="module")
+def pool(labeled):
+    return QueriesPool.from_labeled_queries(labeled)
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small, imdb_oracle):
+    items = build_queries_pool_queries(imdb_small, count=30, seed=23, oracle=imdb_oracle)
+    return [item.query for item in items]
+
+
+@pytest.fixture(scope="module")
+def model(imdb_featurizer):
+    return CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=5))
+
+
+@pytest.fixture(scope="module")
+def other_model(imdb_featurizer):
+    return CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=99))
+
+
+class TestCRNModelRatesAgainstPool:
+    def test_matches_interleaved_per_pair_path_bit_for_bit(
+        self, model, imdb_featurizer, pool, workload
+    ):
+        estimator = CRNEstimator(model, imdb_featurizer)
+        query = workload[0]
+        entries = [entry for entry in pool if entry.cardinality > 0][:7]
+        pairs = []
+        for entry in entries:
+            pairs.append((entry.query, query))
+            pairs.append((query, entry.query))
+        legacy = estimator.estimate_containments(pairs)
+        first = np.stack(
+            [model.encode_set(imdb_featurizer.featurize(e.query), 1) for e in entries]
+        )
+        second = np.stack(
+            [model.encode_set(imdb_featurizer.featurize(e.query), 2) for e in entries]
+        )
+        indexed = estimator.rates_against_pool(query, first, second)
+        assert indexed.tolist() == legacy
+
+    def test_empty_pool_matrix_yields_empty_rates(self, model):
+        hidden = model.hidden_size
+        empty = np.empty((0, hidden))
+        rates = model.rates_against_pool(
+            np.zeros(hidden), np.zeros(hidden), empty, empty
+        )
+        assert rates.shape == (0,)
+
+    def test_mismatched_pool_matrices_raise(self, model):
+        hidden = model.hidden_size
+        with pytest.raises(ValueError, match="same shape"):
+            model.rates_against_pool(
+                np.zeros(hidden),
+                np.zeros(hidden),
+                np.zeros((3, hidden)),
+                np.zeros((4, hidden)),
+            )
+
+
+class TestPoolEncodingIndex:
+    def test_slab_rows_are_the_per_query_encodings(
+        self, model, imdb_featurizer, pool, workload
+    ):
+        index = PoolEncodingIndex(pool)
+        estimator = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), pool, pool_index=index
+        )
+        query = next(q for q in workload if pool.has_match(q))
+        slab = index.resolve(estimator, query)
+        assert slab is not None
+        assert slab.entries == tuple(estimator.eligible_entries(query))
+        for offset, entry in enumerate(slab.entries):
+            vectors = imdb_featurizer.featurize(entry.query)
+            np.testing.assert_array_equal(slab.first[offset], model.encode_set(vectors, 1))
+            np.testing.assert_array_equal(slab.second[offset], model.encode_set(vectors, 2))
+
+    def test_incremental_add_appends_rows(self, model, imdb_featurizer, labeled):
+        pool = QueriesPool.from_labeled_queries(labeled[:40])
+        index = PoolEncodingIndex(pool)
+        estimator = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), pool, pool_index=index
+        )
+        for item in labeled[:40]:
+            index.resolve(estimator, item.query)
+        rows_before = len(index)
+        builds_before = index.stats.builds
+        for item in labeled[40:]:
+            pool.add(item.query, item.cardinality)
+        for item in labeled:
+            slab = index.resolve(estimator, item.query)
+            assert slab is not None
+            assert slab.entries == tuple(estimator.eligible_entries(item.query))
+        assert len(index) > rows_before
+        assert index.stats.appended_rows > 0
+        # Growth into existing signatures appends; only never-seen
+        # signatures may build fresh slabs.
+        assert index.stats.rebuilds == 0
+        assert index.stats.builds >= builds_before
+
+    def test_cardinality_update_rebuilds_the_bucket(
+        self, model, imdb_featurizer, labeled
+    ):
+        pool = QueriesPool.from_labeled_queries(labeled[:40])
+        index = PoolEncodingIndex(pool)
+        estimator = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), pool, pool_index=index
+        )
+        target = labeled[0]
+        assert index.resolve(estimator, target.query) is not None
+        pool.add(target.query, target.cardinality + 1)  # in-place update
+        slab = index.resolve(estimator, target.query)
+        assert slab is not None
+        assert index.stats.rebuilds >= 1
+        updated = {e.query: e for e in slab.entries}[target.query]
+        assert updated.cardinality == target.cardinality + 1
+
+    def test_zero_cardinality_entries_are_excluded(self, model, imdb_featurizer, labeled):
+        pool = QueriesPool()
+        pool.add(labeled[0].query, 0)
+        pool.add(labeled[1].query, max(labeled[1].cardinality, 1))
+        index = PoolEncodingIndex(pool)
+        estimator = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), pool, pool_index=index
+        )
+        # Every resolved slab mirrors eligible_entries (cardinality > 0).
+        for item in labeled[:2]:
+            if not pool.has_match(item.query):
+                continue
+            slab = index.resolve(estimator, item.query)
+            assert slab is not None
+            assert all(entry.cardinality > 0 for entry in slab.entries)
+
+    def test_rebind_fences_the_old_model_to_the_legacy_path(
+        self, model, other_model, imdb_featurizer, pool, workload
+    ):
+        index = PoolEncodingIndex(pool)
+        old = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), pool, pool_index=index
+        )
+        query = next(q for q in workload if pool.has_match(q))
+        assert index.resolve(old, query) is not None
+        index.rebind(other_model)
+        # The old model's in-flight requests miss the index...
+        assert index.resolve(old, query) is None
+        assert index.stats.fallbacks >= 1
+        # ...but pool_estimates still answers correctly via the legacy path,
+        # identical to an index-less estimator.
+        plain = Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool)
+        assert old.pool_estimates(query) == plain.pool_estimates(query)
+        # The new model resolves (and its estimates are its own).
+        fresh = Cnt2CrdEstimator(
+            CRNEstimator(other_model, imdb_featurizer), pool, pool_index=index
+        )
+        assert index.resolve(fresh, query) is not None
+
+    def test_bind_rejects_a_second_model(self, model, other_model, imdb_featurizer, pool):
+        index = PoolEncodingIndex(pool)
+        Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool, pool_index=index)
+        with pytest.raises(ValueError, match="already bound"):
+            Cnt2CrdEstimator(
+                CRNEstimator(other_model, imdb_featurizer), pool, pool_index=index
+            )
+
+    def test_foreign_pool_and_non_crn_estimators_fall_back(
+        self, model, imdb_small, imdb_featurizer, pool, labeled, workload
+    ):
+        index = PoolEncodingIndex(pool)
+        other_pool = QueriesPool.from_labeled_queries(labeled[:10])
+        foreign = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), other_pool, pool_index=index
+        )
+        query = workload[0]
+        assert index.resolve(foreign, query) is None
+        from repro.core.oracle import OracleContainmentEstimator
+
+        non_crn = Cnt2CrdEstimator(OracleContainmentEstimator(imdb_small), pool)
+        assert index.resolve(non_crn, query) is None
+
+    def test_warm_builds_every_signature(self, model, imdb_featurizer, pool):
+        index = PoolEncodingIndex(pool)
+        estimator = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), pool, pool_index=index
+        )
+        index.warm(estimator)
+        snapshot = index.stats_snapshot()
+        assert snapshot["pool_index_signatures"] == len(pool.from_signatures())
+        assert len(index) == sum(1 for entry in pool if entry.cardinality > 0)
+
+    def test_warm_rejects_non_crn_estimators(self, imdb_small, pool):
+        from repro.core.oracle import OracleContainmentEstimator
+
+        index = PoolEncodingIndex(pool)
+        with pytest.raises(TypeError, match="CRN"):
+            index.warm(Cnt2CrdEstimator(OracleContainmentEstimator(imdb_small), pool))
+
+
+class TestServiceIntegration:
+    def test_served_estimates_match_index_less_service_bit_for_bit(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        fallback = PostgresCardinalityEstimator(imdb_small)
+        legacy = build_crn_service(
+            model, imdb_featurizer, pool, fallback_estimator=fallback,
+            use_pool_index=False,
+        )
+        indexed = build_crn_service(
+            model, imdb_featurizer, pool, fallback_estimator=fallback,
+        )
+        assert indexed.pool_index is not None
+        legacy_estimates = [item.estimate for item in legacy.submit_batch(workload)]
+        indexed_estimates = [item.estimate for item in indexed.submit_batch(workload)]
+        assert indexed_estimates == legacy_estimates
+        # The index actually served (no silent wholesale fallback).
+        snapshot = indexed.stats_snapshot()
+        assert snapshot["pool_index_served"] > 0
+        assert snapshot["pool_index_rows"] > 0
+
+    def test_duplicate_requests_share_one_slab_scoring_call(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_crn_service(
+            model,
+            imdb_featurizer,
+            pool,
+            fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+        )
+        query = next(q for q in workload if pool.has_match(q))
+        served = service.submit_batch([query, query, query])
+        assert len({item.estimate for item in served}) == 1
+        stats = service.stats_snapshot()
+        # Three requests planned the same 2·E slots; only one slab call ran.
+        assert stats["planned_pairs"] == 3 * served[0].pairs_scored
+        assert stats["scored_pairs"] == served[0].pairs_scored
+        assert stats["deduplicated_pairs"] == 2 * served[0].pairs_scored
+
+    def test_pool_add_mid_serving_is_picked_up_and_identical(
+        self, model, imdb_small, imdb_featurizer, labeled, workload
+    ):
+        fallback = PostgresCardinalityEstimator(imdb_small)
+        serving_pool = QueriesPool.from_labeled_queries(labeled[:50])
+        reference_pool = QueriesPool.from_labeled_queries(labeled[:50])
+        service = build_crn_service(
+            model, imdb_featurizer, serving_pool, fallback_estimator=fallback
+        )
+        reference = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer), reference_pool, fallback=fallback
+        )
+        service.submit_batch(workload)
+        for item in labeled[50:]:
+            serving_pool.add(item.query, item.cardinality)
+            reference_pool.add(item.query, item.cardinality)
+        served = [item.estimate for item in service.submit_batch(workload)]
+        expected = [reference.estimate_cardinality(query) for query in workload]
+        assert served == expected
+
+
+# --------------------------------------------------------------------------- #
+# the property test: random pools, incremental adds, a model hot swap
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_indexed_path_bit_identical_across_pools_adds_and_swaps(
+    data, model, other_model, imdb_featurizer, labeled, workload
+):
+    """The indexed pool path equals per-request ``pool_estimates`` bit for bit.
+
+    Covers random initial pools, incremental ``add``s mid-serving (appends
+    and cardinality updates), and a model hot swap through ``rebind`` — the
+    three ways slab state evolves in production.
+    """
+    order = data.draw(st.permutations(range(len(labeled))), label="pool order")
+    initial_size = data.draw(
+        st.integers(min_value=5, max_value=len(labeled) - 5), label="initial size"
+    )
+    added_count = data.draw(
+        st.integers(min_value=0, max_value=len(labeled) - initial_size), label="added"
+    )
+    queries = data.draw(
+        st.lists(st.sampled_from(workload), min_size=1, max_size=6, unique=True),
+        label="requests",
+    )
+
+    pool = QueriesPool(
+        PoolEntry(labeled[i].query, labeled[i].cardinality)
+        for i in order[:initial_size]
+    )
+    index = PoolEncodingIndex(pool)
+    indexed = Cnt2CrdEstimator(
+        CRNEstimator(model, imdb_featurizer, encoding_cache=EncodingCache()),
+        pool,
+        pool_index=index,
+    )
+    plain = Cnt2CrdEstimator(CRNEstimator(model, imdb_featurizer), pool)
+
+    for query in queries:
+        assert indexed.pool_estimates(query) == plain.pool_estimates(query)
+
+    # Incremental adds mid-serving: appends plus one cardinality update.
+    for i in order[initial_size : initial_size + added_count]:
+        pool.add(labeled[i].query, labeled[i].cardinality)
+    bumped = labeled[order[0]]
+    pool.add(bumped.query, bumped.cardinality + 1)
+    for query in queries:
+        assert indexed.pool_estimates(query) == plain.pool_estimates(query)
+
+    # Hot swap: rebind the index to a retrained model and compare again.
+    index.rebind(other_model)
+    swapped = Cnt2CrdEstimator(
+        CRNEstimator(other_model, imdb_featurizer, encoding_cache=EncodingCache()),
+        pool,
+        pool_index=index,
+    )
+    plain_swapped = Cnt2CrdEstimator(CRNEstimator(other_model, imdb_featurizer), pool)
+    for query in queries:
+        assert swapped.pool_estimates(query) == plain_swapped.pool_estimates(query)
+
+    # The index genuinely served the indexed estimators (identity would be
+    # vacuous if every resolve silently fell back to the legacy path).
+    assert index.stats.served > 0

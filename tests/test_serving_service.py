@@ -25,6 +25,7 @@ from repro.serving import (
     build_crn_service,
 )
 from repro.sql.builder import QueryBuilder
+from tests.conftest import ZeroRatesContainment
 
 
 @pytest.fixture(scope="module")
@@ -263,6 +264,58 @@ class TestEstimationService:
         assert served.estimator_name == "fallback"
         assert served.estimate == postgres.estimate_cardinality(unmatched)
         assert service.stats.fallbacks == 1
+
+    def test_all_filtered_request_is_rerouted_and_flagged(
+        self, imdb_small, imdb_featurizer, pool, workload
+    ):
+        # Regression: a matched request whose every y_rate fell under the
+        # epsilon guard used to be served a flat 0.0, bypassing the registry
+        # fallback entirely.  It must re-route exactly like the no-match
+        # case — flagged, attributed to the fallback entry, counted.
+
+        postgres = PostgresCardinalityEstimator(imdb_small)
+        service = EstimationService(fallback="fallback")
+        service.register("crn", Cnt2CrdEstimator(ZeroRatesContainment(), pool), default=True)
+        service.register("fallback", postgres)
+        query = next(q for q in workload if pool.has_match(q))
+        served = service.submit(query)
+        assert served.used_fallback
+        assert served.estimator_name == "fallback"
+        assert served.estimate == postgres.estimate_cardinality(query)
+        assert served.pool_matches > 0  # the pool DID match; scoring happened
+        assert service.stats.fallbacks == 1
+
+    def test_all_filtered_prefers_the_estimator_builtin_fallback(
+        self, imdb_small, imdb_oracle, pool, workload
+    ):
+        # With a built-in fallback on the estimator itself, the re-route
+        # stays inside the estimator (unflagged), mirroring the no-match path.
+
+        from repro.core.oracle import OracleCardinalityEstimator
+
+        oracle_fallback = OracleCardinalityEstimator(imdb_small, oracle=imdb_oracle)
+        service = EstimationService()
+        service.register(
+            "crn", Cnt2CrdEstimator(ZeroRatesContainment(), pool, fallback=oracle_fallback)
+        )
+        query = next(q for q in workload if pool.has_match(q))
+        served = service.submit(query)
+        assert not served.used_fallback
+        assert served.estimator_name == "crn"
+        assert served.estimate == imdb_oracle.cardinality(query)
+
+    def test_all_filtered_without_any_fallback_serves_the_zero_collapse(
+        self, pool, workload
+    ):
+        # No built-in fallback, no registry fallback: the legacy collapse
+        # to 0.0 stands (and the batch must not raise).
+
+        service = EstimationService()
+        service.register("crn", Cnt2CrdEstimator(ZeroRatesContainment(), pool))
+        query = next(q for q in workload if pool.has_match(q))
+        served = service.submit(query)
+        assert served.estimate == 0.0
+        assert not served.used_fallback
 
     def test_no_fallback_raises(self, model, imdb_featurizer, pool):
         unmatched = (
