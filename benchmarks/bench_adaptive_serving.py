@@ -1,19 +1,22 @@
 """Adaptive serving: a database update degrades q-error, the lifecycle heals it.
 
-The scenario the adaptation subsystem exists for, measured end to end:
+The scenario the adaptation subsystem exists for, measured end to end — and
+driven entirely through the unified :class:`repro.serving.ServingClient`:
 
-1. a CRN-backed service serves traffic through the coalescing dispatcher,
-   feedback (estimate vs. executed truth) flows into the rolling window;
+1. one :class:`repro.serving.ServingConfig` declares the whole stack
+   (estimator, dispatcher, feedback window, drift policy, retrain budgets);
+   the client starts the dispatcher and the background adaptation worker;
 2. a **database update** lands (the data triples) — ground truth moves under
    the stale model and the rolling q-error degrades;
-3. the drift policy fires, the :class:`repro.serving.AdaptationManager`'s
-   background worker retrains incrementally (Section 9) against the new
-   snapshot, refreshes the queries pool, validates the candidate on the
-   freshest feedback slice, and hot-swaps it via ``rebind()`` + ``replace()``
-   — while client threads keep submitting the whole time;
+3. the drift policy fires, the adaptation worker retrains incrementally
+   (Section 9) against the new snapshot, refreshes the queries pool,
+   validates the candidate on the freshest feedback slice, and hot-swaps it
+   via ``rebind()`` + ``replace()`` — while client threads keep submitting
+   the whole time;
 4. post-swap, the rolling q-error recovers to within ``1.5x`` of the healthy
-   pre-update window, and not a single request was dropped or failed across
-   the episode.
+   pre-update window, not a single request was dropped or failed across the
+   episode, and every post-swap response carries the bumped model
+   generation.
 
 Smoke mode (``REPRO_SMOKE=1``, used by CI) shrinks the database, pool, and
 training budget — the degradation→recovery shape and the zero-dropped-requests
@@ -37,12 +40,12 @@ from repro.evaluation import (
     format_service_stats,
 )
 from repro.serving import (
-    AdaptationManager,
-    CRNRetrainer,
-    DriftPolicy,
-    FeedbackCollector,
-    ServingDispatcher,
-    build_crn_service,
+    AdaptationConfig,
+    DispatcherConfig,
+    FeedbackConfig,
+    RequestOptions,
+    ServingClient,
+    ServingConfig,
 )
 
 SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
@@ -56,6 +59,9 @@ CLIENTS = 3
 REQUIRED_RECOVERY = 1.5
 TAIL_SLACK = 3.0
 SWAP_DEADLINE_SECONDS = 120.0
+
+#: Every request in the episode runs under a caller deadline.
+DEADLINE = RequestOptions(timeout_seconds=60.0)
 
 
 def test_adaptive_serving(results_dir):
@@ -74,36 +80,29 @@ def test_adaptive_serving(results_dir):
     workload = build_queries_pool_queries(
         database, count=WORKLOAD_SIZE, seed=23, oracle=oracle
     )
-    service = build_crn_service(
-        trained.model,
-        featurizer,
-        pool,
+    config = ServingConfig(
+        model=trained.model,
+        featurizer=featurizer,
+        pool=pool,
         fallback_estimator=PostgresCardinalityEstimator(database),
-    )
-    collector = FeedbackCollector(max_observations=4 * WORKLOAD_SIZE)
-    retrainer = CRNRetrainer(
-        trained,
-        database,
-        pool,
-        training_pairs=TRAIN_PAIRS,
-        incremental_epochs=TRAIN_EPOCHS,
-        training_config=TrainingConfig(batch_size=64),
-        seed=9,
-    )
-    manager = AdaptationManager(
-        service,
-        collector,
-        retrainer,
-        policy=DriftPolicy(
+        training_result=trained,
+        database=database,
+        dispatcher=DispatcherConfig(enabled=True, max_batch=32, max_wait_ms=1.0),
+        feedback=FeedbackConfig(enabled=True, max_observations=4 * WORKLOAD_SIZE),
+        adaptation=AdaptationConfig(
+            enabled=True,
             quantile=0.5,  # the median shifts ~3x with the data; the p90+
             # tail is near-zero-truth noise in healthy windows too
             max_q_error=None,
             degradation_ratio=1.5,
             min_observations=WORKLOAD_SIZE // 2,
             cooldown_seconds=0.0,
+            poll_interval_seconds=0.05,
+            holdout_size=WORKLOAD_SIZE // 2,
+            training_pairs=TRAIN_PAIRS,
+            incremental_epochs=TRAIN_EPOCHS,
+            seed=9,
         ),
-        poll_interval_seconds=0.05,
-        holdout_size=WORKLOAD_SIZE // 2,
     )
 
     updated_database = build_synthetic_imdb(
@@ -115,79 +114,89 @@ def test_adaptive_serving(results_dir):
     stop = threading.Event()
     failures: list[BaseException] = []
 
-    def client():
-        while not stop.is_set():
-            for labeled in workload:
-                if stop.is_set():
-                    break
-                try:
-                    served = dispatcher.estimate(labeled.query, timeout=60)
-                    with truth_lock:
-                        truth = truths[labeled.query]
-                    collector.record_served(served, true_cardinality=truth)
-                except BaseException as error:  # noqa: BLE001 - reported below
-                    failures.append(error)
-                    return
+    with ServingClient(config) as client:
+        manager = client.manager
 
-    with ServingDispatcher(service, max_batch=32, max_wait_ms=1.0) as dispatcher:
-        with manager:
-            # Phase 1 — healthy traffic on the original snapshot.
-            for labeled in workload:
-                served = dispatcher.estimate(labeled.query, timeout=60)
-                collector.record_served(served, true_cardinality=float(labeled.cardinality))
-            deadline = time.monotonic() + 30.0
-            while not manager.monitor.baseline_frozen:
-                assert time.monotonic() < deadline, (
-                    f"baseline never froze; lifecycle worker error: {manager.last_error!r}"
-                )
-                time.sleep(0.02)
-            pre_update = collector.summary()
-
-            # Phase 2 — the update lands: ground truth moves under the model.
-            update_started = time.perf_counter()
-            retrainer.set_database(updated_database)
-            with truth_lock:
+        def traffic():
+            while not stop.is_set():
                 for labeled in workload:
-                    truths[labeled.query] = float(updated_oracle.cardinality(labeled.query))
-            clients = [threading.Thread(target=client) for _ in range(CLIENTS)]
-            for thread in clients:
-                thread.start()
+                    if stop.is_set():
+                        break
+                    try:
+                        served = client.estimate(labeled.query, DEADLINE)
+                        with truth_lock:
+                            truth = truths[labeled.query]
+                        client.record_feedback(served, true_cardinality=truth)
+                    except BaseException as error:  # noqa: BLE001 - reported below
+                        failures.append(error)
+                        return
 
-            # Phase 3 — wait for the background retrain + hot swap (traffic on).
-            deadline = time.monotonic() + SWAP_DEADLINE_SECONDS
-            degraded = pre_update
-            while manager.stats.swaps < 1:
-                window = collector.summary()
-                if window.count and window.p50 > degraded.p50:
-                    degraded = window  # keep the worst window seen
-                assert time.monotonic() < deadline, (
-                    f"no hot swap within {SWAP_DEADLINE_SECONDS:.0f}s; "
-                    f"last outcome: {manager.last_outcome}"
-                )
-                time.sleep(0.05)
-            recovery_seconds = time.perf_counter() - update_started
-            stop.set()
-            for thread in clients:
-                thread.join()
+        # Phase 1 — healthy traffic on the original snapshot.
+        for labeled in workload:
+            served = client.estimate(labeled.query, DEADLINE)
+            client.record_feedback(served, true_cardinality=float(labeled.cardinality))
+        deadline = time.monotonic() + 30.0
+        while not manager.monitor.baseline_frozen:
+            assert time.monotonic() < deadline, (
+                f"baseline never froze; lifecycle worker error: {manager.last_error!r}"
+            )
+            time.sleep(0.02)
+        pre_update = client.collector.summary()
+        pre_swap_generation = client.estimate(workload[0].query, DEADLINE).model_generation
 
-            # Phase 4 — post-swap traffic against the refreshed estimator.
-            manager.pause()
-            collector.clear()
+        # Phase 2 — the update lands: ground truth moves under the model.
+        update_started = time.perf_counter()
+        client.retrainer.set_database(updated_database)
+        with truth_lock:
             for labeled in workload:
-                served = dispatcher.estimate(labeled.query, timeout=60)
-                collector.record_served(
-                    served,
-                    true_cardinality=float(updated_oracle.cardinality(labeled.query)),
-                )
-            recovered = collector.summary()
-            lifecycle_snapshot = manager.stats.snapshot()
+                truths[labeled.query] = float(updated_oracle.cardinality(labeled.query))
+        clients = [threading.Thread(target=traffic) for _ in range(CLIENTS)]
+        for thread in clients:
+            thread.start()
+
+        # Phase 3 — wait for the background retrain + hot swap (traffic on).
+        deadline = time.monotonic() + SWAP_DEADLINE_SECONDS
+        degraded = pre_update
+        while manager.stats.swaps < 1:
+            window = client.collector.summary()
+            if window.count and window.p50 > degraded.p50:
+                degraded = window  # keep the worst window seen
+            assert time.monotonic() < deadline, (
+                f"no hot swap within {SWAP_DEADLINE_SECONDS:.0f}s; "
+                f"last outcome: {manager.last_outcome}"
+            )
+            time.sleep(0.05)
+        recovery_seconds = time.perf_counter() - update_started
+        stop.set()
+        for thread in clients:
+            thread.join()
+
+        # Phase 4 — post-swap traffic against the refreshed estimator.
+        manager.pause()
+        client.collector.clear()
+        post_swap_generation = None
+        for labeled in workload:
+            served = client.estimate(labeled.query, DEADLINE)
+            post_swap_generation = served.model_generation
+            client.record_feedback(
+                served,
+                true_cardinality=float(updated_oracle.cardinality(labeled.query)),
+            )
+        recovered = client.collector.summary()
+        merged_stats = client.stats()
+        dispatcher_stats = client.dispatcher.stats
 
     assert not failures, f"client raised: {failures[0]!r}"
-    assert dispatcher.stats.failed == 0, "a request failed during the episode"
-    assert dispatcher.stats.completed == dispatcher.stats.submitted, (
+    assert dispatcher_stats.failed == 0, "a request failed during the episode"
+    assert dispatcher_stats.timed_out == 0, "a request was abandoned on its deadline"
+    assert dispatcher_stats.completed == dispatcher_stats.submitted, (
         "a request was dropped during the hot swap"
     )
     assert manager.stats.swaps >= 1 and manager.stats.drift_triggers >= 1
+    # Post-swap responses are attributable to the new model generation.
+    assert pre_swap_generation == 1
+    assert post_swap_generation == pre_swap_generation + manager.stats.swaps
+    assert merged_stats["model_generation"] == post_swap_generation
     evaluation = evaluate_adaptation(manager, pre_update, degraded, recovered)
     assert evaluation.recovery_ratio <= REQUIRED_RECOVERY, (
         f"post-swap rolling q-error {recovered.p50:.2f} did not recover to within "
@@ -208,12 +217,10 @@ def test_adaptive_serving(results_dir):
             f"(pre-update {pre_update.p50:.2f} / {pre_update.p90:.2f}, "
             f"recovered {recovered.p50:.2f} / {recovered.p90:.2f})",
             f"update → swap: {recovery_seconds:.1f}s with traffic flowing; "
-            f"requests dropped: 0, failed: 0",
+            f"requests dropped: 0, failed: 0, timed out: 0; "
+            f"model generation {pre_swap_generation} → {post_swap_generation}",
             "",
-            format_service_stats(
-                {**dispatcher.stats.snapshot(), **lifecycle_snapshot},
-                title="dispatcher + lifecycle stats",
-            ),
+            format_service_stats(merged_stats, title="merged client stats"),
         ]
     )
     (results_dir / "adaptive_serving.txt").write_text(report + "\n")

@@ -40,7 +40,7 @@ from repro.datasets import build_queries_pool_queries
 from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
 from repro.db import TrueCardinalityOracle
 from repro.evaluation import format_service_stats
-from repro.serving import ServingDispatcher, build_crn_service
+from repro.serving import DispatcherConfig, ServingClient, ServingConfig
 
 SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
 THREADS = 4 if SMOKE else 8
@@ -83,11 +83,18 @@ def test_concurrent_serving(results_dir):
     assert total == THREADS * REQUESTS_PER_THREAD
     shares = [workload[i::THREADS] for i in range(THREADS)]
 
-    # The reference answers: a sequential, one-request-at-a-time service.
-    reference_service = build_crn_service(
-        model, featurizer, pool, fallback_estimator=fallback
+    # The reference answers: a sequential, one-request-at-a-time client
+    # (no dispatcher — the synchronous path).
+    reference = ServingClient(
+        ServingConfig(
+            model=model,
+            featurizer=featurizer,
+            pool=pool,
+            fallback_estimator=fallback,
+            dispatcher=DispatcherConfig(enabled=False),
+        )
     )
-    sequential = {query: reference_service.submit(query).estimate for query in workload}
+    sequential = {query: reference.estimate(query).estimate for query in workload}
 
     # Naive: each thread loops over its share with cache-less per-request
     # estimation (shared model weights are read-only, so this is safe).
@@ -99,18 +106,26 @@ def test_concurrent_serving(results_dir):
 
     naive_seconds = run_threads(naive_worker, shares)
 
-    # Coalesced: one shared dispatcher; timing includes build + warm.
+    # Coalesced: one client with its dispatcher; timing includes build + warm.
     coalesced_results: dict[int, list] = {}
     coalesced_start = time.perf_counter()
-    service = build_crn_service(model, featurizer, pool, fallback_estimator=fallback)
-    with ServingDispatcher(service, max_batch=64, max_wait_ms=2.0) as dispatcher:
+    with ServingClient(
+        ServingConfig(
+            model=model,
+            featurizer=featurizer,
+            pool=pool,
+            fallback_estimator=fallback,
+            dispatcher=DispatcherConfig(enabled=True, max_batch=64, max_wait_ms=2.0),
+        )
+    ) as client:
 
         def coalesced_worker(index, share):
-            futures = [dispatcher.submit(query) for query in share]
+            futures = [client.estimate_future(query) for query in share]
             coalesced_results[index] = [future.result() for future in futures]
 
         threaded_seconds = run_threads(coalesced_worker, shares)
     coalesced_seconds = time.perf_counter() - coalesced_start
+    dispatcher = client.dispatcher
 
     # No lost or duplicated responses, and bit-identity with the sequential
     # path — for the naive loops too (batch-composition invariance).
@@ -148,10 +163,7 @@ def test_concurrent_serving(results_dir):
             f"{THREADS} threads), estimates bit-identical across all paths",
             f"(dispatch window inside the run: {threaded_seconds:.2f}s)",
             "",
-            format_service_stats(
-                {**service.stats_snapshot(), **dispatcher.stats.snapshot()},
-                title="service + dispatcher stats",
-            ),
+            format_service_stats(client.stats(), title="merged client stats"),
         ]
     )
     (results_dir / "concurrent_serving.txt").write_text(report + "\n")

@@ -6,11 +6,12 @@ exactly the axis the paper's Table 14 pool-size sweep varies.  This benchmark
 sweeps bucket-heavy pools (two FROM signatures, so the bucket size tracks the
 pool size) and serves the same single-request workload two ways:
 
-* **legacy** -- ``build_crn_service(..., use_pool_index=False)``: warmed
-  featurization/encoding caches, but every request still materializes
-  ``2·E`` Python pair tuples, performs ``2·E`` dict-keyed cache lookups, and
-  stacks ``2·E`` encoding rows before the pair head runs;
-* **indexed** -- the default service: per-signature contiguous encoding
+* **legacy** -- a :class:`repro.serving.ServingClient` with
+  ``PoolConfig(use_index=False)``: warmed featurization/encoding caches, but
+  every request still materializes ``2·E`` Python pair tuples, performs
+  ``2·E`` dict-keyed cache lookups, and stacks ``2·E`` encoding rows before
+  the pair head runs;
+* **indexed** -- the default config: per-signature contiguous encoding
   matrices (:class:`repro.serving.PoolEncodingIndex`), so a request is
   *encode Qnew once → two strided writes → the fixed-shape slab path*.
 
@@ -34,7 +35,7 @@ import numpy as np
 from repro.core import CRNConfig, CRNModel, QueriesPool, QueryFeaturizer
 from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
 from repro.evaluation import format_service_stats
-from repro.serving import build_crn_service
+from repro.serving import PoolConfig, ServingClient, ServingConfig
 from repro.sql.builder import QueryBuilder
 
 SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
@@ -104,16 +105,28 @@ def build_requests(count: int) -> list:
     return requests
 
 
-def serve_timed(service, requests) -> tuple[list[float], float]:
+def serve_timed(client, requests) -> tuple[list[float], float]:
     """Serve each request alone; return (estimates, single-request p50 seconds)."""
     estimates: list[float] = []
     latencies: list[float] = []
     for query in requests:
         start = time.perf_counter()
-        served = service.submit(query)
+        served = client.estimate(query)
         latencies.append(time.perf_counter() - start)
         estimates.append(served.estimate)
     return estimates, float(np.median(latencies))
+
+
+def build_client(model, featurizer, pool, use_index) -> ServingClient:
+    """An unstarted (synchronous-path) client over ``pool``."""
+    return ServingClient(
+        ServingConfig(
+            model=model,
+            featurizer=featurizer,
+            pool=pool,
+            pool_options=PoolConfig(warm=True, use_index=use_index),
+        )
+    )
 
 
 def test_pool_index_speedup_and_bit_identity(results_dir):
@@ -123,21 +136,23 @@ def test_pool_index_speedup_and_bit_identity(results_dir):
     requests = build_requests(REQUESTS)
 
     rows = []
-    last_indexed_service = None
+    last_indexed_client = None
     for size in POOL_SIZES:
         pool = build_bucket_heavy_pool(size)
-        legacy = build_crn_service(
-            model, featurizer, pool, use_pool_index=False
-        )
-        indexed = build_crn_service(model, featurizer, pool)
-        last_indexed_service = indexed
+        legacy = build_client(model, featurizer, pool, use_index=False)
+        indexed = build_client(model, featurizer, pool, use_index=True)
+        last_indexed_client = indexed
 
         legacy_estimates, legacy_p50 = serve_timed(legacy, requests)
         indexed_estimates, indexed_p50 = serve_timed(indexed, requests)
         assert indexed_estimates == legacy_estimates, (
             f"indexed estimates diverged from the per-pair path at pool size {size}"
         )
-        index_stats = indexed.stats_snapshot()
+        resolutions = {item.resolution for item in indexed.estimate_many(requests)}
+        assert resolutions == {"indexed_slab"}, (
+            f"indexed requests must resolve from the slab path, got {resolutions}"
+        )
+        index_stats = indexed.stats()
         assert index_stats["pool_index_served"] >= len(requests), (
             "the indexed service silently fell back to the legacy path"
         )
@@ -168,7 +183,7 @@ def test_pool_index_speedup_and_bit_identity(results_dir):
             + (" (timing not enforced in smoke mode)" if SMOKE else ""),
             "",
             format_service_stats(
-                last_indexed_service.stats_snapshot(), title="indexed service stats"
+                last_indexed_client.stats(), title="indexed client stats"
             ),
         ]
     )

@@ -5,9 +5,10 @@ Serves a 200-query workload against a 500-entry queries pool two ways:
 * **naive** -- a fresh, cache-less ``Cnt2CrdEstimator`` answering one request
   at a time (featurizing and encoding every matching pool query on every
   request), the way the paper's evaluation invokes the model;
-* **served** -- the :class:`repro.serving.EstimationService`: featurization /
-  encoding caches warmed with the pool, and all 200 requests planned into a
-  few large deduplicated forward passes.
+* **served** -- a :class:`repro.serving.ServingClient` over a declarative
+  :class:`repro.serving.ServingConfig`: featurization / encoding caches
+  warmed with the pool, and all 200 requests planned into a few large
+  deduplicated forward passes via ``estimate_many``.
 
 The service time *includes* building and warming the caches, so the measured
 speedup is end-to-end, and the served estimates must equal the naive ones
@@ -32,7 +33,7 @@ from repro.datasets import build_queries_pool_queries
 from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
 from repro.db import TrueCardinalityOracle
 from repro.evaluation import format_service_stats
-from repro.serving import build_crn_service
+from repro.serving import ServingClient, ServingConfig
 
 POOL_SIZE = 500
 WORKLOAD_SIZE = 200
@@ -65,10 +66,14 @@ def test_serving_throughput(results_dir):
     naive_estimates = [naive.estimate_cardinality(query) for query in workload]
     naive_seconds = time.perf_counter() - naive_start
 
-    # Batched + cached service, measured end-to-end including cache warming.
+    # Batched + cached client, measured end-to-end including cache warming.
     served_start = time.perf_counter()
-    service = build_crn_service(model, featurizer, pool, fallback_estimator=fallback)
-    served = service.submit_batch(workload)
+    client = ServingClient(
+        ServingConfig(
+            model=model, featurizer=featurizer, pool=pool, fallback_estimator=fallback
+        )
+    )
+    served = client.estimate_many(workload)
     served_seconds = time.perf_counter() - served_start
 
     served_estimates = [item.estimate for item in served]
@@ -96,7 +101,7 @@ def test_serving_throughput(results_dir):
             f"speedup: {speedup:.1f}x (required: >= {REQUIRED_SPEEDUP:.0f}x), "
             "served estimates bit-for-bit identical",
             "",
-            format_service_stats(service.stats_snapshot(), title="service stats"),
+            format_service_stats(client.stats(), title="service stats"),
         ]
     )
     (results_dir / "serving_throughput.txt").write_text(report + "\n")

@@ -1,25 +1,35 @@
-"""Serving workflow: an online estimation service over a trained CRN.
+"""Serving workflow: the unified serving client over a trained CRN.
 
 Builds on the quickstart pipeline (database → training pairs → CRN → queries
-pool) and industrializes the last step:
+pool) and industrializes the last step through the one-handle client API:
 
-1. wire an :class:`repro.serving.EstimationService` with featurization /
-   encoding caches, a CRN-backed Cnt2Crd default estimator, a PostgreSQL-style
-   fallback, and an improved-PostgreSQL registry entry;
-2. serve a burst of concurrent requests in one batched submission;
-3. show that batching/caching did not change a single bit of any estimate;
-4. print the serving metrics (latency, throughput, cache hit rates);
-5. serve the same traffic from many client *threads* through the
-   request-coalescing :class:`repro.serving.ServingDispatcher`, hot-swap an
-   estimator mid-traffic, and print the concurrency metrics.
+1. describe the deployment declaratively with a
+   :class:`repro.serving.ServingConfig` (estimator, caches, dispatcher
+   sections) and round-trip it through a plain dict to show configs are
+   data;
+2. run it with :class:`repro.serving.ServingClient` — one object owning the
+   service, the caches, the pool encoding index, and the request-coalescing
+   dispatcher;
+3. serve a burst with ``estimate_many``, inspect the provenance every
+   :class:`repro.serving.EstimateResult` carries (resolution path, model
+   generation, cache hits), and show the batched path did not change a
+   single bit of any estimate;
+4. use per-request :class:`repro.serving.RequestOptions` to pick estimators,
+   restrict fallback, and tag requests;
+5. serve the same traffic from many client *threads* (``estimate_future``),
+   hot-swap an estimator mid-traffic — the bumped model generation shows up
+   in the responses — and print the one merged ``stats()`` snapshot.
 
 Run with::
 
-    python examples/serving_workflow.py
+    python examples/serving_workflow.py          # full demo
+    REPRO_SMOKE=1 python examples/serving_workflow.py   # CI-sized
+
 """
 
 from __future__ import annotations
 
+import os
 import threading
 
 from repro.baselines import PostgresCardinalityEstimator
@@ -41,101 +51,138 @@ from repro.datasets import (
 )
 from repro.db import TrueCardinalityOracle
 from repro.evaluation import format_service_stats, format_serving_table, time_service
-from repro.serving import ServingDispatcher, build_crn_service
+from repro.serving import RequestOptions, ServingClient, ServingConfig
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
+TITLES = 300 if SMOKE else 1000
+TRAIN_PAIRS = 200 if SMOKE else 1500
+TRAIN_EPOCHS = 3 if SMOKE else 15
+POOL_SIZE = 80 if SMOKE else 300
+WORKLOAD_SIZE = 30 if SMOKE else 100
 
 
 def main() -> None:
     # 1. Database, training corpus, trained CRN (as in examples/quickstart.py).
-    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=1000))
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=TITLES))
     oracle = TrueCardinalityOracle(database)
     featurizer = QueryFeaturizer(database)
     print("Training CRN ...")
-    pairs = build_training_pairs(database, count=1500, oracle=oracle)
+    pairs = build_training_pairs(database, count=TRAIN_PAIRS, oracle=oracle)
     result = train_crn(
         featurizer,
         pairs,
         crn_config=CRNConfig(hidden_size=64),
-        training_config=TrainingConfig(epochs=15, batch_size=64),
+        training_config=TrainingConfig(epochs=TRAIN_EPOCHS, batch_size=64),
     )
 
-    # 2. The queries pool and the serving façade.
-    print("Building the queries pool and the estimation service ...")
+    # 2. The queries pool and the declarative deployment description.
+    print("Building the queries pool and the serving config ...")
     pool = QueriesPool.from_labeled_queries(
-        build_queries_pool_queries(database, count=300, oracle=oracle)
+        build_queries_pool_queries(database, count=POOL_SIZE, oracle=oracle)
     )
     postgres = PostgresCardinalityEstimator(database)
-    service = build_crn_service(
-        result.model,
-        featurizer,
-        pool,
+    config = ServingConfig(
+        model=result.model,
+        featurizer=featurizer,
+        pool=pool,
         fallback_estimator=postgres,
         extra_estimators={"improved-postgres": improve(postgres, pool)},
     )
-    print(f"registered estimators: {service.names()}")
+    # Configs are data: the declarative sections round-trip through a plain
+    # dict (JSON-ready) and re-attach the runtime objects on the way back.
+    rebuilt = ServingConfig.from_mapping(
+        config.to_mapping(),
+        model=result.model,
+        featurizer=featurizer,
+        pool=pool,
+        fallback_estimator=postgres,
+        extra_estimators=config.extra_estimators,
+    )
+    assert rebuilt == config
+    print(f"config sections: {sorted(config.to_mapping())}")
 
-    # 3. A burst of concurrent requests, served as one batched submission.
-    workload = build_queries_pool_queries(database, count=100, seed=47, oracle=oracle)
+    workload = build_queries_pool_queries(database, count=WORKLOAD_SIZE, seed=47, oracle=oracle)
     queries = [labeled.query for labeled in workload]
-    served = service.submit_batch(queries)
 
-    # The batched path is exact: compare against a cache-less per-request loop.
-    naive = Cnt2CrdEstimator(
-        CRNEstimator(result.model, featurizer), pool, fallback=postgres
-    )
-    naive_estimates = [naive.estimate_cardinality(query) for query in queries]
-    identical = [item.estimate for item in served] == naive_estimates
-    print(f"\nserved {len(served)} requests; bit-identical to the naive loop: {identical}")
+    # 3. One client handle over the whole stack.
+    with ServingClient(config) as client:
+        print(f"registered estimators: {client.service.names()}")
 
-    sample = served[0]
-    print(
-        f"sample request: {sample.query}\n"
-        f"  estimate {sample.estimate:,.0f} via {sample.estimator_name!r}, "
-        f"{sample.pool_matches} pool matches, {sample.latency_milliseconds:.2f}ms"
-    )
+        served = client.estimate_many(queries)
 
-    # 4. Serving metrics: accuracy + latency/hit rates per registry entry.
-    print()
-    timings = {
-        name: time_service(service, workload, estimator=name, batch_size=25)
-        for name in ("crn", "improved-postgres")
-    }
-    print(format_serving_table(timings, title="serving paths (batches of 25)"))
-    print()
-    print(format_service_stats(service.stats_snapshot(), title="service stats"))
+        # The batched path is exact: compare against a cache-less loop.
+        naive = Cnt2CrdEstimator(
+            CRNEstimator(result.model, featurizer), pool, fallback=postgres
+        )
+        naive_estimates = [naive.estimate_cardinality(query) for query in queries]
+        identical = [item.estimate for item in served] == naive_estimates
+        print(
+            f"\nserved {len(served)} requests; bit-identical to the naive loop: {identical}"
+        )
 
-    # 5. Concurrent clients: many threads submit through the coalescing
-    #    dispatcher; a hot swap mid-traffic re-routes new requests without
-    #    dropping in-flight ones.
-    print("\nServing from 8 client threads through the dispatcher ...")
-    with ServingDispatcher(service, max_batch=64, max_wait_ms=2.0) as dispatcher:
+        # Every result carries provenance: how it was produced, by which
+        # model generation, and how much came out of the shared caches.
+        sample = served[0]
+        print(
+            f"sample request: {sample.query}\n"
+            f"  estimate {sample.estimate:,.0f} via {sample.estimator_name!r} "
+            f"(resolution {sample.resolution!r}, model generation "
+            f"{sample.model_generation}, {sample.encoding_cache_hits} encoding "
+            f"cache hits in its batch)"
+        )
 
-        def client(share):
-            for future in [dispatcher.submit(query) for query in share]:
+        # 4. Per-request options: estimator pick, fallback policy, tags.
+        tagged = client.estimate(
+            queries[0],
+            RequestOptions(estimator="improved-postgres", tags={"tenant": "demo"}),
+        )
+        print(
+            f"per-request options: served by {tagged.estimator_name!r} "
+            f"(resolution {tagged.resolution!r}) tags={dict(tagged.tags)}"
+        )
+
+        # 5. Serving metrics: accuracy + latency/hit rates per registry entry.
+        print()
+        timings = {
+            name: time_service(client.service, workload, estimator=name, batch_size=25)
+            for name in ("crn", "improved-postgres")
+        }
+        print(format_serving_table(timings, title="serving paths (batches of 25)"))
+
+        # 6. Concurrent clients: many threads submit dispatcher-backed
+        #    futures; a hot swap mid-traffic re-routes new requests without
+        #    dropping in-flight ones — and bumps the model generation every
+        #    response carries.
+        print("\nServing from 8 client threads through the dispatcher ...")
+
+        def client_thread(share):
+            for future in [client.estimate_future(query) for query in share]:
                 future.result()
 
         threads = [
-            threading.Thread(target=client, args=(queries[i::8],)) for i in range(8)
+            threading.Thread(target=client_thread, args=(queries[i::8],))
+            for i in range(8)
         ]
         for thread in threads:
             thread.start()
         # Zero-downtime update while the clients are submitting: in-flight
         # requests finish on the old estimator object, new ones see the
-        # replacement.
-        service.replace("improved-postgres", improve(postgres, pool))
+        # replacement (and its bumped generation).
+        client.service.replace("improved-postgres", improve(postgres, pool))
         for thread in threads:
             thread.join()
-        coalesced = dispatcher.estimate(queries[0])
+        swapped = client.estimate(queries[0], RequestOptions(estimator="improved-postgres"))
+        print(
+            f"post-swap request: estimate {swapped.estimate:,.0f}, model generation "
+            f"{swapped.model_generation} (was {tagged.model_generation})"
+        )
+        coalesced = client.estimate(queries[0])
         print(
             f"coalesced request: estimate {coalesced.estimate:,.0f}, "
             f"identical to batched path: {coalesced.estimate == served[0].estimate}"
         )
         print()
-        print(
-            format_service_stats(
-                {**service.stats_snapshot(), **dispatcher.stats.snapshot()},
-                title="service + dispatcher stats",
-            )
-        )
+        print(format_service_stats(client.stats(), title="merged client stats"))
 
 
 if __name__ == "__main__":

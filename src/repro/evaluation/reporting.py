@@ -165,6 +165,7 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("submitted", "requests submitted", "{:.0f}"),
     ("completed", "requests completed", "{:.0f}"),
     ("failed", "requests failed", "{:.0f}"),
+    ("timed_out", "requests timed out", "{:.0f}"),
     ("coalesced_batches", "coalesced batches", "{:.0f}"),
     ("coalesced_requests", "requests coalesced", "{:.0f}"),
     ("mean_batch_size", "mean batch size", "{:.1f}"),
@@ -185,6 +186,10 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("pre_swap_q_error", "pre-swap gate q-error", "{:.2f}"),
     ("post_swap_q_error", "post-swap gate q-error", "{:.2f}"),
     ("requests_between_swaps", "requests between swaps", "{:.0f}"),
+    ("model_generation", "serving model generation", "{:.0f}"),
+    ("feedback_observations", "feedback observations", "{:.0f}"),
+    ("feedback_p50_q_error", "feedback p50 q-error", "{:.2f}"),
+    ("feedback_p90_q_error", "feedback p90 q-error", "{:.2f}"),
 )
 
 

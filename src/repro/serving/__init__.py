@@ -18,11 +18,30 @@ forward passes.  This package amortizes that work across requests:
   index-servable requests as slab references and flattens everything else's
   ``(Qnew, Qold)`` scoring pairs (both directions) into one deduplicated
   pair list executed as a few large fixed-shape forward passes.
-* :mod:`repro.serving.service` -- :class:`EstimationService`, the façade with
-  a named estimator registry, ``submit`` / ``submit_batch``, registry-level
-  fallback for :class:`repro.core.cnt2crd.NoMatchingPoolQueryError`, and
-  per-request latency / cache hit-rate statistics, plus the
-  :func:`build_crn_service` convenience constructor.
+* :mod:`repro.serving.service` -- :class:`EstimationService`, the engine with
+  a named estimator registry (model generations bumped on every
+  :meth:`~EstimationService.replace` hot swap), ``submit`` / ``submit_batch``,
+  registry-level fallback for
+  :class:`repro.core.cnt2crd.NoMatchingPoolQueryError`, per-request
+  :class:`RequestOptions` (estimator, deadline, fallback policy, tags) and
+  provenance-carrying :class:`EstimateResult` responses (resolution path,
+  model generation, cache hits), and per-request latency / cache hit-rate
+  statistics.  The deprecated :func:`build_crn_service` constructor lives
+  here as a shim over :class:`ServingConfig`.
+* :mod:`repro.serving.config` -- :class:`ServingConfig`, the frozen,
+  validated, dict/JSON-round-trippable description of a whole deployment
+  (estimator, pool/index, caches, dispatcher, feedback, adaptation
+  sections).
+* :mod:`repro.serving.client` -- :class:`ServingClient`, the one-handle
+  façade: builds everything a :class:`ServingConfig` enables, owns start and
+  shutdown ordering, and exposes ``estimate`` / ``estimate_many`` /
+  ``estimate_future`` / ``warm`` / ``record_feedback`` /
+  ``trigger_adaptation`` plus one merged ``stats()`` snapshot.
+* :mod:`repro.serving.errors` -- the :class:`ServingError` taxonomy
+  (:class:`UnknownEstimatorError`, :class:`DeadlineExceededError`,
+  :class:`DispatcherShutdownError`, with
+  :class:`~repro.core.cnt2crd.NoMatchingPoolQueryError` re-exported as the
+  fourth member).
 * :mod:`repro.serving.dispatcher` -- :class:`ServingDispatcher`, the
   thread-safe micro-batching front-end: concurrent callers submit from many
   threads and get futures; one dispatcher thread coalesces their requests
@@ -53,10 +72,23 @@ one caller or coalesced across threads by the dispatcher.  See
 """
 
 from repro.serving.cache import CacheStats, EncodingCache, FeaturizationCache
-from repro.serving.dispatcher import (
+from repro.serving.client import ServiceStack, ServingClient, build_service_stack
+from repro.serving.config import (
+    AdaptationConfig,
+    CacheConfig,
+    DispatcherConfig,
+    EstimatorConfig,
+    FeedbackConfig,
+    PoolConfig,
+    ServingConfig,
+)
+from repro.serving.dispatcher import DispatcherStats, ServingDispatcher
+from repro.serving.errors import (
+    DeadlineExceededError,
     DispatcherShutdownError,
-    DispatcherStats,
-    ServingDispatcher,
+    NoMatchingPoolQueryError,
+    ServingError,
+    UnknownEstimatorError,
 )
 from repro.serving.feedback import (
     FeedbackCollector,
@@ -75,37 +107,55 @@ from repro.serving.lifecycle import (
 from repro.serving.planner import BatchPlan, BatchPlanner, RequestPlan
 from repro.serving.pool_index import IndexedSlab, PoolEncodingIndex, PoolIndexStats
 from repro.serving.service import (
+    EstimateResult,
     EstimationService,
+    RequestOptions,
     ServedEstimate,
     ServiceStats,
     build_crn_service,
 )
 
 __all__ = [
+    "AdaptationConfig",
     "AdaptationManager",
     "AdaptationOutcome",
     "BatchPlan",
     "BatchPlanner",
     "CRNRetrainer",
+    "CacheConfig",
     "CacheStats",
+    "DeadlineExceededError",
+    "DispatcherConfig",
     "DispatcherShutdownError",
     "DispatcherStats",
     "DriftMonitor",
     "DriftPolicy",
     "DriftVerdict",
     "EncodingCache",
+    "EstimateResult",
     "EstimationService",
+    "EstimatorConfig",
     "FeaturizationCache",
     "FeedbackCollector",
+    "FeedbackConfig",
     "FeedbackObservation",
     "FeedbackSummary",
     "IndexedSlab",
     "LifecycleStats",
+    "NoMatchingPoolQueryError",
+    "PoolConfig",
     "PoolEncodingIndex",
     "PoolIndexStats",
+    "RequestOptions",
     "RequestPlan",
     "ServedEstimate",
+    "ServiceStack",
     "ServiceStats",
+    "ServingClient",
+    "ServingConfig",
     "ServingDispatcher",
+    "ServingError",
+    "UnknownEstimatorError",
     "build_crn_service",
+    "build_service_stack",
 ]

@@ -1,0 +1,411 @@
+"""The unified serving client: one handle over the whole serving stack.
+
+:class:`ServingClient` turns a declarative
+:class:`repro.serving.ServingConfig` into a running deployment and owns its
+lifecycle end to end — construction, wiring, start ordering, and shutdown of
+the :class:`repro.serving.EstimationService`, the request-coalescing
+:class:`repro.serving.ServingDispatcher`, the
+:class:`repro.serving.FeedbackCollector`, and the
+:class:`repro.serving.AdaptationManager`.  Callers hold *one* object::
+
+    config = ServingConfig(model=model, featurizer=featurizer, pool=pool,
+                           fallback_estimator=postgres)
+    with ServingClient(config) as client:
+        result = client.estimate(query)                   # EstimateResult
+        burst = client.estimate_many(queries)             # one planned batch
+        future = client.estimate_future(query)            # dispatcher-backed
+        print(client.stats())                             # merged snapshot
+
+Per-request behaviour rides in :class:`repro.serving.RequestOptions`
+(estimator name, deadline, fallback policy, caller tags), and every answer
+is an :class:`repro.serving.EstimateResult` carrying provenance — the
+resolution path, the answering model generation (bumped on every hot swap),
+and cache-hit counts.
+
+The client changes **no bits**: :func:`build_service_stack` is the single
+wiring routine shared with the deprecated
+:func:`repro.serving.build_crn_service`, so estimates served through the
+client are bit-for-bit identical to the legacy constructor + manual
+dispatcher path (asserted by the hypothesis identity test in
+``tests/test_property_based.py``).
+
+Start/shutdown ordering: ``__enter__`` (or the :meth:`ServingClient.start`
+classmethod) starts the dispatcher before the adaptation worker — requests
+must be servable before the first drift evaluation can swap anything — and
+:meth:`shutdown` stops them in reverse: the adaptation worker first (no swap
+begins mid-drain), then the dispatcher, which drains every accepted request
+before returning.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.cnt2crd import Cnt2CrdEstimator
+from repro.core.crn import CRNEstimator
+from repro.serving.cache import EncodingCache, FeaturizationCache
+from repro.serving.config import ServingConfig
+from repro.serving.dispatcher import ServingDispatcher
+from repro.serving.errors import ServingError
+from repro.serving.feedback import FeedbackCollector, FeedbackObservation
+from repro.serving.lifecycle import AdaptationManager, AdaptationOutcome, CRNRetrainer
+from repro.serving.pool_index import PoolEncodingIndex
+from repro.serving.service import (
+    EstimateResult,
+    EstimationService,
+    RequestOptions,
+)
+from repro.sql.query import Query
+
+__all__ = ["ServiceStack", "ServingClient", "build_service_stack"]
+
+
+@dataclass(frozen=True)
+class ServiceStack:
+    """The wired (but unstarted) core of a deployment.
+
+    What :func:`build_service_stack` hands back: the service plus the shared
+    components it was wired from, for callers that need the pieces (the
+    client keeps them; the deprecated ``build_crn_service`` returns only
+    :attr:`service`).
+    """
+
+    service: EstimationService
+    estimator: Cnt2CrdEstimator
+    featurization_cache: FeaturizationCache
+    encoding_cache: EncodingCache
+    pool_index: PoolEncodingIndex | None
+
+
+def build_service_stack(config: ServingConfig) -> ServiceStack:
+    """Wire an :class:`EstimationService` exactly as ``config`` describes.
+
+    This is the **single** wiring routine behind both the client and the
+    deprecated :func:`repro.serving.build_crn_service` — sharing it is what
+    makes the two paths bit-for-bit identical: the caches, the cache-aware
+    :class:`repro.core.crn.CRNEstimator`, the pool encoding index, the
+    :class:`repro.core.cnt2crd.Cnt2CrdEstimator`, the registry entries, and
+    the warm-up all come from here.
+    """
+    estimator_config = config.estimator
+    featurization_cache = FeaturizationCache(
+        config.featurizer, max_entries=config.caches.max_featurization_entries
+    )
+    encoding_cache = EncodingCache(
+        max_entries=config.caches.resolved_encoding_entries()
+    )
+    crn = CRNEstimator(
+        config.model,
+        featurization_cache,
+        batch_size=estimator_config.batch_size,
+        encoding_cache=encoding_cache,
+    )
+    pool_index = (
+        PoolEncodingIndex(config.pool) if config.pool_options.use_index else None
+    )
+    cnt2crd = Cnt2CrdEstimator(
+        crn,
+        config.pool,
+        final_function=estimator_config.final_function,
+        epsilon=estimator_config.epsilon,
+        pool_index=pool_index,
+    )
+    service = EstimationService(
+        fallback=(
+            estimator_config.fallback_name
+            if config.fallback_estimator is not None
+            else None
+        ),
+        featurization_cache=featurization_cache,
+        encoding_cache=encoding_cache,
+        pool_index=pool_index,
+    )
+    service.register(estimator_config.name, cnt2crd, default=True)
+    if config.fallback_estimator is not None:
+        service.register(estimator_config.fallback_name, config.fallback_estimator)
+    for name, estimator in config.extra_estimators.items():
+        service.register(name, estimator)
+    if config.pool_options.warm:
+        service.warm(entry.query for entry in config.pool)
+        if pool_index is not None:
+            pool_index.warm(cnt2crd)
+    return ServiceStack(
+        service=service,
+        estimator=cnt2crd,
+        featurization_cache=featurization_cache,
+        encoding_cache=encoding_cache,
+        pool_index=pool_index,
+    )
+
+
+class ServingClient:
+    """One façade over service + dispatcher + feedback + adaptation.
+
+    Constructing the client wires everything the config enables (eagerly —
+    construction errors surface here, not at first request); entering the
+    context manager (or using the :meth:`start` classmethod) starts the
+    background threads.  All request traffic flows through
+    :meth:`estimate` / :meth:`estimate_many` / :meth:`estimate_future`; the
+    wired components stay reachable as attributes (:attr:`service`,
+    :attr:`dispatcher`, :attr:`collector`, :attr:`manager`,
+    :attr:`retrainer`) for operators that need the lower layers.
+
+    Args:
+        config: the frozen deployment description.
+    """
+
+    def __init__(self, config: ServingConfig) -> None:
+        self.config = config
+        stack = build_service_stack(config)
+        self.stack = stack
+        self.service = stack.service
+        self.collector: FeedbackCollector | None = None
+        self.retrainer: CRNRetrainer | None = None
+        self.manager: AdaptationManager | None = None
+        self.dispatcher: ServingDispatcher | None = None
+        if config.feedback.enabled:
+            self.collector = FeedbackCollector(
+                max_observations=config.feedback.max_observations,
+                epsilon=config.feedback.epsilon,
+                oracle=config.oracle,
+            )
+        if config.adaptation.enabled:
+            adaptation = config.adaptation
+            self.retrainer = CRNRetrainer(
+                config.training_result,
+                config.database,
+                config.pool,
+                training_pairs=adaptation.training_pairs,
+                incremental_epochs=adaptation.incremental_epochs,
+                full_epochs=adaptation.full_epochs,
+                seed=adaptation.seed,
+            )
+            self.manager = AdaptationManager(
+                self.service,
+                self.collector,
+                self.retrainer,
+                policy=adaptation.drift_policy(),
+                estimator_name=config.estimator.name,
+                poll_interval_seconds=adaptation.poll_interval_seconds,
+                holdout_size=adaptation.holdout_size,
+                accept_ratio=adaptation.accept_ratio,
+                max_incremental_failures=adaptation.max_incremental_failures,
+                warm_on_swap=adaptation.warm_on_swap,
+            )
+        if config.dispatcher.enabled:
+            self.dispatcher = ServingDispatcher(
+                self.service,
+                max_batch=config.dispatcher.max_batch,
+                max_wait_ms=config.dispatcher.max_wait_ms,
+            )
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    @classmethod
+    def start(cls, config: ServingConfig) -> "ServingClient":
+        """Build **and start** a client in one call.
+
+        The caller owns the shutdown (``client.shutdown()``, or use the
+        instance as a context manager instead — ``with ServingClient(config)
+        as client:`` — to bracket both).
+        """
+        return cls(config).__enter__()
+
+    def __enter__(self) -> "ServingClient":
+        with self._state_lock:
+            if self._closed:
+                raise ServingError("serving client has been shut down")
+            if not self._started:
+                # Requests must be servable before the adaptation worker's
+                # first evaluation could decide to swap anything.
+                if self.dispatcher is not None:
+                    self.dispatcher.start()
+                if self.manager is not None:
+                    self.manager.start()
+                self._started = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the stack in reverse start order.  Idempotent.
+
+        The adaptation worker stops first (its current cycle completes; no
+        new swap begins mid-drain), then the dispatcher stops accepting and
+        drains every already-accepted request before returning (with
+        ``wait=True``, the default).
+        """
+        with self._state_lock:
+            self._closed = True
+        if self.manager is not None:
+            self.manager.stop(wait=wait)
+        if self.dispatcher is not None:
+            self.dispatcher.shutdown(wait=wait)
+
+    @property
+    def started(self) -> bool:
+        """Whether the background threads have been started."""
+        with self._state_lock:
+            return self._started and not self._closed
+
+    def _ensure_open(self) -> None:
+        """Refuse request traffic after :meth:`shutdown`.
+
+        Without this, a shut-down client would silently keep serving the
+        synchronous path while its dispatcher refuses — an operator stopping
+        traffic must stop *all* of it.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServingError(
+                    "serving client has been shut down; no new requests accepted"
+                )
+
+    # ------------------------------------------------------------------ #
+    # requests
+
+    def estimate(
+        self, query: Query, options: RequestOptions | None = None
+    ) -> EstimateResult:
+        """Estimate one query.
+
+        On a started client with a dispatcher, the request coalesces with
+        concurrent callers' (honoring ``options.timeout_seconds`` — a
+        :class:`repro.serving.DeadlineExceededError` abandons it); otherwise
+        it is served synchronously on the calling thread.  Either path is
+        bit-for-bit identical.
+        """
+        # The closed check and the routing decision are one lock acquisition:
+        # a shutdown() racing in between must yield a refusal (here, or from
+        # the dispatcher's own closed state), never a silent downgrade onto
+        # the synchronous path of a closed client.
+        with self._state_lock:
+            if self._closed:
+                raise ServingError(
+                    "serving client has been shut down; no new requests accepted"
+                )
+            use_dispatcher = self._started and self.dispatcher is not None
+        if use_dispatcher:
+            return self.dispatcher.estimate(query, options=options)
+        if options is not None and options.timeout_seconds is not None:
+            raise ServingError(
+                "per-request deadlines need the dispatcher: enable "
+                "ServingConfig.dispatcher and start the client"
+            )
+        return self.service.submit(query, options=options)
+
+    def estimate_many(
+        self, queries: Sequence[Query], options: RequestOptions | None = None
+    ) -> list[EstimateResult]:
+        """Estimate a caller-side burst as one planned, deduplicated batch.
+
+        The batch goes straight to :meth:`EstimationService.submit_batch` —
+        it is already a batch, so there is nothing for the dispatcher to
+        coalesce.  Deadlines are not supported here (the batch runs on the
+        calling thread); submit through :meth:`estimate_future` to bound
+        individual waits.  A request-level failure (e.g.
+        ``fallback_policy="none"`` meeting an unmatched query) fails the
+        whole batch, like any no-fallback ``submit_batch``; use
+        :meth:`estimate` / :meth:`estimate_future` for per-request isolation.
+        """
+        self._ensure_open()
+        if options is not None and options.timeout_seconds is not None:
+            raise ServingError(
+                "estimate_many serves synchronously and cannot honor "
+                "timeout_seconds; use estimate()/estimate_future() per query"
+            )
+        return self.service.submit_batch(list(queries), options=options)
+
+    def estimate_future(
+        self, query: Query, options: RequestOptions | None = None
+    ) -> Future:
+        """Enqueue one request on the dispatcher; returns a future.
+
+        The future resolves with the request's
+        :class:`repro.serving.EstimateResult` (or its per-request error).
+        Requires a started client with the dispatcher enabled.
+        """
+        self._ensure_open()
+        if self.dispatcher is None:
+            raise ServingError(
+                "estimate_future needs the dispatcher: enable "
+                "ServingConfig.dispatcher"
+            )
+        if not self.started:
+            raise ServingError(
+                "estimate_future needs a started client (use the context "
+                "manager or ServingClient.start)"
+            )
+        return self.dispatcher.submit(query, options=options)
+
+    def warm(self, queries: Iterable[Query] | None = None) -> None:
+        """Pre-featurize/encode ``queries`` (the whole pool when omitted)."""
+        if queries is not None:
+            self.service.warm(queries)
+            return
+        self.service.warm(entry.query for entry in self.config.pool)
+        if self.stack.pool_index is not None:
+            self.stack.pool_index.warm(self.stack.estimator)
+
+    # ------------------------------------------------------------------ #
+    # feedback and adaptation
+
+    def record_feedback(
+        self, result: EstimateResult, true_cardinality: float | None = None
+    ) -> FeedbackObservation:
+        """Close the loop on a served estimate.
+
+        Records ``(query, estimate, truth)`` into the feedback window —
+        ``true_cardinality`` when supplied, the config's ``oracle``
+        otherwise.  Requires ``feedback.enabled``.
+        """
+        if self.collector is None:
+            raise ServingError(
+                "feedback is not enabled; set ServingConfig.feedback.enabled"
+            )
+        return self.collector.record_served(result, true_cardinality)
+
+    def trigger_adaptation(
+        self, wait: bool = True, timeout: float | None = None
+    ) -> AdaptationOutcome | None:
+        """Force one adaptation cycle (bypassing policy, cooldown, pause).
+
+        Requires ``adaptation.enabled``; see
+        :meth:`repro.serving.AdaptationManager.trigger` for semantics.
+        """
+        if self.manager is None:
+            raise ServingError(
+                "adaptation is not enabled; set ServingConfig.adaptation.enabled "
+                "(plus feedback, training_result, and database)"
+            )
+        return self.manager.trigger(wait=wait, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # observability
+
+    def stats(self) -> dict[str, float]:
+        """One merged snapshot across every enabled component.
+
+        Service counters and cache/pool-index gauges, dispatcher counters,
+        lifecycle counters, and a ``feedback_*`` block — the union renders
+        directly with :func:`repro.evaluation.format_service_stats`.
+        """
+        merged = self.service.stats_snapshot()
+        if self.dispatcher is not None:
+            merged.update(self.dispatcher.stats.snapshot())
+        if self.manager is not None:
+            merged.update(self.manager.stats.snapshot())
+        if self.collector is not None:
+            summary = self.collector.summary()
+            merged["feedback_observations"] = float(summary.count)
+            merged["feedback_p50_q_error"] = summary.p50
+            merged["feedback_p90_q_error"] = summary.p90
+        return merged

@@ -1,0 +1,446 @@
+"""Declarative, validated configuration for the serving stack.
+
+:class:`ServingConfig` is the single description of a deployment that
+:class:`repro.serving.ServingClient` turns into a running stack.  It replaces
+the keyword sprawl of the deprecated :func:`repro.serving.build_crn_service`
+(and the hand-wiring of service + dispatcher + feedback + adaptation manager)
+with one frozen object of nested sections:
+
+* :class:`EstimatorConfig` — the Cnt2Crd estimator itself (final function,
+  epsilon guard, slab batch size, registry names);
+* :class:`PoolConfig` — pool warming and the pool encoding index;
+* :class:`CacheConfig` — the featurization / encoding LRU bounds, with the
+  encoding cache's two-entries-per-query sizing rule made **explicit**
+  (``build_crn_service`` silently doubled its ``max_cache_entries``);
+* :class:`DispatcherConfig` — the request-coalescing front-end;
+* :class:`FeedbackConfig` — the rolling feedback window;
+* :class:`AdaptationConfig` — drift policy + background retraining.
+
+Every section validates its bounds at construction (``max_batch=0``,
+``max_cache_entries=-1`` and friends raise a ``ValueError`` here, not
+obscurely at first use), and the top-level config validates cross-section
+requirements (adaptation needs feedback, a training result, and a database
+snapshot).
+
+The scalar sections round-trip through plain dicts/JSON:
+``ServingConfig.from_mapping(config.to_mapping(), model=..., featurizer=...,
+pool=...)`` reconstructs an equal config — runtime objects (the model, the
+featurizer, the pool, estimator instances, training state) are passed
+alongside the mapping, since they have no serial form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from repro.core.crn import CRNModel
+from repro.core.featurization import QueryFeaturizer
+from repro.core.final_functions import FINAL_FUNCTIONS, FinalFunction
+from repro.core.queries_pool import QueriesPool
+from repro.core.training import TrainingResult
+from repro.db.database import Database
+
+__all__ = [
+    "AdaptationConfig",
+    "CacheConfig",
+    "DispatcherConfig",
+    "EstimatorConfig",
+    "FeedbackConfig",
+    "PoolConfig",
+    "ServingConfig",
+]
+
+#: Mapping keys of the declarative sections, in rendering order (populated
+#: from ``_SECTION_SPECS`` below, the single source of truth).
+_SECTIONS: tuple[str, ...] = ()
+
+
+def _positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def _bound(name: str, value: int | None) -> None:
+    """Validate an optional LRU bound: positive, or None for unbounded."""
+    if value is None:
+        return
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int or None, got {value!r}")
+    if value <= 0:
+        raise ValueError(
+            f"{name} must be positive (or None for unbounded), got {value}"
+        )
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """The Cnt2Crd-over-CRN serving estimator.
+
+    Attributes:
+        name: registry name of the default estimator.
+        fallback_name: registry name the fallback estimator (when one is
+            supplied to :class:`ServingConfig`) is registered under.
+        final_function: the Cnt2Crd final function ``F`` — a name from
+            :mod:`repro.core.final_functions` (``median`` / ``mean`` /
+            ``trimmed_mean``).  A bare callable is accepted for parity with
+            the legacy constructor but cannot be serialized by
+            :meth:`ServingConfig.to_mapping`.
+        epsilon: the Cnt2Crd ``y_rate`` guard threshold.
+        batch_size: pair-head slab size for the batched forward passes.
+    """
+
+    name: str = "crn"
+    fallback_name: str = "fallback"
+    final_function: str | FinalFunction = "median"
+    epsilon: float = 1e-3
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("estimator name must be non-empty")
+        if not self.fallback_name:
+            raise ValueError("fallback_name must be non-empty")
+        if self.name == self.fallback_name:
+            raise ValueError(
+                f"estimator name and fallback_name are both {self.name!r}; "
+                f"registry entries need distinct names"
+            )
+        if isinstance(self.final_function, str) and self.final_function not in FINAL_FUNCTIONS:
+            raise ValueError(
+                f"unknown final function {self.final_function!r}; "
+                f"available: {sorted(FINAL_FUNCTIONS)}"
+            )
+        _positive("epsilon", self.epsilon)
+        _positive("batch_size", self.batch_size)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Pool warming and the pool encoding index.
+
+    Attributes:
+        warm: pre-featurize/encode all pool queries at build time (and
+            pre-build the index's slabs), so steady state is reached before
+            the first request.
+        use_index: keep per-FROM-signature pool encoding matrices
+            (:class:`repro.serving.PoolEncodingIndex`) so a request is scored
+            as one vectorized whole-pool slab pass.
+    """
+
+    warm: bool = True
+    use_index: bool = True
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """LRU bounds of the shared featurization / encoding caches.
+
+    The encoding cache holds **two** entries per query (one per pair slot),
+    so a deployment bounding both caches for ``N`` queries needs ``2·N``
+    encoding entries or warming the pool would immediately evict half of it.
+    The legacy ``build_crn_service(max_cache_entries=N)`` applied that ``2×``
+    silently; here it is the documented default — an unset
+    ``max_encoding_entries`` resolves to ``2 × max_featurization_entries`` —
+    and an explicit value is taken as given.
+
+    Attributes:
+        max_featurization_entries: LRU bound on cached featurizations
+            (None = unbounded).
+        max_encoding_entries: LRU bound on cached encodings (None = derive
+            from ``max_featurization_entries`` as above; unbounded when that
+            is unbounded too).
+    """
+
+    max_featurization_entries: int | None = None
+    max_encoding_entries: int | None = None
+
+    def __post_init__(self) -> None:
+        _bound("max_featurization_entries", self.max_featurization_entries)
+        _bound("max_encoding_entries", self.max_encoding_entries)
+
+    def resolved_encoding_entries(self) -> int | None:
+        """The effective encoding-cache bound (the ``2×`` rule applied)."""
+        if self.max_encoding_entries is not None:
+            return self.max_encoding_entries
+        if self.max_featurization_entries is not None:
+            return 2 * self.max_featurization_entries
+        return None
+
+
+@dataclass(frozen=True)
+class DispatcherConfig:
+    """The request-coalescing dispatcher front-end.
+
+    Attributes:
+        enabled: run a :class:`repro.serving.ServingDispatcher` inside the
+            client (required for ``estimate_future`` and per-request
+            deadlines).
+        max_batch: most requests coalesced into one service submission.
+        max_wait_ms: how long the dispatcher waits for stragglers after the
+            first request of a batch arrives.
+    """
+
+    enabled: bool = True
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        _positive("max_batch", self.max_batch)
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be non-negative, got {self.max_wait_ms!r}")
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """The rolling (estimate, true cardinality) feedback window.
+
+    Attributes:
+        enabled: attach a :class:`repro.serving.FeedbackCollector` to the
+            client (required by adaptation).
+        max_observations: window bound.
+        epsilon: q-error zero-guard.
+    """
+
+    enabled: bool = False
+    max_observations: int = 1024
+    epsilon: float = 1.0
+
+    def __post_init__(self) -> None:
+        _positive("max_observations", self.max_observations)
+        _positive("epsilon", self.epsilon)
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Drift monitoring and background retraining.
+
+    The drift fields mirror :class:`repro.serving.DriftPolicy`, the retrain
+    fields mirror :class:`repro.serving.CRNRetrainer`, and the gate fields
+    mirror :class:`repro.serving.AdaptationManager` — see those classes for
+    semantics.  Enabling adaptation requires the owning
+    :class:`ServingConfig` to carry ``training_result`` and ``database`` and
+    to enable feedback.
+    """
+
+    enabled: bool = False
+    # DriftPolicy
+    quantile: float = 0.9
+    max_q_error: float | None = 10.0
+    degradation_ratio: float | None = 2.0
+    max_row_delta: float | None = None
+    min_observations: int = 20
+    cooldown_seconds: float = 60.0
+    # AdaptationManager
+    poll_interval_seconds: float = 1.0
+    holdout_size: int = 16
+    accept_ratio: float = 1.0
+    max_incremental_failures: int = 2
+    warm_on_swap: bool = True
+    # CRNRetrainer
+    training_pairs: int = 120
+    incremental_epochs: int = 4
+    full_epochs: int = 8
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        self.drift_policy()  # DriftPolicy validates the drift fields
+        _positive("poll_interval_seconds", self.poll_interval_seconds)
+        _positive("holdout_size", self.holdout_size)
+        _positive("accept_ratio", self.accept_ratio)
+        if self.max_incremental_failures < 0:
+            raise ValueError(
+                f"max_incremental_failures must be non-negative, "
+                f"got {self.max_incremental_failures!r}"
+            )
+        _positive("training_pairs", self.training_pairs)
+        _positive("incremental_epochs", self.incremental_epochs)
+        _positive("full_epochs", self.full_epochs)
+
+    def drift_policy(self):
+        """The :class:`repro.serving.DriftPolicy` these fields describe."""
+        from repro.serving.lifecycle import DriftPolicy
+
+        return DriftPolicy(
+            quantile=self.quantile,
+            max_q_error=self.max_q_error,
+            degradation_ratio=self.degradation_ratio,
+            max_row_delta=self.max_row_delta,
+            min_observations=self.min_observations,
+            cooldown_seconds=self.cooldown_seconds,
+        )
+
+
+#: The single source of truth for the declarative sections:
+#: ``(mapping key, section dataclass, ServingConfig attribute)``.  The
+#: section order, :meth:`ServingConfig.to_mapping`, and
+#: :meth:`ServingConfig.from_mapping` all derive from this table, so adding a
+#: section is one entry plus the field — not three hand-synced lists.
+_SECTION_SPECS: tuple[tuple[str, type, str], ...] = (
+    ("estimator", EstimatorConfig, "estimator"),
+    ("pool", PoolConfig, "pool_options"),
+    ("caches", CacheConfig, "caches"),
+    ("dispatcher", DispatcherConfig, "dispatcher"),
+    ("feedback", FeedbackConfig, "feedback"),
+    ("adaptation", AdaptationConfig, "adaptation"),
+)
+_SECTIONS = tuple(key for key, _, _ in _SECTION_SPECS)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One frozen description of a serving deployment.
+
+    The required runtime objects (model, featurizer, pool) and the optional
+    ones (fallback / extra estimators, training state for adaptation, a
+    ground-truth oracle for feedback) live alongside the declarative
+    sections; :meth:`to_mapping` serializes only the sections, and
+    :meth:`from_mapping` re-attaches the runtime objects.
+
+    Attributes:
+        model: a (trained) CRN network.
+        featurizer: the featurizer bound to the serving database snapshot.
+        pool: the queries pool backing the Cnt2Crd technique.
+        fallback_estimator: answers requests with no matching pool query
+            (registered under ``estimator.fallback_name``).
+        extra_estimators: additional registry entries, name → estimator.
+        training_result: the training run that produced ``model`` — required
+            when adaptation is enabled (the retrainer fine-tunes from it).
+        database: the snapshot ``model`` was trained against — required when
+            adaptation is enabled (candidates are labelled against it).
+        oracle: optional ground-truth source (``cardinality(query)``) the
+            feedback collector uses when callers do not supply actuals.
+    """
+
+    model: CRNModel
+    featurizer: QueryFeaturizer
+    pool: QueriesPool
+    fallback_estimator: Any | None = None
+    extra_estimators: Mapping[str, Any] = field(default_factory=dict)
+    training_result: TrainingResult | None = None
+    database: Database | None = None
+    oracle: Any | None = None
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    pool_options: PoolConfig = field(default_factory=PoolConfig)
+    caches: CacheConfig = field(default_factory=CacheConfig)
+    dispatcher: DispatcherConfig = field(default_factory=DispatcherConfig)
+    feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "extra_estimators", dict(self.extra_estimators))
+        # fallback_name is only reserved when something will actually be
+        # registered under it — the legacy constructor accepted an extra
+        # estimator named "fallback" when no fallback estimator was supplied.
+        reserved = {self.estimator.name}
+        if self.fallback_estimator is not None:
+            reserved.add(self.estimator.fallback_name)
+        for name in self.extra_estimators:
+            if not name:
+                raise ValueError("extra estimator names must be non-empty")
+            if name in reserved:
+                raise ValueError(
+                    f"extra estimator name {name!r} collides with a reserved "
+                    f"registry name ({sorted(reserved)})"
+                )
+        if self.adaptation.enabled:
+            if not self.feedback.enabled:
+                raise ValueError(
+                    "adaptation.enabled requires feedback.enabled: the drift "
+                    "monitor and the accept gate read the feedback window"
+                )
+            if self.training_result is None or self.database is None:
+                raise ValueError(
+                    "adaptation.enabled requires training_result and database: "
+                    "the retrainer fine-tunes the accepted weights against the "
+                    "current snapshot"
+                )
+            if self.feedback.max_observations < self.adaptation.min_observations:
+                raise ValueError(
+                    f"feedback.max_observations ({self.feedback.max_observations}) is "
+                    f"smaller than adaptation.min_observations "
+                    f"({self.adaptation.min_observations}): the drift conditions "
+                    f"could never arm"
+                )
+
+    # ------------------------------------------------------------------ #
+    # dict/JSON round-trip
+
+    def to_mapping(self) -> dict[str, dict[str, Any]]:
+        """The declarative sections as a nested plain dict (JSON-ready).
+
+        Raises:
+            ValueError: when ``estimator.final_function`` is a bare callable
+                — name it (``median`` / ``mean`` / ``trimmed_mean``) to make
+                the config serializable.
+        """
+        mapping: dict[str, dict[str, Any]] = {}
+        for key, _, attribute in _SECTION_SPECS:
+            section = getattr(self, attribute)
+            if key == "estimator" and not isinstance(section.final_function, str):
+                named = next(
+                    (
+                        name
+                        for name, function in FINAL_FUNCTIONS.items()
+                        if function is section.final_function
+                    ),
+                    None,
+                )
+                if named is None:
+                    raise ValueError(
+                        "cannot serialize a config whose final_function is a "
+                        "bare callable; use a registered name from "
+                        "repro.core.final_functions"
+                    )
+                section = replace(section, final_function=named)
+            mapping[key] = asdict(section)
+        return mapping
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: Mapping[str, Mapping[str, Any]],
+        *,
+        model: CRNModel,
+        featurizer: QueryFeaturizer,
+        pool: QueriesPool,
+        fallback_estimator: Any | None = None,
+        extra_estimators: Mapping[str, Any] | None = None,
+        training_result: TrainingResult | None = None,
+        database: Database | None = None,
+        oracle: Any | None = None,
+    ) -> "ServingConfig":
+        """Rebuild a config from :meth:`to_mapping` output plus runtime objects.
+
+        Missing sections and missing fields take their defaults; unknown
+        sections and unknown fields raise a ``ValueError`` naming them (a
+        typo in a deployment config must not silently become a default).
+        """
+        unknown = sorted(set(mapping) - set(_SECTIONS))
+        if unknown:
+            raise ValueError(
+                f"unknown config section(s) {unknown}; expected a subset of "
+                f"{list(_SECTIONS)}"
+            )
+        sections: dict[str, Any] = {}
+        for key, section_type, attribute in _SECTION_SPECS:
+            values = dict(mapping.get(key, {}))
+            known = {spec.name for spec in fields(section_type)}
+            bad = sorted(set(values) - known)
+            if bad:
+                raise ValueError(
+                    f"unknown field(s) {bad} in config section {key!r}; "
+                    f"expected a subset of {sorted(known)}"
+                )
+            sections[attribute] = section_type(**values)
+        return cls(
+            model=model,
+            featurizer=featurizer,
+            pool=pool,
+            fallback_estimator=fallback_estimator,
+            extra_estimators=extra_estimators or {},
+            training_result=training_result,
+            database=database,
+            oracle=oracle,
+            **sections,
+        )

@@ -9,7 +9,11 @@ number of threads and immediately get a future; a single dispatcher thread
 drains the shared request queue under a ``max_batch`` / ``max_wait_ms``
 policy, funnels the coalesced queries through the service's
 :class:`repro.serving.BatchPlanner` path, and resolves each caller's future
-with its :class:`repro.serving.ServedEstimate`.
+with its :class:`repro.serving.EstimateResult`.  Per-request
+:class:`repro.serving.RequestOptions` ride along (estimator, fallback
+policy, deadline, tags); a caller whose deadline expires abandons its
+request — cancelled before execution when possible and counted under the
+``timed_out`` stat.
 
 Coalescing does not change a single bit of any estimate: the CRN inference
 path encodes each query in isolation and runs the pair head in fixed-shape
@@ -46,18 +50,21 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
-from repro.serving.service import EstimationService, ServedEstimate
+from repro.serving.errors import DeadlineExceededError, DispatcherShutdownError
+from repro.serving.service import EstimateResult, EstimationService, RequestOptions
 from repro.sql.query import Query
+
+__all__ = [
+    "DispatcherShutdownError",
+    "DispatcherStats",
+    "ServingDispatcher",
+]
 
 #: Queue marker that wakes the dispatcher thread for shutdown.
 _SENTINEL = object()
-
-
-class DispatcherShutdownError(RuntimeError):
-    """Raised by :meth:`ServingDispatcher.submit` after shutdown began."""
 
 
 @dataclass
@@ -67,6 +74,7 @@ class _PendingRequest:
     query: Query
     estimator: str | None
     future: Future
+    options: RequestOptions | None = None
 
 
 class DispatcherStats:
@@ -74,8 +82,13 @@ class DispatcherStats:
 
     Attributes (all monotonic unless :meth:`reset`):
         submitted: requests accepted by :meth:`ServingDispatcher.submit`.
-        completed: futures resolved with a :class:`ServedEstimate`.
+        completed: futures resolved with an :class:`EstimateResult`.
         failed: futures resolved with an exception.
+        timed_out: requests abandoned by their caller — the deadline of
+            :meth:`ServingDispatcher.estimate` expired and the future was
+            cancelled.  A request cancelled before batch pickup is skipped
+            (never executed, not counted as completed); one already running
+            finishes but its caller is gone either way.
         batches: coalesced batches drained from the queue.
         coalesced_requests: requests that shared a batch with at least one
             other request (the work the dispatcher amortized).
@@ -87,6 +100,7 @@ class DispatcherStats:
         self.submitted = 0
         self.completed = 0
         self.failed = 0
+        self.timed_out = 0
         self.batches = 0
         self.coalesced_requests = 0
         self.max_queue_depth = 0
@@ -117,6 +131,11 @@ class DispatcherStats:
         with self._lock:
             self.failed += count
 
+    def record_timed_out(self, count: int = 1) -> None:
+        """Count ``count`` requests whose caller abandoned them on a deadline."""
+        with self._lock:
+            self.timed_out += count
+
     @property
     def mean_batch_size(self) -> float:
         """Average number of requests per coalesced batch."""
@@ -130,6 +149,7 @@ class DispatcherStats:
             self.submitted = 0
             self.completed = 0
             self.failed = 0
+            self.timed_out = 0
             self.batches = 0
             self.coalesced_requests = 0
             self.max_queue_depth = 0
@@ -145,6 +165,7 @@ class DispatcherStats:
                 "submitted": float(self.submitted),
                 "completed": float(self.completed),
                 "failed": float(self.failed),
+                "timed_out": float(self.timed_out),
                 "coalesced_batches": float(batches),
                 "coalesced_requests": float(self.coalesced_requests),
                 "mean_batch_size": (
@@ -246,14 +267,21 @@ class ServingDispatcher:
     # ------------------------------------------------------------------ #
     # submission
 
-    def submit(self, query: Query, estimator: str | None = None) -> Future:
-        """Enqueue one request; returns a future of a :class:`ServedEstimate`.
+    def submit(
+        self,
+        query: Query,
+        estimator: str | None = None,
+        options: RequestOptions | None = None,
+    ) -> Future:
+        """Enqueue one request; returns a future of an :class:`EstimateResult`.
 
         Safe to call from any number of threads.  The future resolves with
         the estimate, or with the exception the request would have raised on
         the sequential path (e.g.
         :class:`repro.core.cnt2crd.NoMatchingPoolQueryError` when the service
-        has no fallback).
+        has no fallback).  ``options`` rides with the request: its estimator
+        name and fallback policy decide which coalesced group serves it, and
+        its tags are stamped onto the result.
         """
         future: Future = Future()
         with self._state_lock:
@@ -261,15 +289,45 @@ class ServingDispatcher:
                 raise DispatcherShutdownError(
                     "dispatcher has been shut down; no new requests accepted"
                 )
-            self._queue.put(_PendingRequest(query, estimator, future))
+            self._queue.put(_PendingRequest(query, estimator, future, options))
         self.stats.record_submit(self._queue.qsize())
         return future
 
     def estimate(
-        self, query: Query, estimator: str | None = None, timeout: float | None = None
-    ) -> ServedEstimate:
-        """Blocking convenience wrapper: ``submit(...).result(timeout)``."""
-        return self.submit(query, estimator=estimator).result(timeout)
+        self,
+        query: Query,
+        estimator: str | None = None,
+        timeout: float | None = None,
+        options: RequestOptions | None = None,
+    ) -> EstimateResult:
+        """Blocking convenience wrapper: ``submit(...).result(timeout)``.
+
+        ``timeout`` defaults to ``options.timeout_seconds``.  When the
+        deadline expires the request is **abandoned**: the future is
+        cancelled — a request not yet picked up is skipped instead of
+        occupying a batch slot and being counted as served — the ``timed_out``
+        stat is bumped, and :class:`repro.serving.DeadlineExceededError`
+        (a ``TimeoutError``) is raised.
+        """
+        if timeout is None and options is not None:
+            timeout = options.timeout_seconds
+        future = self.submit(query, estimator=estimator, options=options)
+        try:
+            return future.result(timeout)
+        except TimeoutError as error:
+            # Distinguish "the wait expired" from "the request itself failed
+            # with a TimeoutError" (e.g. an estimator hitting a statement
+            # timeout): result() re-raises the stored exception *object*, so
+            # identity tells them apart.  The request's own error must
+            # propagate untranslated and uncounted.
+            if future.done() and not future.cancelled() and future.exception() is error:
+                raise
+            future.cancel()
+            self.stats.record_timed_out()
+            raise DeadlineExceededError(
+                f"request was not served within {timeout}s; it has been "
+                f"abandoned (cancelled before execution when possible)"
+            ) from None
 
     def queue_depth(self) -> int:
         """Requests currently waiting to be coalesced (approximate)."""
@@ -379,29 +437,71 @@ class ServingDispatcher:
             batch.append(item)
         return False
 
+    @staticmethod
+    def _group_key(request: _PendingRequest) -> tuple[str | None, str]:
+        """The coalescing group a request belongs to.
+
+        Requests picking different registry entries cannot share a forward
+        pass, and requests with different fallback policies cannot share a
+        service submission (the policy applies batch-wide); tags never split
+        a group — they are stamped per request after serving.
+        """
+        options = request.options
+        name = request.estimator
+        policy = "registry"
+        if options is not None:
+            if options.estimator is not None:
+                name = options.estimator
+            policy = options.fallback_policy
+        return name, policy
+
+    @staticmethod
+    def _stamp_tags(request: _PendingRequest, item: EstimateResult) -> EstimateResult:
+        """Re-stamp a caller's own tags onto its result.
+
+        The batch-level submission carried the group's (tag-less) options,
+        so per-caller tags are applied here, on the way back out.
+        """
+        if request.options is None or not request.options.tags:
+            return item
+        return replace(item, tags=request.options.tags)
+
     def _serve(self, batch: list[_PendingRequest]) -> None:
         self.stats.record_batch(len(batch))
-        # One service submission per estimator name: requests picking
-        # different registry entries cannot share a forward pass.
-        groups: dict[str | None, list[_PendingRequest]] = {}
+        groups: dict[tuple[str | None, str], list[_PendingRequest]] = {}
         for request in batch:
-            if not request.future.set_running_or_notify_cancel():
-                continue  # caller cancelled before dispatch
-            groups.setdefault(request.estimator, []).append(request)
-        for estimator, requests in groups.items():
+            if request.future.cancelled():
+                # The caller abandoned the request (a deadline expired, or an
+                # explicit cancel) before pickup: skip the work entirely —
+                # it must not occupy a batch slot or be counted as served.
+                continue
+            groups.setdefault(self._group_key(request), []).append(request)
+        for (estimator, policy), requests in groups.items():
+            group_options = RequestOptions(estimator=estimator, fallback_policy=policy)
+            # Promote to RUNNING only now, immediately before this group
+            # executes: a deadline expiring while an *earlier* group of the
+            # same batch is still running can then still cancel the request
+            # instead of merely being noted after the fact.
+            runnable = [
+                request
+                for request in requests
+                if request.future.set_running_or_notify_cancel()
+            ]
+            if not runnable:
+                continue
             try:
                 served = self.service.submit_batch(
-                    [request.query for request in requests], estimator=estimator
+                    [request.query for request in runnable], options=group_options
                 )
             except Exception:
-                self._serve_individually(requests, estimator)
+                self._serve_individually(runnable, group_options)
             else:
-                for request, item in zip(requests, served):
-                    request.future.set_result(item)
-                self.stats.record_completed(len(requests))
+                for request, item in zip(runnable, served):
+                    request.future.set_result(self._stamp_tags(request, item))
+                self.stats.record_completed(len(runnable))
 
     def _serve_individually(
-        self, requests: Sequence[_PendingRequest], estimator: str | None
+        self, requests: Sequence[_PendingRequest], options: RequestOptions
     ) -> None:
         """Fallback when a coalesced batch fails as a whole.
 
@@ -412,12 +512,10 @@ class ServingDispatcher:
         """
         for request in requests:
             try:
-                served = self.service.submit_batch(
-                    [request.query], estimator=estimator
-                )[0]
+                served = self.service.submit_batch([request.query], options=options)[0]
             except Exception as error:
                 request.future.set_exception(error)
                 self.stats.record_failed()
             else:
-                request.future.set_result(served)
+                request.future.set_result(self._stamp_tags(request, served))
                 self.stats.record_completed()

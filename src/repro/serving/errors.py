@@ -1,0 +1,70 @@
+"""The unified serving error taxonomy.
+
+Every failure the serving layer raises on a request path derives from
+:class:`ServingError`, so a caller can wrap any client/service/dispatcher
+interaction in one ``except ServingError`` instead of memorizing which layer
+raises what.  Each member also keeps its legacy base class
+(``KeyError`` / ``TimeoutError`` / ``RuntimeError``), so pre-redesign callers
+catching the old types keep working unchanged:
+
+* :class:`UnknownEstimatorError` — a request (or ``replace`` / ``unregister``)
+  named a registry entry that does not exist.  Also a ``KeyError``.
+* :class:`DeadlineExceededError` — a caller's per-request deadline
+  (:attr:`repro.serving.RequestOptions.timeout_seconds`, or the ``timeout``
+  of :meth:`repro.serving.ServingDispatcher.estimate`) expired before the
+  dispatcher served the request.  Also a ``TimeoutError``; the abandoned
+  request is cancelled at batch pickup when possible and counted under the
+  dispatcher's ``timed_out`` stat.
+* :class:`DispatcherShutdownError` — a submission raced past
+  :meth:`repro.serving.ServingDispatcher.shutdown`.  Also a ``RuntimeError``.
+* :class:`repro.core.cnt2crd.NoMatchingPoolQueryError` is re-exported here as
+  the taxonomy's fourth member: it predates the serving layer (the Cnt2Crd
+  technique itself raises it), so it cannot subclass :class:`ServingError`
+  without inverting the core → serving dependency — but every serving-layer
+  surface that raises it is documented to, and catching it by this module's
+  name keeps request handlers on one import.
+"""
+
+from __future__ import annotations
+
+from repro.core.cnt2crd import NoMatchingPoolQueryError
+
+__all__ = [
+    "DeadlineExceededError",
+    "DispatcherShutdownError",
+    "NoMatchingPoolQueryError",
+    "ServingError",
+    "UnknownEstimatorError",
+]
+
+
+class ServingError(Exception):
+    """Base class of every error the serving layer itself raises."""
+
+
+class UnknownEstimatorError(ServingError, KeyError):
+    """A request named an estimator the registry does not hold.
+
+    Subclasses ``KeyError`` for backward compatibility with pre-taxonomy
+    callers of :meth:`repro.serving.EstimationService.get` /
+    :meth:`~repro.serving.EstimationService.replace` /
+    :meth:`~repro.serving.EstimationService.unregister`.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ is repr(args[0]), which wraps the message in
+        # quotes; a taxonomy member should read like an error, not a key.
+        return str(self.args[0]) if self.args else ""
+
+
+class DeadlineExceededError(ServingError, TimeoutError):
+    """A per-request deadline expired before the request was served.
+
+    Subclasses ``TimeoutError`` (which ``concurrent.futures.TimeoutError``
+    aliases), so callers waiting on dispatcher futures with plain timeouts
+    keep working.
+    """
+
+
+class DispatcherShutdownError(ServingError, RuntimeError):
+    """Raised by :meth:`repro.serving.ServingDispatcher.submit` after shutdown began."""

@@ -311,6 +311,7 @@ class LifecycleStats:
         self.pre_swap_q_error = float("nan")
         self.post_swap_q_error = float("nan")
         self.requests_between_swaps = 0
+        self.model_generation = 0
 
     def record_evaluation(self, triggered: bool) -> None:
         """Count one drift evaluation (and whether the policy fired)."""
@@ -353,14 +354,26 @@ class LifecycleStats:
             self.candidates_rejected += 1
 
     def record_swap(
-        self, incumbent_q_error: float, candidate_q_error: float, requests: int
+        self,
+        incumbent_q_error: float,
+        candidate_q_error: float,
+        requests: int,
+        generation: int = 0,
     ) -> None:
-        """Count one accepted hot swap with its gate readings."""
+        """Count one accepted hot swap with its gate readings.
+
+        ``generation`` is the registry's post-swap model generation for the
+        adapted entry (:meth:`repro.serving.EstimationService.generation`) —
+        the same number stamped into every subsequent
+        :attr:`repro.serving.EstimateResult.model_generation`, so serving
+        metrics and responses attribute to the same model.
+        """
         with self._lock:
             self.swaps += 1
             self.pre_swap_q_error = incumbent_q_error
             self.post_swap_q_error = candidate_q_error
             self.requests_between_swaps = requests
+            self.model_generation = generation
 
     @property
     def mean_retrain_seconds(self) -> float:
@@ -393,6 +406,7 @@ class LifecycleStats:
                 "pre_swap_q_error": self.pre_swap_q_error,
                 "post_swap_q_error": self.post_swap_q_error,
                 "requests_between_swaps": float(self.requests_between_swaps),
+                "model_generation": float(self.model_generation),
             }
 
 
@@ -634,6 +648,10 @@ class AdaptationManager:
         self.max_incremental_failures = max_incremental_failures
         self.warm_on_swap = warm_on_swap
         self.stats = LifecycleStats()
+        # Seed the generation gauge from the live registry so pre-swap
+        # snapshots agree with the generation stamped on every response
+        # (it would otherwise read 0 until the first swap).
+        self.stats.model_generation = self.service.generation(self.estimator_name)
         self.last_outcome: AdaptationOutcome | None = None
         self.last_error: BaseException | None = None
         self._rows_at_refresh = retrainer.database.total_rows
@@ -829,7 +847,10 @@ class AdaptationManager:
         # submissions; subtract them so the gauge attributes only real
         # traffic to the outgoing generation.
         self.stats.record_swap(
-            incumbent_q, candidate_q, max(int(drained["requests"]) - holdout_count, 0)
+            incumbent_q,
+            candidate_q,
+            max(int(drained["requests"]) - holdout_count, 0),
+            generation=self.service.generation(self.estimator_name),
         )
         self._consecutive_failures = 0
         self._rows_at_refresh = self.retrainer.database.total_rows

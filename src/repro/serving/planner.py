@@ -37,6 +37,13 @@ from repro.core.queries_pool import PoolEntry
 from repro.serving.pool_index import IndexedSlab
 from repro.sql.query import Query
 
+#: Resolution stamp: the request was scored from the pool encoding index's
+#: whole-pool slab matrices (:attr:`RequestPlan.slab`).
+RESOLUTION_INDEXED_SLAB = "indexed_slab"
+#: Resolution stamp: the request was scored through the deduplicated
+#: cross-request pair list (:attr:`BatchPlan.pairs`).
+RESOLUTION_PAIR_BATCH = "pair_batch"
+
 
 @dataclass(frozen=True)
 class RequestPlan:
@@ -65,6 +72,13 @@ class RequestPlan:
     entries: tuple[PoolEntry, ...]
     pair_indices: tuple[int, ...]
     slab: IndexedSlab | None = None
+
+    @property
+    def resolution(self) -> str:
+        """The scoring path this plan takes — the provenance stamp the
+        executor threads into :attr:`repro.serving.EstimateResult.resolution`
+        (fallback answers override it there)."""
+        return RESOLUTION_INDEXED_SLAB if self.slab is not None else RESOLUTION_PAIR_BATCH
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping, Sequence
 
@@ -35,9 +36,26 @@ from repro.core.featurization import QueryFeaturizer
 from repro.core.final_functions import FinalFunction
 from repro.core.queries_pool import QueriesPool
 from repro.serving.cache import EncodingCache, FeaturizationCache
-from repro.serving.planner import BatchPlanner, RequestPlan
+from repro.serving.errors import UnknownEstimatorError
+from repro.serving.planner import (
+    RESOLUTION_PAIR_BATCH,
+    BatchPlanner,
+    RequestPlan,
+)
 from repro.serving.pool_index import PoolEncodingIndex
 from repro.sql.query import Query
+
+#: Resolution stamp: the request's primary had no answer and the estimator's
+#: own built-in fallback produced the estimate.
+RESOLUTION_ESTIMATOR_FALLBACK = "estimator_fallback"
+#: Resolution stamp: the registry-level fallback entry produced the estimate.
+RESOLUTION_REGISTRY_FALLBACK = "registry_fallback"
+#: Resolution stamp: a non-Cnt2Crd estimator answered through its own
+#: per-query interface (no batch planning involved).
+RESOLUTION_DIRECT = "direct"
+
+#: The per-request fallback policies accepted by :class:`RequestOptions`.
+FALLBACK_POLICIES = ("registry", "estimator", "none")
 
 
 @dataclass(frozen=True)
@@ -69,6 +87,98 @@ class ServedEstimate:
     def latency_milliseconds(self) -> float:
         """Attributed latency in milliseconds."""
         return self.latency_seconds * 1000.0
+
+
+@dataclass(frozen=True)
+class RequestOptions:
+    """Per-request knobs, threaded from the client through dispatcher and service.
+
+    Attributes:
+        estimator: the registry entry to serve from (the service default when
+            None).  Takes precedence over the positional ``estimator``
+            argument of the legacy ``submit`` / ``submit_batch`` surface.
+        timeout_seconds: the caller's deadline.  Honored on the
+            dispatcher-backed paths (:meth:`repro.serving.ServingClient.estimate`,
+            :meth:`repro.serving.ServingDispatcher.estimate`): when it expires
+            the caller gets :class:`repro.serving.DeadlineExceededError`, the
+            abandoned request is cancelled at batch pickup when possible, and
+            the dispatcher counts it under ``timed_out``.
+        fallback_policy: what may answer when the chosen estimator cannot —
+            ``"registry"`` (the default, today's behaviour: the estimator's
+            built-in fallback first, then the registry fallback entry),
+            ``"estimator"`` (built-in only), or ``"none"`` (neither; the
+            request raises
+            :class:`repro.core.cnt2crd.NoMatchingPoolQueryError`).  On the
+            synchronous batch surface (``submit_batch`` / ``estimate_many``)
+            that raise fails the whole batch — the long-standing semantics of
+            a no-fallback batch — while the dispatcher isolates it to the
+            poison request's future.
+        tags: caller-supplied key/value labels, stamped verbatim onto the
+            request's :class:`EstimateResult` (accepted as a mapping or an
+            iterable of pairs; normalized to a sorted tuple of pairs).
+    """
+
+    estimator: str | None = None
+    timeout_seconds: float | None = None
+    fallback_policy: str = "registry"
+    tags: Mapping[str, str] | tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fallback_policy not in FALLBACK_POLICIES:
+            raise ValueError(
+                f"fallback_policy must be one of {FALLBACK_POLICIES}, "
+                f"got {self.fallback_policy!r}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds!r}"
+            )
+        items = (
+            self.tags.items() if isinstance(self.tags, Mapping) else self.tags
+        )
+        normalized = tuple(sorted((str(key), str(value)) for key, value in items))
+        object.__setattr__(self, "tags", normalized)
+
+
+#: The options applied when a caller passes none.
+_DEFAULT_OPTIONS = RequestOptions()
+
+
+@dataclass(frozen=True)
+class EstimateResult(ServedEstimate):
+    """A :class:`ServedEstimate` enriched with provenance.
+
+    Every serving path (``submit`` / ``submit_batch``, the dispatcher, the
+    client) now returns these, so a response says *how* it was produced —
+    which resolution path ran, which model generation answered (bumped by
+    every :meth:`EstimationService.replace` hot swap, so a post-swap response
+    is attributable to the exact model that produced it), and how much of the
+    work came out of the shared caches.
+
+    Attributes:
+        resolution: ``"indexed_slab"`` (whole-pool slab scoring through the
+            :class:`repro.serving.PoolEncodingIndex`), ``"pair_batch"`` (the
+            deduplicated pair list), ``"estimator_fallback"`` (the
+            estimator's built-in fallback), ``"registry_fallback"`` (the
+            registry fallback entry), or ``"direct"`` (a non-Cnt2Crd
+            estimator's own per-query interface).
+        model_generation: the registry generation of the estimator that
+            answered (1 on first registration, +1 per ``replace()``; 0 when
+            the name was never registered through the generation-tracking
+            surface).
+        featurization_cache_hits: featurization-cache hits recorded during
+            the batch that served this request (batch-attributed, like
+            ``latency_seconds``; 0 without a cache).
+        encoding_cache_hits: encoding-cache hits recorded during the batch
+            that served this request (batch-attributed; 0 without a cache).
+        tags: the caller's :attr:`RequestOptions.tags`, echoed back.
+    """
+
+    resolution: str = RESOLUTION_PAIR_BATCH
+    model_generation: int = 0
+    featurization_cache_hits: int = 0
+    encoding_cache_hits: int = 0
+    tags: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass
@@ -154,6 +264,7 @@ class EstimationService:
         pool_index: PoolEncodingIndex | None = None,
     ) -> None:
         self._registry: dict[str, CardinalityEstimator] = {}
+        self._generations: dict[str, int] = {}
         self._default: str | None = None
         self.fallback = fallback
         self.featurization_cache = featurization_cache
@@ -169,11 +280,29 @@ class EstimationService:
     def register(
         self, name: str, estimator: CardinalityEstimator, default: bool = False
     ) -> None:
-        """Register ``estimator`` under ``name`` (first registration is the default)."""
+        """Register ``estimator`` under a **new** ``name``.
+
+        The first registration becomes the default (or pass ``default=True``).
+        The entry starts at model generation 1; every subsequent
+        :meth:`replace` of the name bumps it, and the serving paths stamp the
+        answering entry's generation into :attr:`EstimateResult.model_generation`.
+
+        Raises:
+            ValueError: when ``name`` is empty, or already registered —
+                silently overwriting a live entry would reset nothing and
+                confuse generation attribution; hot swaps go through
+                :meth:`replace`.
+        """
         if not name:
             raise ValueError("estimator name must be non-empty")
         with self._registry_lock:
+            if name in self._registry:
+                raise ValueError(
+                    f"estimator {name!r} is already registered; use replace() "
+                    f"to hot-swap a live entry"
+                )
             self._registry[name] = estimator
+            self._generations[name] = 1
             if default or self._default is None:
                 self._default = name
 
@@ -187,22 +316,28 @@ class EstimationService:
         :meth:`repro.serving.EncodingCache.rebind` with the new model before
         building the replacement estimator.
 
+        Every replace bumps the entry's model generation
+        (:meth:`generation`), which the serving paths stamp into
+        :attr:`EstimateResult.model_generation` — so a response served after
+        the swap is attributable to the exact model that produced it.
+
         Returns:
             The estimator previously registered under ``name``.
 
         Raises:
-            KeyError: when ``name`` was never registered (use
+            UnknownEstimatorError: when ``name`` was never registered (use
                 :meth:`register` for new entries — replacing an unknown name
-                is almost always a typo).
+                is almost always a typo).  Also a ``KeyError``.
         """
         with self._registry_lock:
             if name not in self._registry:
-                raise KeyError(
+                raise UnknownEstimatorError(
                     f"cannot replace unregistered estimator {name!r}; "
                     f"registered: {sorted(self._registry)}"
                 )
             previous = self._registry[name]
             self._registry[name] = estimator
+            self._generations[name] = self._generations.get(name, 0) + 1
             return previous
 
     def unregister(self, name: str) -> CardinalityEstimator:
@@ -222,15 +357,17 @@ class EstimationService:
         on it, exactly as with :meth:`replace`.
 
         Raises:
-            KeyError: when ``name`` is not registered.
+            UnknownEstimatorError: when ``name`` is not registered.  Also a
+                ``KeyError``.
         """
         with self._registry_lock:
             if name not in self._registry:
-                raise KeyError(
+                raise UnknownEstimatorError(
                     f"cannot unregister unknown estimator {name!r}; "
                     f"registered: {sorted(self._registry)}"
                 )
             estimator = self._registry.pop(name)
+            self._generations.pop(name, None)
             if self._default == name:
                 self._default = next(iter(self._registry), None)
             if self.fallback == name:
@@ -251,57 +388,131 @@ class EstimationService:
             return self._default
 
     def get(self, name: str | None = None) -> CardinalityEstimator:
-        """The estimator registered under ``name`` (default when None)."""
+        """The estimator registered under ``name`` (default when None).
+
+        Raises:
+            UnknownEstimatorError: when ``name`` is not registered (also a
+                ``KeyError``, for pre-taxonomy callers).
+        """
         with self._registry_lock:
             chosen = name if name is not None else self.default_estimator
             try:
                 return self._registry[chosen]
             except KeyError:
-                raise KeyError(
+                raise UnknownEstimatorError(
                     f"unknown estimator {chosen!r}; registered: {sorted(self._registry)}"
                 ) from None
+
+    def generation(self, name: str) -> int:
+        """The model generation of the entry registered under ``name``.
+
+        1 on first registration, bumped by every :meth:`replace`; 0 for a
+        name that is not currently registered.
+        """
+        with self._registry_lock:
+            return self._generations.get(name, 0)
 
     # ------------------------------------------------------------------ #
     # serving
 
-    def submit(self, query: Query, estimator: str | None = None) -> ServedEstimate:
+    def submit(
+        self,
+        query: Query,
+        estimator: str | None = None,
+        options: RequestOptions | None = None,
+    ) -> EstimateResult:
         """Estimate one query (a batch of one)."""
-        return self.submit_batch([query], estimator=estimator)[0]
+        return self.submit_batch([query], estimator=estimator, options=options)[0]
 
     def submit_batch(
-        self, queries: Sequence[Query], estimator: str | None = None
-    ) -> list[ServedEstimate]:
+        self,
+        queries: Sequence[Query],
+        estimator: str | None = None,
+        options: RequestOptions | None = None,
+    ) -> list[EstimateResult]:
         """Estimate many concurrent requests with cross-request batching.
 
         Cnt2Crd-family estimators are planned and scored as a few large
         deduplicated forward passes; other estimators fall back to their own
         per-query interface.  Requests the primary estimator cannot answer
         (no matching pool query and no built-in fallback) are re-routed to the
-        registry :attr:`fallback` when one is configured.
+        registry :attr:`fallback` when one is configured — unless the
+        request's :attr:`RequestOptions.fallback_policy` forbids it.
+
+        ``options`` applies to the whole batch (the dispatcher groups
+        requests by estimator and fallback policy before submitting);
+        ``options.estimator`` takes precedence over the legacy ``estimator``
+        argument.  Every result is an :class:`EstimateResult` carrying its
+        resolution path, the answering entry's model generation, the batch's
+        cache-hit deltas, and the caller's tags.
         """
         if not queries:
             return []
-        # Name and estimator resolve under ONE registry-lock acquisition:
-        # resolving the default and then looking it up separately would let a
-        # concurrent unregister() of that name land in between and fail the
-        # request, instead of letting it finish on the resolved estimator.
+        if options is None:
+            options = _DEFAULT_OPTIONS
+        # Name, estimator, and generation resolve under ONE registry-lock
+        # acquisition: resolving the default and then looking it up separately
+        # would let a concurrent unregister() of that name land in between and
+        # fail the request, instead of letting it finish on the resolved
+        # estimator (stamped with the generation it resolved).
         with self._registry_lock:
-            name = estimator if estimator is not None else self.default_estimator
+            if options.estimator is not None:
+                name = options.estimator
+            elif estimator is not None:
+                name = estimator
+            else:
+                name = self.default_estimator
             chosen = self.get(name)
+            generation = self._generations.get(name, 0)
+        feat_hits_before = (
+            self.featurization_cache.stats.hits
+            if self.featurization_cache is not None
+            else 0
+        )
+        enc_hits_before = (
+            self.encoding_cache.stats.hits if self.encoding_cache is not None else 0
+        )
         start = time.perf_counter()
         if isinstance(chosen, Cnt2CrdEstimator):
             served, planned_pairs, scored_pairs = self._submit_cnt2crd(
-                queries, name, chosen
+                queries, name, generation, chosen, options
             )
         else:
             planned_pairs = scored_pairs = 0
             served = [
-                self._served(query, name, self._guarded_estimate(query, name, chosen))
+                self._served(
+                    query,
+                    name,
+                    generation,
+                    *self._guarded_estimate(query, name, chosen, options),
+                )
                 for query in queries
             ]
         elapsed = time.perf_counter() - start
         latency = elapsed / len(queries)
-        served = [replace(item, latency_seconds=latency) for item in served]
+        # Cache hits are batch-attributed, like latency: concurrent batches
+        # sharing the caches may bleed hits into each other's window, so the
+        # counts are provenance hints, not an exact per-request ledger.
+        feat_hits = (
+            self.featurization_cache.stats.hits - feat_hits_before
+            if self.featurization_cache is not None
+            else 0
+        )
+        enc_hits = (
+            self.encoding_cache.stats.hits - enc_hits_before
+            if self.encoding_cache is not None
+            else 0
+        )
+        served = [
+            replace(
+                item,
+                latency_seconds=latency,
+                featurization_cache_hits=feat_hits,
+                encoding_cache_hits=enc_hits,
+                tags=options.tags,
+            )
+            for item in served
+        ]
         with self._stats_lock:
             self.stats.requests += len(queries)
             self.stats.batches += 1
@@ -398,8 +609,13 @@ class EstimationService:
         }
 
     def _submit_cnt2crd(
-        self, queries: Sequence[Query], name: str, estimator: Cnt2CrdEstimator
-    ) -> tuple[list[ServedEstimate], int, int]:
+        self,
+        queries: Sequence[Query],
+        name: str,
+        generation: int,
+        estimator: Cnt2CrdEstimator,
+        options: RequestOptions,
+    ) -> tuple[list[EstimateResult], int, int]:
         plan = BatchPlanner(estimator).plan(queries)
         rates = (
             estimator.containment_estimator.estimate_containments(list(plan.pairs))
@@ -434,7 +650,9 @@ class EstimationService:
             for (key, _), block in zip(pending, blocks):
                 indexed_rates[key] = block
         served = [
-            self._answer_request(request, name, estimator, rates, indexed_rates)
+            self._answer_request(
+                request, name, generation, estimator, rates, indexed_rates, options
+            )
             for request in plan.requests
         ]
         # Pair counts are returned (not applied here) so the caller records
@@ -447,18 +665,40 @@ class EstimationService:
         self,
         request: RequestPlan,
         name: str,
+        generation: int,
         estimator: Cnt2CrdEstimator,
         rates: Sequence[float],
         indexed_rates: Mapping[tuple[Query, tuple], Sequence[float]],
-    ) -> ServedEstimate:
+        options: RequestOptions,
+    ) -> EstimateResult:
+        allow_builtin = options.fallback_policy != "none"
+        allow_registry = options.fallback_policy == "registry"
         if not request.has_match:
-            try:
-                value = estimator.fallback_estimate(request.query)
-                return self._served(request.query, name, (value, None))
-            except NoMatchingPoolQueryError:
+            if allow_builtin:
+                try:
+                    value = estimator.fallback_estimate(request.query)
+                    return self._served(
+                        request.query,
+                        name,
+                        generation,
+                        (value, None, 0),
+                        RESOLUTION_ESTIMATOR_FALLBACK,
+                    )
+                except NoMatchingPoolQueryError:
+                    pass
+            if allow_registry:
                 return self._served(
-                    request.query, name, self._registry_fallback(request.query, name)
+                    request.query,
+                    name,
+                    generation,
+                    self._registry_fallback(request.query, name),
+                    RESOLUTION_REGISTRY_FALLBACK,
                 )
+            raise NoMatchingPoolQueryError(
+                f"estimator {name!r} has no matching pool query for "
+                f"{request.query.from_signature()} and the request's fallback "
+                f"policy ({options.fallback_policy!r}) permits no re-route"
+            )
         if request.slab is not None:
             request_rates = (
                 indexed_rates[(request.query, request.slab.token)]
@@ -483,25 +723,37 @@ class EstimationService:
             # model, collapsing to 0.0 would bypass the fallbacks with a
             # spurious zero.  Recovery chain mirrors the FROM-miss route —
             # the estimator's own fallback first, then the flagged registry
-            # re-route; only when neither exists does the legacy collapse-
-            # to-0 stand (exactly right for exact rates and framed pools).
-            try:
-                value = estimator.fallback_estimate(request.query)
-                outcome: tuple[float, str | None] = (value, None)
-            except NoMatchingPoolQueryError:
+            # re-route; only when neither exists (or the request's policy
+            # forbids them) does the legacy collapse-to-0 stand (exactly
+            # right for exact rates and framed pools).
+            outcome: tuple[float, str | None, int] | None = None
+            resolution = request.resolution
+            if allow_builtin:
+                try:
+                    outcome = (estimator.fallback_estimate(request.query), None, 0)
+                    resolution = RESOLUTION_ESTIMATOR_FALLBACK
+                except NoMatchingPoolQueryError:
+                    outcome = None
+            if outcome is None and allow_registry:
                 try:
                     outcome = self._registry_fallback(request.query, name)
+                    resolution = RESOLUTION_REGISTRY_FALLBACK
                 except NoMatchingPoolQueryError:
-                    outcome = (estimator.collapse_values(values), None)
+                    outcome = None
+            if outcome is None:
+                outcome = (estimator.collapse_values(values), None, 0)
+                resolution = request.resolution
             return self._served(
                 request.query,
                 name,
+                generation,
                 outcome,
+                resolution,
                 pool_matches=len(request.entries),
                 pairs_scored=len(request_rates),
             )
         value = estimator.collapse_values(values)
-        return ServedEstimate(
+        return EstimateResult(
             query=request.query,
             estimate=value,
             estimator_name=name,
@@ -509,24 +761,37 @@ class EstimationService:
             pool_matches=len(request.entries),
             pairs_scored=len(request_rates),
             used_fallback=False,
+            resolution=request.resolution,
+            model_generation=generation,
         )
 
     def _guarded_estimate(
-        self, query: Query, name: str, estimator: CardinalityEstimator
-    ) -> tuple[float, str | None]:
+        self,
+        query: Query,
+        name: str,
+        estimator: CardinalityEstimator,
+        options: RequestOptions,
+    ) -> tuple[tuple[float, str | None, int], str]:
+        """One non-Cnt2Crd estimate: ``(outcome, resolution)`` for :meth:`_served`."""
         try:
-            return estimator.estimate_cardinality(query), None
+            return (estimator.estimate_cardinality(query), None, 0), RESOLUTION_DIRECT
         except NoMatchingPoolQueryError:
-            return self._registry_fallback(query, name)
+            if options.fallback_policy != "registry":
+                raise
+            return (
+                self._registry_fallback(query, name),
+                RESOLUTION_REGISTRY_FALLBACK,
+            )
 
-    def _registry_fallback(self, query: Query, failed: str) -> tuple[float, str]:
+    def _registry_fallback(self, query: Query, failed: str) -> tuple[float, str, int]:
         """Route a request the primary could not answer to the registry fallback.
 
-        Returns ``(estimate, fallback name)``.  Name and estimator resolve
-        under one registry-lock acquisition (and the name travels with the
-        result): a concurrent :meth:`unregister` of the fallback entry must
-        make this request raise cleanly or finish on the resolved object —
-        never crash on a half-removed entry or stamp a vanished name.
+        Returns ``(estimate, fallback name, fallback generation)``.  Name,
+        estimator, and generation resolve under one registry-lock acquisition
+        (and travel with the result): a concurrent :meth:`unregister` of the
+        fallback entry must make this request raise cleanly or finish on the
+        resolved object — never crash on a half-removed entry or stamp a
+        vanished name (or another generation's number).
         """
         with self._registry_lock:
             fallback = self.fallback
@@ -535,23 +800,26 @@ class EstimationService:
                 if fallback is not None and fallback != failed
                 else None
             )
+            generation = self._generations.get(fallback, 0) if fallback else 0
         if estimator is None:
             raise NoMatchingPoolQueryError(
                 f"estimator {failed!r} has no matching pool query for "
                 f"{query.from_signature()} and the service has no fallback estimator"
             )
-        return estimator.estimate_cardinality(query), fallback
+        return estimator.estimate_cardinality(query), fallback, generation
 
     def _served(
         self,
         query: Query,
         name: str,
-        outcome: tuple[float, str | None],
+        generation: int,
+        outcome: tuple[float, str | None, int],
+        resolution: str,
         pool_matches: int = 0,
         pairs_scored: int = 0,
-    ) -> ServedEstimate:
-        value, fallback_name = outcome
-        return ServedEstimate(
+    ) -> EstimateResult:
+        value, fallback_name, fallback_generation = outcome
+        return EstimateResult(
             query=query,
             estimate=value,
             estimator_name=fallback_name if fallback_name is not None else name,
@@ -559,6 +827,10 @@ class EstimationService:
             pool_matches=pool_matches,
             pairs_scored=pairs_scored,
             used_fallback=fallback_name is not None,
+            resolution=resolution,
+            model_generation=(
+                fallback_generation if fallback_name is not None else generation
+            ),
         )
 
 
@@ -577,12 +849,15 @@ def build_crn_service(
 ) -> EstimationService:
     """Wire a ready-to-serve CRN-backed estimation service.
 
-    Builds the featurization and encoding caches, a cache-aware
-    :class:`CRNEstimator`, the :class:`Cnt2CrdEstimator` on top (backed by a
-    :class:`repro.serving.PoolEncodingIndex` unless disabled), registers it
-    as ``"crn"`` (the default), optionally registers ``fallback_estimator`` as
-    ``"fallback"`` plus any ``extra_estimators``, and pre-warms the caches
-    with the queries pool so pool queries are featurized once, ever.
+    .. deprecated::
+        ``build_crn_service`` is a thin shim over the declarative
+        :class:`repro.serving.ServingConfig` — describe the deployment there
+        and run it with :class:`repro.serving.ServingClient` (which adds the
+        dispatcher, feedback, and adaptation wiring this constructor never
+        had).  The keyword surface below maps 1:1 onto config fields; see the
+        migration table in ``docs/architecture.md``.  The wiring is shared
+        with the client, so the service built here is bit-for-bit identical
+        to the one a :class:`~repro.serving.ServingClient` serves from.
 
     Args:
         model: a (trained) CRN network.
@@ -593,7 +868,9 @@ def build_crn_service(
         batch_size: pair-head slab size for the batched forward passes.
         fallback_estimator: answers requests with no matching pool query.
         extra_estimators: additional registry entries (e.g. improved models).
-        max_cache_entries: optional LRU bound for both caches.
+        max_cache_entries: optional LRU bound for both caches (the encoding
+            cache admits ``2×`` — two entries per query, one per pair slot;
+            :class:`repro.serving.CacheConfig` documents the rule).
         warm_pool: pre-featurize/encode all pool queries up front (and
             pre-build the pool index's encoding matrices).
         use_pool_index: keep per-FROM-signature pool encoding matrices so a
@@ -601,33 +878,33 @@ def build_crn_service(
             of ``2·E`` per-pair cache lookups (bit-for-bit identical; see
             ``benchmarks/bench_pool_index.py`` for the win).
     """
-    featurization_cache = FeaturizationCache(featurizer, max_entries=max_cache_entries)
-    # The encoding cache holds two entries per query (one per pair slot), so
-    # a bound sized for N queries must admit 2N encodings or warming the pool
-    # would immediately evict half of it.
-    encoding_cache = EncodingCache(
-        max_entries=2 * max_cache_entries if max_cache_entries is not None else None
+    warnings.warn(
+        "build_crn_service is deprecated: describe the deployment with "
+        "repro.serving.ServingConfig and serve it through "
+        "repro.serving.ServingClient",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    crn = CRNEstimator(
-        model, featurization_cache, batch_size=batch_size, encoding_cache=encoding_cache
+    from repro.serving.client import build_service_stack
+    from repro.serving.config import (
+        CacheConfig,
+        DispatcherConfig,
+        EstimatorConfig,
+        PoolConfig,
+        ServingConfig,
     )
-    pool_index = PoolEncodingIndex(pool) if use_pool_index else None
-    cnt2crd = Cnt2CrdEstimator(
-        crn, pool, final_function=final_function, epsilon=epsilon, pool_index=pool_index
+
+    config = ServingConfig(
+        model=model,
+        featurizer=featurizer,
+        pool=pool,
+        fallback_estimator=fallback_estimator,
+        extra_estimators=extra_estimators or {},
+        estimator=EstimatorConfig(
+            final_function=final_function, epsilon=epsilon, batch_size=batch_size
+        ),
+        pool_options=PoolConfig(warm=warm_pool, use_index=use_pool_index),
+        caches=CacheConfig(max_featurization_entries=max_cache_entries),
+        dispatcher=DispatcherConfig(enabled=False),
     )
-    service = EstimationService(
-        fallback="fallback" if fallback_estimator is not None else None,
-        featurization_cache=featurization_cache,
-        encoding_cache=encoding_cache,
-        pool_index=pool_index,
-    )
-    service.register("crn", cnt2crd, default=True)
-    if fallback_estimator is not None:
-        service.register("fallback", fallback_estimator)
-    for name, estimator in (extra_estimators or {}).items():
-        service.register(name, estimator)
-    if warm_pool:
-        service.warm(entry.query for entry in pool)
-        if pool_index is not None:
-            pool_index.warm(cnt2crd)
-    return service
+    return build_service_stack(config).service

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import functools
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -170,6 +173,105 @@ class TestMetricProperties:
         estimates = [value * scale for value in values]
         errors = q_errors(estimates, values, epsilon=1.0)
         assert np.all(errors <= scale + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# serving identity properties
+
+
+@functools.lru_cache(maxsize=1)
+def serving_identity_stack():
+    """One shared deployment over the toy database, built both ways.
+
+    Returns ``(client, legacy service, legacy dispatcher)``: the new
+    :class:`repro.serving.ServingClient` path and the deprecated
+    ``build_crn_service`` + manual ``ServingDispatcher`` path, wired from the
+    same model, featurizer, pool, and fallback.  The pool carries the frame
+    queries of both toy FROM shapes, so every generated query has a match.
+    """
+    from repro.baselines import PostgresCardinalityEstimator
+    from repro.core import CRNConfig, CRNModel, QueriesPool
+    from repro.core.featurization import QueryFeaturizer
+    from repro.serving import (
+        ServingClient,
+        ServingConfig,
+        ServingDispatcher,
+        build_crn_service,
+    )
+
+    featurizer = QueryFeaturizer(TOY_DATABASE)
+    model = CRNModel(featurizer.vector_size, CRNConfig(hidden_size=8, seed=7))
+    single = [TableRef("movies", "m")]
+    joined = [TableRef("movies", "m"), TableRef("ratings", "r")]
+    join = [JoinClause("m", "id", "r", "movie_id")]
+    pool_queries = [
+        Query.create(single, [], []),  # the frame queries guarantee a match
+        Query.create(joined, join, []),
+        Query.create(single, [], [Predicate("m", "year", ComparisonOperator.GT, 1995.0)]),
+        Query.create(single, [], [Predicate("m", "kind", ComparisonOperator.EQ, 1.0)]),
+        Query.create(
+            joined, join, [Predicate("r", "score", ComparisonOperator.GT, 70.0)]
+        ),
+        Query.create(
+            joined, join, [Predicate("m", "year", ComparisonOperator.LT, 2005.0)]
+        ),
+    ]
+    pool = QueriesPool()
+    for query in pool_queries:
+        pool.add(query, int(TOY_ORACLE.cardinality(query)))
+    fallback = PostgresCardinalityEstimator(TOY_DATABASE)
+    client = ServingClient.start(
+        ServingConfig(
+            model=model, featurizer=featurizer, pool=pool, fallback_estimator=fallback
+        )
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = build_crn_service(model, featurizer, pool, fallback_estimator=fallback)
+    legacy_dispatcher = ServingDispatcher(legacy, max_batch=16, max_wait_ms=1.0).start()
+    return client, legacy, legacy_dispatcher
+
+
+class TestServingIdentityProperties:
+    """The new ServingClient path is bit-for-bit the legacy serving path."""
+
+    @_COMMON_SETTINGS
+    @given(queries=st.lists(toy_queries(), min_size=1, max_size=6))
+    def test_client_paths_identical_to_legacy_paths(self, queries):
+        client, legacy, legacy_dispatcher = serving_identity_stack()
+        # Legacy reference: build_crn_service + one caller-side batch, and
+        # the same traffic coalesced through a manual dispatcher.
+        legacy_batched = [item.estimate for item in legacy.submit_batch(queries)]
+        legacy_futures = [legacy_dispatcher.submit(query) for query in queries]
+        legacy_dispatched = [f.result(timeout=30).estimate for f in legacy_futures]
+        # New client: estimate_many (planned batch), estimate (coalesced),
+        # and estimate_future (explicit dispatcher-backed futures).
+        batched = [item.estimate for item in client.estimate_many(queries)]
+        singles = [client.estimate(query).estimate for query in queries]
+        futures = [client.estimate_future(query) for query in queries]
+        dispatched = [f.result(timeout=30).estimate for f in futures]
+        assert batched == legacy_batched
+        assert singles == legacy_batched
+        assert dispatched == legacy_batched
+        assert legacy_dispatched == legacy_batched
+
+    @_COMMON_SETTINGS
+    @given(queries=st.lists(toy_queries(), min_size=1, max_size=4))
+    def test_provenance_is_stamped_on_every_result(self, queries):
+        client, _, _ = serving_identity_stack()
+        for item in client.estimate_many(queries):
+            assert item.resolution in {
+                "indexed_slab",
+                "pair_batch",
+                "estimator_fallback",
+                "registry_fallback",
+                "direct",
+            }
+            # Both registry entries are first-generation; whichever answered
+            # must say so.
+            assert item.model_generation == 1
+            assert item.estimator_name in {"crn", "fallback"}
+            assert item.used_fallback == (item.estimator_name == "fallback")
 
 
 # --------------------------------------------------------------------------- #

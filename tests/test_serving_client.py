@@ -1,0 +1,489 @@
+"""Tests for the unified serving client API: config, façade, provenance, errors."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import CRNConfig, CRNModel, QueriesPool
+from repro.core.final_functions import FINAL_FUNCTIONS
+from repro.datasets import build_queries_pool_queries
+from repro.serving import (
+    CacheConfig,
+    DeadlineExceededError,
+    DispatcherConfig,
+    DispatcherShutdownError,
+    EstimateResult,
+    EstimatorConfig,
+    FeedbackConfig,
+    NoMatchingPoolQueryError,
+    PoolConfig,
+    RequestOptions,
+    ServedEstimate,
+    ServingClient,
+    ServingConfig,
+    ServingError,
+    UnknownEstimatorError,
+    build_crn_service,
+)
+from repro.serving.config import AdaptationConfig
+from repro.sql.builder import QueryBuilder
+
+
+@pytest.fixture(scope="module")
+def pool(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=60, seed=17, oracle=imdb_oracle)
+    return QueriesPool.from_labeled_queries(labeled)
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=24, seed=23, oracle=imdb_oracle)
+    return [item.query for item in labeled]
+
+
+@pytest.fixture(scope="module")
+def model(imdb_featurizer):
+    return CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=5))
+
+
+def make_config(model, imdb_small, imdb_featurizer, pool, **overrides):
+    defaults = dict(
+        model=model,
+        featurizer=imdb_featurizer,
+        pool=pool,
+        fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+def unmatched_query():
+    # Two fact tables without title never appear in the generated pool.
+    return (
+        QueryBuilder().table("movie_companies", "mc").table("movie_keyword", "mk").build()
+    )
+
+
+class TestConfigValidation:
+    def test_cache_bounds_zero_and_negative_raise(self):
+        with pytest.raises(ValueError, match="max_featurization_entries"):
+            CacheConfig(max_featurization_entries=0)
+        with pytest.raises(ValueError, match="max_featurization_entries"):
+            CacheConfig(max_featurization_entries=-4)
+        with pytest.raises(ValueError, match="max_encoding_entries"):
+            CacheConfig(max_encoding_entries=0)
+
+    def test_encoding_bound_defaults_to_double_featurization(self):
+        assert CacheConfig(max_featurization_entries=10).resolved_encoding_entries() == 20
+        assert CacheConfig().resolved_encoding_entries() is None
+        explicit = CacheConfig(max_featurization_entries=10, max_encoding_entries=5)
+        assert explicit.resolved_encoding_entries() == 5
+
+    def test_legacy_shim_validates_cache_bound(self, model, imdb_small, imdb_featurizer, pool):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="max_featurization_entries"):
+                build_crn_service(model, imdb_featurizer, pool, max_cache_entries=0)
+
+    def test_estimator_section_bounds(self):
+        with pytest.raises(ValueError, match="final function"):
+            EstimatorConfig(final_function="mode")
+        with pytest.raises(ValueError, match="epsilon"):
+            EstimatorConfig(epsilon=0.0)
+        with pytest.raises(ValueError, match="batch_size"):
+            EstimatorConfig(batch_size=0)
+        with pytest.raises(ValueError, match="distinct"):
+            EstimatorConfig(name="crn", fallback_name="crn")
+
+    def test_dispatcher_section_bounds(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            DispatcherConfig(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            DispatcherConfig(max_wait_ms=-1.0)
+
+    def test_adaptation_requires_feedback_and_training_state(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        with pytest.raises(ValueError, match="feedback.enabled"):
+            make_config(
+                model,
+                imdb_small,
+                imdb_featurizer,
+                pool,
+                adaptation=AdaptationConfig(enabled=True),
+            )
+        with pytest.raises(ValueError, match="training_result and database"):
+            make_config(
+                model,
+                imdb_small,
+                imdb_featurizer,
+                pool,
+                feedback=FeedbackConfig(enabled=True),
+                adaptation=AdaptationConfig(enabled=True),
+            )
+
+    def test_adaptation_window_must_fit_min_observations(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        with pytest.raises(ValueError, match="max_observations"):
+            make_config(
+                model,
+                imdb_small,
+                imdb_featurizer,
+                pool,
+                training_result=object(),
+                database=imdb_small,
+                feedback=FeedbackConfig(enabled=True, max_observations=5),
+                adaptation=AdaptationConfig(enabled=True, min_observations=20),
+            )
+
+    def test_extra_estimator_name_collision(self, model, imdb_small, imdb_featurizer, pool):
+        with pytest.raises(ValueError, match="collides"):
+            make_config(
+                model,
+                imdb_small,
+                imdb_featurizer,
+                pool,
+                extra_estimators={"crn": PostgresCardinalityEstimator(imdb_small)},
+            )
+        with pytest.raises(ValueError, match="collides"):
+            make_config(
+                model,
+                imdb_small,
+                imdb_featurizer,
+                pool,
+                extra_estimators={"fallback": PostgresCardinalityEstimator(imdb_small)},
+            )
+        # Legacy compatibility: "fallback" is only reserved when a fallback
+        # estimator will actually be registered under it.
+        config = make_config(
+            model,
+            imdb_small,
+            imdb_featurizer,
+            pool,
+            fallback_estimator=None,
+            extra_estimators={"fallback": PostgresCardinalityEstimator(imdb_small)},
+        )
+        service = ServingClient(config).service
+        assert set(service.names()) == {"crn", "fallback"}
+        assert service.fallback is None  # an extra entry, not fallback routing
+
+    def test_request_options_validation_and_tag_normalization(self):
+        with pytest.raises(ValueError, match="fallback_policy"):
+            RequestOptions(fallback_policy="maybe")
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            RequestOptions(timeout_seconds=0.0)
+        from_mapping = RequestOptions(tags={"tenant": "a", "app": "b"})
+        from_pairs = RequestOptions(tags=(("tenant", "a"), ("app", "b")))
+        assert from_mapping.tags == (("app", "b"), ("tenant", "a"))
+        assert from_mapping.tags == from_pairs.tags
+
+
+class TestConfigRoundTrip:
+    def test_to_mapping_from_mapping_round_trip(self, model, imdb_small, imdb_featurizer, pool):
+        config = make_config(
+            model,
+            imdb_small,
+            imdb_featurizer,
+            pool,
+            estimator=EstimatorConfig(final_function="mean", epsilon=1e-2, batch_size=128),
+            caches=CacheConfig(max_featurization_entries=64),
+            pool_options=PoolConfig(warm=False, use_index=False),
+            dispatcher=DispatcherConfig(enabled=False, max_batch=8, max_wait_ms=0.5),
+        )
+        mapping = json.loads(json.dumps(config.to_mapping()))  # JSON-clean
+        rebuilt = ServingConfig.from_mapping(
+            mapping,
+            model=model,
+            featurizer=imdb_featurizer,
+            pool=pool,
+            fallback_estimator=config.fallback_estimator,
+        )
+        assert rebuilt == config
+
+    def test_from_mapping_rejects_unknown_sections_and_fields(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        with pytest.raises(ValueError, match="unknown config section"):
+            ServingConfig.from_mapping(
+                {"dispatch": {}}, model=model, featurizer=imdb_featurizer, pool=pool
+            )
+        with pytest.raises(ValueError, match="unknown field"):
+            ServingConfig.from_mapping(
+                {"dispatcher": {"max_batches": 3}},
+                model=model,
+                featurizer=imdb_featurizer,
+                pool=pool,
+            )
+
+    def test_named_final_function_callable_serializes_by_name(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        config = make_config(
+            model,
+            imdb_small,
+            imdb_featurizer,
+            pool,
+            estimator=EstimatorConfig(final_function=FINAL_FUNCTIONS["median"]),
+        )
+        assert config.to_mapping()["estimator"]["final_function"] == "median"
+        bare = make_config(
+            model,
+            imdb_small,
+            imdb_featurizer,
+            pool,
+            estimator=EstimatorConfig(final_function=lambda values: 0.0),
+        )
+        with pytest.raises(ValueError, match="bare"):
+            bare.to_mapping()
+
+
+class TestClientFacade:
+    def test_client_matches_deprecated_constructor_bit_for_bit(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        with pytest.warns(DeprecationWarning, match="build_crn_service is deprecated"):
+            legacy = build_crn_service(
+                model,
+                imdb_featurizer,
+                pool,
+                fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+            )
+        legacy_estimates = [item.estimate for item in legacy.submit_batch(workload)]
+        config = make_config(model, imdb_small, imdb_featurizer, pool)
+        with ServingClient(config) as client:
+            batched = client.estimate_many(workload)
+            singles = [client.estimate(query) for query in workload]
+            futures = [client.estimate_future(query) for query in workload]
+            dispatched = [future.result(timeout=30) for future in futures]
+        assert [item.estimate for item in batched] == legacy_estimates
+        assert [item.estimate for item in singles] == legacy_estimates
+        assert [item.estimate for item in dispatched] == legacy_estimates
+        assert all(isinstance(item, EstimateResult) for item in batched)
+        assert all(isinstance(item, ServedEstimate) for item in batched)  # extends
+
+    def test_start_classmethod_and_shutdown_idempotence(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        client = ServingClient.start(make_config(model, imdb_small, imdb_featurizer, pool))
+        assert client.started
+        first = client.estimate(workload[0])
+        assert first.estimate == client.estimate(workload[0]).estimate
+        client.shutdown()
+        client.shutdown()  # idempotent
+        assert not client.started
+        with pytest.raises(DispatcherShutdownError):
+            client.dispatcher.submit(workload[0])
+        with pytest.raises(ServingError, match="shut down"):
+            client.__enter__()
+        # A shut-down client refuses ALL request surfaces — the synchronous
+        # path must not keep silently serving while the dispatcher refuses.
+        with pytest.raises(ServingError, match="no new requests"):
+            client.estimate(workload[0])
+        with pytest.raises(ServingError, match="no new requests"):
+            client.estimate_many(workload[:2])
+        with pytest.raises(ServingError, match="no new requests"):
+            client.estimate_future(workload[0])
+
+    def test_unstarted_client_serves_synchronously(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        client = ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+        served = client.estimate(workload[0])
+        assert served.estimate == client.service.submit(workload[0]).estimate
+        with pytest.raises(ServingError, match="started client"):
+            client.estimate_future(workload[0])
+        with pytest.raises(ServingError, match="deadlines need the dispatcher"):
+            client.estimate(workload[0], RequestOptions(timeout_seconds=5.0))
+
+    def test_estimate_future_requires_dispatcher(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        config = make_config(
+            model, imdb_small, imdb_featurizer, pool, dispatcher=DispatcherConfig(enabled=False)
+        )
+        with ServingClient(config) as client:
+            assert client.dispatcher is None
+            served = client.estimate(workload[0])  # synchronous path
+            assert served.estimate >= 0.0
+            with pytest.raises(ServingError, match="needs the dispatcher"):
+                client.estimate_future(workload[0])
+            with pytest.raises(ServingError, match="cannot honor"):
+                client.estimate_many(workload[:2], RequestOptions(timeout_seconds=1.0))
+
+    def test_feedback_and_adaptation_require_enabling(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        with ServingClient(make_config(model, imdb_small, imdb_featurizer, pool)) as client:
+            served = client.estimate(workload[0])
+            with pytest.raises(ServingError, match="feedback is not enabled"):
+                client.record_feedback(served, true_cardinality=10.0)
+            with pytest.raises(ServingError, match="adaptation is not enabled"):
+                client.trigger_adaptation()
+
+    def test_feedback_recording_and_merged_stats(
+        self, model, imdb_small, imdb_featurizer, pool, workload, imdb_oracle
+    ):
+        config = make_config(
+            model,
+            imdb_small,
+            imdb_featurizer,
+            pool,
+            oracle=imdb_oracle,
+            feedback=FeedbackConfig(enabled=True, max_observations=32),
+        )
+        with ServingClient(config) as client:
+            served = client.estimate(workload[0])
+            observation = client.record_feedback(served)  # oracle supplies truth
+            assert observation.true_cardinality == imdb_oracle.cardinality(workload[0])
+            stats = client.stats()
+        # One merged snapshot across service, dispatcher, and feedback.
+        assert stats["requests"] >= 1.0
+        assert stats["submitted"] >= 1.0
+        assert stats["feedback_observations"] == 1.0
+        assert "encoding_hit_rate" in stats and "pool_index_served" in stats
+
+    def test_warm_defaults_to_the_pool(self, model, imdb_small, imdb_featurizer, pool):
+        config = make_config(
+            model,
+            imdb_small,
+            imdb_featurizer,
+            pool,
+            pool_options=PoolConfig(warm=False, use_index=True),
+        )
+        client = ServingClient(config)
+        assert len(client.stack.featurization_cache) == 0
+        client.warm()
+        assert len(client.stack.featurization_cache) >= len(pool)
+        assert len(client.stack.pool_index) > 0
+
+
+class TestProvenance:
+    def test_indexed_and_pair_batch_resolutions(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        matched = next(q for q in workload if pool.has_match(q))
+        indexed_client = ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+        served = indexed_client.estimate(matched)
+        assert served.resolution == "indexed_slab"
+        assert served.model_generation == 1
+        legacy_config = make_config(
+            model,
+            imdb_small,
+            imdb_featurizer,
+            pool,
+            pool_options=PoolConfig(warm=True, use_index=False),
+        )
+        pair_served = ServingClient(legacy_config).estimate(matched)
+        assert pair_served.resolution == "pair_batch"
+        assert pair_served.estimate == served.estimate  # identical bits either way
+
+    def test_registry_fallback_and_direct_resolutions(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        client = ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+        rerouted = client.estimate(unmatched_query())
+        assert rerouted.resolution == "registry_fallback"
+        assert rerouted.used_fallback and rerouted.estimator_name == "fallback"
+        assert rerouted.model_generation == 1  # the fallback entry's generation
+        direct = client.estimate(unmatched_query(), RequestOptions(estimator="fallback"))
+        assert direct.resolution == "direct"
+        assert not direct.used_fallback
+        assert direct.estimate == rerouted.estimate
+
+    def test_fallback_policy_none_and_estimator(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        client = ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+        query = unmatched_query()
+        with pytest.raises(NoMatchingPoolQueryError, match="permits no re-route"):
+            client.estimate(query, RequestOptions(fallback_policy="none"))
+        # "estimator": the Cnt2Crd entry has no built-in fallback, so the
+        # registry entry must NOT be consulted either.
+        with pytest.raises(NoMatchingPoolQueryError):
+            client.estimate(query, RequestOptions(fallback_policy="estimator"))
+        # The default policy still re-routes.
+        assert client.estimate(query).used_fallback
+
+    def test_tags_and_cache_hit_counts_are_stamped(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        matched = next(q for q in workload if pool.has_match(q))
+        with ServingClient(make_config(model, imdb_small, imdb_featurizer, pool)) as client:
+            options = RequestOptions(tags={"tenant": "acme", "tier": "gold"})
+            served = client.estimate(matched, options)
+            assert served.tags == (("tenant", "acme"), ("tier", "gold"))
+            # The pool is warmed at build time, so pool-side encodings hit.
+            assert served.encoding_cache_hits > 0
+            untagged = client.estimate(matched)
+            assert untagged.tags == ()
+
+    def test_replace_bumps_generation_stamped_into_results(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        matched = next(q for q in workload if pool.has_match(q))
+        client = ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+        before = client.estimate(matched)
+        assert before.model_generation == 1
+        client.service.replace("crn", client.service.get("crn"))
+        after = client.estimate(matched)
+        assert after.model_generation == 2
+        assert client.service.generation("crn") == 2
+        assert after.estimate == before.estimate  # same model object, same bits
+
+
+class TestErrorTaxonomy:
+    def test_unknown_estimator_is_serving_error_and_key_error(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        client = ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+        with pytest.raises(UnknownEstimatorError) as excinfo:
+            client.estimate(workload[0], RequestOptions(estimator="mscn"))
+        assert isinstance(excinfo.value, ServingError)
+        assert isinstance(excinfo.value, KeyError)
+        assert "unknown estimator" in str(excinfo.value)
+
+    def test_taxonomy_members_keep_legacy_bases(self):
+        assert issubclass(DeadlineExceededError, ServingError)
+        assert issubclass(DeadlineExceededError, TimeoutError)
+        assert issubclass(DispatcherShutdownError, ServingError)
+        assert issubclass(DispatcherShutdownError, RuntimeError)
+        assert issubclass(UnknownEstimatorError, KeyError)
+
+    def test_one_except_clause_covers_the_surface(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        client = ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+        caught = []
+        for options in (RequestOptions(estimator="nope"), None):
+            try:
+                client.estimate(workload[0], options)
+            except ServingError as error:
+                caught.append(error)
+        assert len(caught) == 1  # the default-path estimate succeeded
+
+
+class TestDeprecatedEntrypoint:
+    def test_build_crn_service_warns_and_still_serves(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        with pytest.warns(DeprecationWarning, match="ServingConfig"):
+            service = build_crn_service(
+                model,
+                imdb_featurizer,
+                pool,
+                fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+            )
+        served = service.submit(workload[0])
+        assert isinstance(served, EstimateResult)  # shim rides the new path
+        assert served.model_generation == 1
+
+    def test_client_construction_emits_no_deprecation_warning(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))

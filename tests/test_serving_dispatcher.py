@@ -378,6 +378,189 @@ class TestFailureIsolation:
         assert dispatcher.stats.completed == 6
 
 
+class SlowEstimator(CardinalityEstimator):
+    """An estimator whose every request takes ``delay`` seconds."""
+
+    name = "slow"
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+        self.calls: list = []  # GIL-safe appends
+
+    def estimate_cardinality(self, query) -> float:
+        self.calls.append(query)
+        time.sleep(self.delay)
+        return 7.0
+
+
+class TestDeadlines:
+    def test_timed_out_request_is_cancelled_at_pickup_and_counted(self, workload):
+        # Regression: a timed-out caller abandoned its future but the request
+        # still occupied a batch slot, ran to completion, and was counted as
+        # served.  Now the deadline cancels the future; pickup skips it.
+        from repro.serving import DeadlineExceededError
+
+        slow = SlowEstimator(delay=0.5)
+        service = EstimationService()
+        service.register("slow", slow)
+        dispatcher = ServingDispatcher(service, max_batch=1, max_wait_ms=0.0).start()
+        try:
+            first = dispatcher.submit(workload[0])
+            time.sleep(0.1)  # let the dispatcher start executing the first batch
+            with pytest.raises(DeadlineExceededError):
+                dispatcher.estimate(workload[1], timeout=0.05)
+            assert first.result(timeout=10).estimate == 7.0
+        finally:
+            dispatcher.shutdown()
+        # The abandoned request never executed: only the first query ran.
+        assert slow.calls == [workload[0]]
+        assert dispatcher.stats.timed_out == 1
+        assert dispatcher.stats.completed == 1
+        assert dispatcher.stats.failed == 0
+        assert dispatcher.stats.snapshot()["timed_out"] == 1.0
+
+    def test_deadline_error_is_a_timeout_error(self, workload):
+        # Pre-taxonomy callers caught TimeoutError from future.result(); the
+        # typed deadline error must still satisfy them.
+        from repro.serving import DeadlineExceededError
+
+        service = EstimationService()
+        service.register("slow", SlowEstimator(delay=0.5))
+        dispatcher = ServingDispatcher(service, max_batch=1, max_wait_ms=0.0).start()
+        try:
+            dispatcher.submit(workload[0])
+            time.sleep(0.1)
+            with pytest.raises(TimeoutError):
+                dispatcher.estimate(workload[1], timeout=0.05)
+            assert issubclass(DeadlineExceededError, TimeoutError)
+        finally:
+            dispatcher.shutdown()
+
+    def test_request_raising_timeout_error_is_not_a_deadline_expiry(self, workload):
+        # An estimator that itself raises TimeoutError (e.g. a Postgres-backed
+        # entry hitting a statement timeout) must propagate its own error —
+        # not be rebranded DeadlineExceededError nor counted as timed_out.
+        from repro.serving import DeadlineExceededError
+
+        class TimeoutingEstimator(CardinalityEstimator):
+            name = "timeouting"
+
+            def estimate_cardinality(self, query) -> float:
+                raise TimeoutError("statement timeout inside the estimator")
+
+        service = EstimationService()
+        service.register("timeouting", TimeoutingEstimator())
+        dispatcher = ServingDispatcher(service, max_wait_ms=0.0).start()
+        try:
+            with pytest.raises(TimeoutError, match="statement timeout") as excinfo:
+                dispatcher.estimate(workload[0])  # no deadline requested at all
+            assert not isinstance(excinfo.value, DeadlineExceededError)
+        finally:
+            dispatcher.shutdown()
+        assert dispatcher.stats.timed_out == 0
+        assert dispatcher.stats.failed == 1
+
+    def test_cancellation_window_extends_until_group_execution(self, workload):
+        # Within one coalesced batch, a request is promoted to RUNNING only
+        # when ITS (estimator, policy) group executes — so a deadline
+        # expiring while an earlier group is still running can still cancel
+        # the request instead of letting it execute anyway.
+        release = threading.Event()
+
+        class BlockingEstimator(CardinalityEstimator):
+            name = "blocking"
+
+            def estimate_cardinality(self, query) -> float:
+                release.wait(10)
+                return 1.0
+
+        fast_calls: list = []
+
+        class FastEstimator(CardinalityEstimator):
+            name = "fast"
+
+            def estimate_cardinality(self, query) -> float:
+                fast_calls.append(query)
+                return 2.0
+
+        service = EstimationService()
+        service.register("blocking", BlockingEstimator())
+        service.register("fast", FastEstimator())
+        dispatcher = ServingDispatcher(service, max_batch=4, max_wait_ms=0.0)
+        blocked = dispatcher.submit(workload[0], estimator="blocking")
+        fast = dispatcher.submit(workload[1], estimator="fast")
+        dispatcher.start()  # both coalesce into one batch of two groups
+        time.sleep(0.1)  # the dispatcher is now inside the blocking group
+        assert fast.cancel()  # not yet RUNNING: still cancellable
+        release.set()
+        dispatcher.shutdown()
+        assert blocked.result().estimate == 1.0
+        assert fast_calls == []  # the cancelled request never executed
+
+    def test_options_timeout_is_the_default_deadline(self, workload):
+        from repro.serving import DeadlineExceededError, RequestOptions
+
+        service = EstimationService()
+        service.register("slow", SlowEstimator(delay=0.5))
+        dispatcher = ServingDispatcher(service, max_batch=1, max_wait_ms=0.0).start()
+        try:
+            dispatcher.submit(workload[0])
+            time.sleep(0.1)
+            with pytest.raises(DeadlineExceededError):
+                dispatcher.estimate(
+                    workload[1], options=RequestOptions(timeout_seconds=0.05)
+                )
+        finally:
+            dispatcher.shutdown()
+
+
+class TestPerRequestOptions:
+    def test_tags_are_stamped_per_caller_within_one_batch(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        from repro.serving import RequestOptions
+
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        dispatcher = ServingDispatcher(service, max_batch=16, max_wait_ms=0.0)
+        tagged = dispatcher.submit(
+            workload[0], options=RequestOptions(tags={"caller": "a"})
+        )
+        other = dispatcher.submit(
+            workload[1], options=RequestOptions(tags={"caller": "b"})
+        )
+        untagged = dispatcher.submit(workload[2])
+        dispatcher.start()
+        dispatcher.shutdown()
+        assert tagged.result().tags == (("caller", "a"),)
+        assert other.result().tags == (("caller", "b"),)
+        assert untagged.result().tags == ()
+        # Tags never split a coalesced batch.
+        assert dispatcher.stats.batches == 1
+
+    def test_fallback_policies_split_groups_but_not_answers(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        from repro.serving import NoMatchingPoolQueryError, RequestOptions
+
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        matched = next(q for q in workload if pool.has_match(q))
+        dispatcher = ServingDispatcher(service, max_batch=16, max_wait_ms=0.0)
+        default = dispatcher.submit(matched)
+        strict = dispatcher.submit(matched, options=RequestOptions(fallback_policy="none"))
+        poison = dispatcher.submit(
+            unmatched_query(), options=RequestOptions(fallback_policy="none")
+        )
+        rerouted = dispatcher.submit(unmatched_query())
+        dispatcher.start()
+        dispatcher.shutdown()
+        # A matched query is identical under every policy.
+        assert default.result().estimate == strict.result().estimate
+        # The strict unmatched request raises; the default one re-routes.
+        with pytest.raises(NoMatchingPoolQueryError):
+            poison.result()
+        assert rerouted.result().used_fallback
+
+
 class TestHotSwap:
     def test_replace_estimator_mid_traffic(
         self, model, imdb_small, imdb_featurizer, pool, workload, sequential_estimates

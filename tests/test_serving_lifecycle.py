@@ -303,6 +303,10 @@ class TestAdaptationManager:
     def test_manual_trigger_swaps_without_feedback(self, trained, imdb_small, pool):
         service, _, retrainer, manager = self.build(trained, imdb_small, pool)
         before = service.get("crn")
+        assert service.generation("crn") == 1
+        # Pre-swap, the gauge already agrees with the generation stamped on
+        # every response (not a 0 placeholder).
+        assert manager.stats.snapshot()["model_generation"] == 1.0
         outcome = manager.trigger()  # not started: runs synchronously
         assert outcome.swapped and outcome.mode == "incremental"
         assert service.get("crn") is not before
@@ -310,6 +314,28 @@ class TestAdaptationManager:
         assert retrainer.result is not trained  # accepted state advanced
         # The shadow candidate was retired: the registry is back to normal.
         assert set(service.names()) == {"crn", "fallback"}
+        # The promote went through replace(): the registry generation bumped
+        # and the lifecycle gauge records the same number.
+        assert service.generation("crn") == 2
+        assert manager.stats.snapshot()["model_generation"] == 2.0
+
+    def test_post_swap_results_carry_the_new_generation(
+        self, trained, imdb_small, pool, workload
+    ):
+        # The acceptance contract: across a live hot swap, every response is
+        # attributable to the exact model that produced it — the generation
+        # stamped into EstimateResult flips from 1 to 2 at the swap.
+        service, _, _, manager = self.build(trained, imdb_small, pool)
+        query = next(l.query for l in workload if pool.has_match(l.query))
+        pre_swap = service.submit(query)
+        assert pre_swap.model_generation == 1
+        assert pre_swap.resolution == "indexed_slab"
+        assert manager.trigger().swapped
+        post_swap = service.submit(query)
+        assert post_swap.model_generation == 2
+        # The promote pre-warmed the rebound index, so the new generation is
+        # served from the fast path too.
+        assert post_swap.resolution == "indexed_slab"
 
     def test_gate_rejects_and_unregisters_candidate(
         self, trained, imdb_small, imdb_oracle, pool, workload

@@ -445,6 +445,61 @@ class TestRegistryUnregister:
         assert service.default_estimator == "fresh"
 
 
+class TestRegistryEdgeCases:
+    def test_register_duplicate_name_raises(self, imdb_small):
+        service = EstimationService()
+        service.register("only", PostgresCardinalityEstimator(imdb_small))
+        with pytest.raises(ValueError, match="already registered"):
+            service.register("only", PostgresCardinalityEstimator(imdb_small))
+        # The original entry and its generation are untouched.
+        assert service.names() == ["only"]
+        assert service.generation("only") == 1
+
+    def test_unregister_entry_that_is_both_default_and_fallback(self, imdb_small):
+        # Both reassignment rules must fire for one unregister: the earliest
+        # remaining registration becomes the default AND the fallback routing
+        # is cleared (never left pointing at a retired estimator).
+        service = EstimationService(fallback="both")
+        service.register("both", PostgresCardinalityEstimator(imdb_small), default=True)
+        service.register("other", PostgresCardinalityEstimator(imdb_small))
+        service.unregister("both")
+        assert service.default_estimator == "other"
+        assert service.fallback is None
+        assert service.generation("both") == 0  # generation retired with it
+
+    def test_replace_bumps_generation_stamped_into_results(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        matched = next(q for q in workload if pool.has_match(q))
+        assert service.submit(matched).model_generation == 1
+        service.replace("crn", service.get("crn"))
+        service.replace("crn", service.get("crn"))
+        served = service.submit(matched)
+        assert served.model_generation == 3
+        assert service.generation("crn") == 3
+        # Re-registration after an unregister starts a fresh lineage.
+        service.unregister("crn")
+        service.register("crn", PostgresCardinalityEstimator(imdb_small))
+        assert service.generation("crn") == 1
+
+    def test_registry_fallback_result_carries_fallback_generation(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        unmatched = (
+            QueryBuilder()
+            .table("movie_companies", "mc")
+            .table("movie_keyword", "mk")
+            .build()
+        )
+        service = build_service(model, imdb_small, imdb_featurizer, pool)
+        service.replace("fallback", PostgresCardinalityEstimator(imdb_small))
+        served = service.submit(unmatched)
+        assert served.used_fallback and served.estimator_name == "fallback"
+        # The stamped generation is the ANSWERING entry's, not the primary's.
+        assert served.model_generation == 2
+
+
 class TestStatsDraining:
     def test_drain_returns_counters_and_zeroes_them(
         self, model, imdb_small, imdb_featurizer, pool, workload
