@@ -39,10 +39,12 @@ from repro.evaluation import (
     format_adaptation_table,
     format_service_stats,
 )
+from repro.observability import EventStore
 from repro.serving import (
     AdaptationConfig,
     DispatcherConfig,
     FeedbackConfig,
+    ObservabilityConfig,
     RequestOptions,
     ServingClient,
     ServingConfig,
@@ -64,7 +66,13 @@ SWAP_DEADLINE_SECONDS = 120.0
 DEADLINE = RequestOptions(timeout_seconds=60.0)
 
 
-def test_adaptive_serving(results_dir):
+def test_adaptive_serving(results_dir, bench_record):
+    # The episode's structured event log persists next to the rendered
+    # report (CI uploads it as a workflow artifact).  A fresh file per run:
+    # the store dedups on (source, sequence), and a new process restarts its
+    # sequence at zero — appending into an old file would silently drop.
+    event_db = results_dir / "adaptive_serving_events.sqlite"
+    event_db.unlink(missing_ok=True)
     database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=TITLES, seed=3))
     oracle = TrueCardinalityOracle(database)
     featurizer = QueryFeaturizer(database)
@@ -89,6 +97,9 @@ def test_adaptive_serving(results_dir):
         database=database,
         dispatcher=DispatcherConfig(enabled=True, max_batch=32, max_wait_ms=1.0),
         feedback=FeedbackConfig(enabled=True, max_observations=4 * WORKLOAD_SIZE),
+        observability=ObservabilityConfig(
+            enabled=True, capacity=1 << 15, sqlite_path=str(event_db)
+        ),
         adaptation=AdaptationConfig(
             enabled=True,
             quantile=0.5,  # the median shifts ~3x with the data; the p90+
@@ -197,7 +208,37 @@ def test_adaptive_serving(results_dir):
     assert pre_swap_generation == 1
     assert post_swap_generation == pre_swap_generation + manager.stats.swaps
     assert merged_stats["model_generation"] == post_swap_generation
+
+    # The episode's whole story is on the persisted record: the drift trip,
+    # the accept-gate decision, and the hot swap — keyed by the same model
+    # generation the responses carry.  Re-open the SQLite file from disk to
+    # prove the history survives the serving process (CI uploads this file
+    # as a workflow artifact).
+    client.event_store.close()
+    with EventStore(str(event_db)) as story:
+        counts = story.counts()
+        assert counts.get("drift_trip", 0) >= 1, "the drift trip never hit the store"
+        assert counts.get("accept_gate", 0) >= 1, "the gate decision never hit the store"
+        swaps = story.swap_history()
+        assert [swap["model_generation"] for swap in swaps][-1] == post_swap_generation
+        assert counts.get("request_served", 0) >= 2 * WORKLOAD_SIZE
     evaluation = evaluate_adaptation(manager, pre_update, degraded, recovered)
+    bench_record(
+        "serving",
+        "bench_adaptive_serving",
+        "recovery_seconds",
+        recovery_seconds,
+        "s",
+        False,
+    )
+    bench_record(
+        "serving",
+        "bench_adaptive_serving",
+        "recovery_ratio",
+        evaluation.recovery_ratio,
+        "x",
+        False,
+    )
     assert evaluation.recovery_ratio <= REQUIRED_RECOVERY, (
         f"post-swap rolling q-error {recovered.p50:.2f} did not recover to within "
         f"{REQUIRED_RECOVERY}x of the pre-update window ({pre_update.p50:.2f})"

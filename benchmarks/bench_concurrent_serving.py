@@ -62,7 +62,7 @@ def run_threads(worker, shares):
     return time.perf_counter() - start
 
 
-def test_concurrent_serving(results_dir):
+def test_concurrent_serving(results_dir, bench_record):
     database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=300, seed=11))
     oracle = TrueCardinalityOracle(database)
     featurizer = QueryFeaturizer(database)
@@ -139,6 +139,17 @@ def test_concurrent_serving(results_dir):
     assert dispatcher.stats.failed == 0
 
     speedup = naive_seconds / coalesced_seconds
+    bench_record(
+        "serving", "bench_concurrent_serving", "coalesced_speedup", speedup, "x", True
+    )
+    bench_record(
+        "serving",
+        "bench_concurrent_serving",
+        "coalesced_throughput_qps",
+        total / coalesced_seconds,
+        "qps",
+        True,
+    )
     if not SMOKE:
         assert speedup >= REQUIRED_SPEEDUP, (
             f"expected the coalescing dispatcher to be >= {REQUIRED_SPEEDUP}x faster "

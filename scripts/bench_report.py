@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Diff benchmark trajectories and gate regressions.
+
+The benchmark suite records machine-readable rows (see
+:mod:`repro.observability.bench`) into the checked-in trajectory files
+``BENCH_serving.json`` / ``BENCH_repro.json``.  This script reads those
+trajectories, compares each metric's **newest** row against its baseline —
+the previous revision's row with the same ``(benchmark, metric, profile)``
+key — renders a delta table, and exits non-zero when any metric regressed
+beyond the threshold.  CI runs it on every PR (REPRO_SMOKE mode), so a
+change that quietly halves serving throughput fails the build instead of
+landing.
+
+Subcommands::
+
+    bench_report.py show   TRAJECTORY...            # the delta table, no gate
+    bench_report.py check  TRAJECTORY...            # table + regression gate
+    bench_report.py merge  TRAJECTORY ROWS...       # fold session rows in
+
+Gate semantics (``check``):
+
+* a metric **regresses** when it moves against its ``higher_is_better``
+  direction by more than ``--max-regression`` (default 0.10 = 10%);
+* a metric with no earlier row is **new** — reported, never gated;
+* a **NaN** value (serialized as the string ``"NaN"``) is *no signal*, never
+  a pass: NaN rows are reported and make the run exit 3 unless a finite
+  newer reading exists for the same key — a benchmark that stopped
+  producing numbers must not look green;
+* ``--only PATTERN`` restricts the gate to metrics whose
+  ``benchmark:metric`` matches the substring (the table still shows
+  everything).  CI uses it to gate hardware-independent ratio metrics and
+  skip absolute wall-clock rows that vary across runners.
+
+Exit codes: 0 ok, 1 regression beyond threshold, 2 usage error / missing
+trajectory file, 3 no signal (NaN without a finite newer reading).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.observability.bench import (  # noqa: E402
+    load_rows,
+    load_trajectory,
+    merge_trajectory,
+)
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_NO_SIGNAL = 3
+
+
+def series_key(row: dict) -> tuple[str, str, str]:
+    """The cross-revision comparison key (git_rev intentionally excluded)."""
+    return (row["benchmark"], row["metric"], row["profile"])
+
+
+def compare(rows: list[dict], only: str | None) -> list[dict]:
+    """Pair each series' newest row with its baseline (the previous row).
+
+    Returns one finding per ``(benchmark, metric, profile)`` series::
+
+        {"benchmark", "metric", "profile", "units", "higher_is_better",
+         "baseline": row | None, "current": row,
+         "delta": float | None,     # signed fractional change, NaN-safe
+         "status": "ok" | "improved" | "regressed" | "new" | "no-signal",
+         "gated": bool}             # does --only include it in the gate
+
+    ``status`` here is threshold-free ("regressed" means *any* adverse move);
+    the gate applies the threshold in :func:`main`.
+    """
+    series: dict[tuple, list[dict]] = {}
+    for row in rows:
+        series.setdefault(series_key(row), []).append(row)
+    findings = []
+    for key in sorted(series):
+        history = sorted(series[key], key=lambda row: row["recorded_at"])
+        current = history[-1]
+        baseline = history[-2] if len(history) > 1 else None
+        name = f"{current['benchmark']}:{current['metric']}"
+        gated = only is None or only in name
+        value = float(current["value"])
+        if math.isnan(value):
+            # NaN is "no signal", never a pass — unless some *newer finite*
+            # reading existed it would already be `current`, so a NaN current
+            # always means the series went dark.
+            status, delta = "no-signal", None
+        elif baseline is None:
+            status, delta = "new", None
+        else:
+            base = float(baseline["value"])
+            if math.isnan(base):
+                # The series just came back from dark: treat as new.
+                status, delta = "new", None
+            else:
+                delta = (value - base) / abs(base) if base else float("inf")
+                adverse = -delta if current["higher_is_better"] else delta
+                if adverse > 0:
+                    status = "regressed"
+                elif adverse < 0:
+                    status = "improved"
+                else:
+                    status = "ok"
+        findings.append(
+            {
+                "benchmark": current["benchmark"],
+                "metric": current["metric"],
+                "profile": current["profile"],
+                "units": current["units"],
+                "higher_is_better": current["higher_is_better"],
+                "baseline": baseline,
+                "current": current,
+                "delta": delta,
+                "status": status,
+                "gated": gated,
+            }
+        )
+    return findings
+
+
+def _cell(value: float | None, units: str) -> str:
+    if value is None:
+        return "—"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    return f"{value:.3f} {units}".strip()
+
+
+def render_table(findings: list[dict], max_regression: float) -> str:
+    """The delta table: one line per series, worst offenders are obvious."""
+    headers = ("benchmark:metric", "profile", "baseline", "current", "delta", "status")
+    lines = []
+    for finding in findings:
+        baseline = finding["baseline"]
+        delta = finding["delta"]
+        status = finding["status"]
+        if status == "regressed":
+            adverse = -delta if finding["higher_is_better"] else delta
+            if finding["gated"] and adverse > max_regression:
+                status = "REGRESSED"
+        elif not finding["gated"]:
+            status += " (ungated)"
+        lines.append(
+            (
+                f"{finding['benchmark']}:{finding['metric']}",
+                finding["profile"],
+                _cell(baseline["value"] if baseline else None, finding["units"]),
+                _cell(finding["current"]["value"], finding["units"]),
+                f"{delta:+.1%}" if delta is not None else "—",
+                status,
+            )
+        )
+    widths = [
+        max(len(headers[column]), *(len(line[column]) for line in lines)) if lines
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    rendered = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    rendered += ["  ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip() for line in lines]
+    return "\n".join(rendered)
+
+
+def gate(findings: list[dict], max_regression: float) -> int:
+    """Apply the threshold; returns the process exit code."""
+    regressions = []
+    dark = []
+    for finding in findings:
+        if not finding["gated"]:
+            continue
+        if finding["status"] == "no-signal":
+            dark.append(finding)
+        elif finding["status"] == "regressed":
+            adverse = (
+                -finding["delta"] if finding["higher_is_better"] else finding["delta"]
+            )
+            if adverse > max_regression:
+                regressions.append((finding, adverse))
+    for finding, adverse in regressions:
+        print(
+            f"REGRESSION: {finding['benchmark']}:{finding['metric']} "
+            f"({finding['profile']}) moved {adverse:+.1%} against "
+            f"'{'higher' if finding['higher_is_better'] else 'lower'} is better' "
+            f"(threshold {max_regression:.1%})",
+            file=sys.stderr,
+        )
+    for finding in dark:
+        print(
+            f"NO SIGNAL: {finding['benchmark']}:{finding['metric']} "
+            f"({finding['profile']}) is NaN — the benchmark stopped producing "
+            f"a number; a dark metric is not a passing metric",
+            file=sys.stderr,
+        )
+    if regressions:
+        return EXIT_REGRESSION
+    if dark:
+        return EXIT_NO_SIGNAL
+    return EXIT_OK
+
+
+def load_all(paths: list[str]) -> list[dict] | None:
+    rows: list[dict] = []
+    for path in paths:
+        if not Path(path).exists():
+            print(f"missing trajectory file: {path}", file=sys.stderr)
+            return None
+        rows.extend(load_trajectory(path))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+    for name in ("show", "check"):
+        sub = commands.add_parser(name)
+        sub.add_argument("trajectories", nargs="+", help="BENCH_*.json files")
+        sub.add_argument(
+            "--max-regression",
+            type=float,
+            default=0.10,
+            help="gate threshold as a fraction (default 0.10 = 10%%)",
+        )
+        sub.add_argument(
+            "--only",
+            default=None,
+            help="gate only series whose benchmark:metric contains this substring",
+        )
+    merge = commands.add_parser("merge")
+    merge.add_argument("trajectory", help="the BENCH_<suite>.json to update")
+    merge.add_argument("rows", nargs="+", help="rows_*.json session files to fold in")
+    args = parser.parse_args(argv)
+
+    if args.command == "merge":
+        new_rows: list[dict] = []
+        for path in args.rows:
+            if not Path(path).exists():
+                print(f"missing rows file: {path}", file=sys.stderr)
+                return EXIT_USAGE
+            new_rows.extend(load_rows(path))
+        merged = merge_trajectory(args.trajectory, new_rows)
+        print(f"{args.trajectory}: {len(merged)} rows after merging {len(new_rows)}")
+        return EXIT_OK
+
+    rows = load_all(args.trajectories)
+    if rows is None:
+        return EXIT_USAGE
+    if not rows:
+        print("trajectories contain no rows", file=sys.stderr)
+        return EXIT_USAGE
+    findings = compare(rows, args.only)
+    print(render_table(findings, args.max_regression))
+    if args.command == "show":
+        return EXIT_OK
+    code = gate(findings, args.max_regression)
+    if code == EXIT_OK:
+        gated = sum(1 for finding in findings if finding["gated"])
+        print(f"gate ok: {gated} gated series, none past {args.max_regression:.1%}")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -190,6 +190,13 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("feedback_observations", "feedback observations", "{:.0f}"),
     ("feedback_p50_q_error", "feedback p50 q-error", "{:.2f}"),
     ("feedback_p90_q_error", "feedback p90 q-error", "{:.2f}"),
+    ("events_emitted", "events emitted", "{:.0f}"),
+    ("events_buffered", "events buffered", "{:.0f}"),
+    ("events_dropped", "events dropped", "{:.0f}"),
+    ("events_flushed", "events flushed", "{:.0f}"),
+    ("stored_events", "events stored", "{:.0f}"),
+    ("stored_swaps", "swaps stored", "{:.0f}"),
+    ("stored_drift_trips", "drift trips stored", "{:.0f}"),
 )
 
 

@@ -1,0 +1,89 @@
+"""Production observability: a persistent metrics/event store and a recorded
+perf trajectory.
+
+Until now every perf claim this repo makes (serving speedups, pool-index
+scoring wins, Table 15 prediction latency) was printed to stdout and lost,
+and ``stats()`` snapshots vanished on drain.  This package makes both
+durable:
+
+* :mod:`repro.observability.events` — the typed event taxonomy (requests
+  served, cache hit/miss deltas, dispatcher batches, pool-index builds,
+  feedback observations, drift trips, accept-gate decisions, model swaps,
+  drained stats snapshots);
+* :mod:`repro.observability.buffer` — :class:`EventBuffer`, the bounded
+  lock-free-on-the-hot-path buffer instrumentation emits into (its ordering
+  contract is pinned by a hypothesis property test);
+* :mod:`repro.observability.store` — :class:`EventStore`, the SQLite sink
+  with deduplicated records and queryable aggregate views (per-estimator
+  q-error, tail latency, swap history keyed by ``model_generation``);
+* :mod:`repro.observability.recorder` — :class:`EventRecorder`, the
+  buffer+store façade the serving stack holds (enabled through
+  :class:`repro.serving.ObservabilityConfig`);
+* :mod:`repro.observability.bench` — the machine-readable benchmark result
+  schema and the ``BENCH_serving.json`` / ``BENCH_repro.json`` trajectory
+  files that ``scripts/bench_report.py`` diffs and gates in CI.
+
+See the "Observability" section of ``docs/architecture.md`` for the event
+taxonomy, the SQLite schema, and how to query the views.
+"""
+
+from repro.observability.bench import (
+    SCHEMA_VERSION,
+    BenchRun,
+    current_profile,
+    env_fingerprint,
+    git_revision,
+    load_rows,
+    load_trajectory,
+    merge_trajectory,
+    row_key,
+    validate_row,
+    write_rows,
+)
+from repro.observability.buffer import BufferedEvent, EventBuffer
+from repro.observability.events import (
+    EVENT_KINDS,
+    AcceptGateDecision,
+    BatchServed,
+    DispatcherBatch,
+    DriftTrip,
+    Event,
+    FeedbackRecorded,
+    IndexBuild,
+    ModelSwap,
+    RequestServed,
+    StatsDrained,
+    event_from_payload,
+)
+from repro.observability.recorder import EventRecorder
+from repro.observability.store import EventStore
+
+__all__ = [
+    "AcceptGateDecision",
+    "BatchServed",
+    "BenchRun",
+    "BufferedEvent",
+    "DispatcherBatch",
+    "DriftTrip",
+    "EVENT_KINDS",
+    "Event",
+    "EventBuffer",
+    "EventRecorder",
+    "EventStore",
+    "FeedbackRecorded",
+    "IndexBuild",
+    "ModelSwap",
+    "RequestServed",
+    "SCHEMA_VERSION",
+    "StatsDrained",
+    "current_profile",
+    "env_fingerprint",
+    "event_from_payload",
+    "git_revision",
+    "load_rows",
+    "load_trajectory",
+    "merge_trajectory",
+    "row_key",
+    "validate_row",
+    "write_rows",
+]

@@ -1,0 +1,321 @@
+"""Machine-readable benchmark results: schema, env fingerprint, trajectory.
+
+Every ``benchmarks/bench_*.py`` run used to print its numbers to stdout and
+lose them; this module gives those numbers a durable, diffable form.  A
+**row** is one measured metric::
+
+    {
+      "schema_version": 1,
+      "suite": "serving",                  # which BENCH_<suite>.json it belongs to
+      "benchmark": "bench_serving_throughput",
+      "metric": "served_speedup",
+      "value": 5.6,
+      "units": "x",                        # "x" | "ms" | "s" | "qps" | ...
+      "higher_is_better": true,
+      "profile": "smoke",                  # REPRO_SMOKE / REPRO_BENCH_PROFILE scale
+      "git_rev": "d62521a",
+      "recorded_at": 1754630000.0,
+      "env": {"python": "3.12.3", "platform": "Linux-...", ...}
+    }
+
+A **trajectory** file (``BENCH_serving.json`` / ``BENCH_repro.json``,
+checked into the repo root) is ``{"schema_version": 1, "rows": [...]}``,
+deduplicated on ``(benchmark, metric, profile, git_rev)`` — re-running a
+benchmark at the same revision *replaces* its row instead of appending a
+duplicate, while new revisions grow the history.  ``scripts/bench_report.py``
+diffs trajectories and gates regressions; the benchmark suite's conftest
+records rows automatically and merges them when ``REPRO_BENCH_UPDATE=1``.
+
+The clock is injectable everywhere (``BenchRun(clock=...)``) so tests can
+pin ``recorded_at`` and assert byte-stable round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRun",
+    "current_profile",
+    "env_fingerprint",
+    "git_revision",
+    "load_rows",
+    "load_trajectory",
+    "merge_trajectory",
+    "row_key",
+    "validate_row",
+    "write_rows",
+]
+
+SCHEMA_VERSION = 1
+
+#: Required row fields and their types (``value`` may be NaN — "no signal").
+_REQUIRED: tuple[tuple[str, type | tuple[type, ...]], ...] = (
+    ("schema_version", int),
+    ("suite", str),
+    ("benchmark", str),
+    ("metric", str),
+    ("value", (int, float)),
+    ("units", str),
+    ("higher_is_better", bool),
+    ("profile", str),
+    ("git_rev", str),
+    ("recorded_at", (int, float)),
+    ("env", dict),
+)
+
+_SUITES = ("serving", "repro")
+
+
+def current_profile() -> str:
+    """The scale the current process is benchmarking at.
+
+    ``REPRO_SMOKE=1`` and ``REPRO_BENCH_PROFILE=smoke`` both mean "smoke":
+    rows are only comparable within one profile, so the gate never diffs a
+    smoke run against a paper-scale one.
+    """
+    if os.environ.get("REPRO_SMOKE", "") == "1":
+        return "smoke"
+    return os.environ.get("REPRO_BENCH_PROFILE", "smoke")
+
+
+def env_fingerprint() -> dict[str, Any]:
+    """Where this row was measured: interpreter, platform, library versions."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "numpy": numpy_version,
+        "argv0": Path(sys.argv[0]).name if sys.argv else "",
+    }
+
+
+def git_revision() -> str:
+    """The repo's short HEAD revision (``"unknown"`` outside a checkout)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else "unknown"
+
+
+def validate_row(row: Mapping[str, Any]) -> dict[str, Any]:
+    """Check one row against the schema; returns it as a plain dict.
+
+    Raises:
+        ValueError: naming every violated constraint — a malformed row must
+            fail loudly at emission time, not corrupt a trajectory.
+    """
+    problems: list[str] = []
+    for name, types in _REQUIRED:
+        if name not in row:
+            problems.append(f"missing field {name!r}")
+            continue
+        value = row[name]
+        if isinstance(value, bool) and not (
+            types is bool or (isinstance(types, tuple) and bool in types)
+        ):
+            problems.append(f"field {name!r} must be {types}, got bool")
+        elif not isinstance(value, types):
+            problems.append(
+                f"field {name!r} must be {types}, got {type(value).__name__}"
+            )
+    if not problems:
+        if row["schema_version"] != SCHEMA_VERSION:
+            problems.append(
+                f"schema_version must be {SCHEMA_VERSION}, got {row['schema_version']}"
+            )
+        if row["suite"] not in _SUITES:
+            problems.append(f"suite must be one of {_SUITES}, got {row['suite']!r}")
+        for name in ("benchmark", "metric", "units", "profile", "git_rev"):
+            if not row[name]:
+                problems.append(f"field {name!r} must be non-empty")
+        value = row["value"]
+        if isinstance(value, float) and math.isinf(value):
+            problems.append("value must be finite or NaN, got infinity")
+    if problems:
+        raise ValueError(
+            f"invalid benchmark row ({'; '.join(problems)}): {dict(row)!r}"
+        )
+    return dict(row)
+
+
+def row_key(row: Mapping[str, Any]) -> tuple[str, str, str, str]:
+    """The trajectory dedup key: ``(benchmark, metric, profile, git_rev)``."""
+    return (row["benchmark"], row["metric"], row["profile"], row["git_rev"])
+
+
+class BenchRun:
+    """Collects one process's benchmark rows with a shared fingerprint.
+
+    Args:
+        suite: which trajectory the rows belong to (``"serving"`` /
+            ``"repro"``).
+        clock: ``recorded_at`` source, injectable for deterministic tests.
+        git_rev / profile / env: overrides for the auto-detected values
+            (tests pin them; real runs take the defaults).
+    """
+
+    def __init__(
+        self,
+        suite: str,
+        clock: Callable[[], float] | None = None,
+        git_rev: str | None = None,
+        profile: str | None = None,
+        env: Mapping[str, Any] | None = None,
+    ) -> None:
+        if suite not in _SUITES:
+            raise ValueError(f"suite must be one of {_SUITES}, got {suite!r}")
+        if clock is None:
+            import time
+
+            clock = time.time
+        self.suite = suite
+        self._clock = clock
+        self._git_rev = git_rev if git_rev is not None else git_revision()
+        self._profile = profile if profile is not None else current_profile()
+        self._env = dict(env) if env is not None else env_fingerprint()
+        self.rows: list[dict[str, Any]] = []
+
+    def record(
+        self,
+        benchmark: str,
+        metric: str,
+        value: float,
+        units: str,
+        higher_is_better: bool,
+    ) -> dict[str, Any]:
+        """Record one validated metric row and return it.
+
+        A repeated ``(benchmark, metric)`` in the same run replaces the
+        earlier row (last measurement wins), mirroring the trajectory's
+        dedup semantics.
+        """
+        row = validate_row(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "suite": self.suite,
+                "benchmark": benchmark,
+                "metric": metric,
+                "value": float(value),
+                "units": units,
+                "higher_is_better": higher_is_better,
+                "profile": self._profile,
+                "git_rev": self._git_rev,
+                "recorded_at": float(self._clock()),
+                "env": dict(self._env),
+            }
+        )
+        self.rows = [
+            existing for existing in self.rows if row_key(existing) != row_key(row)
+        ]
+        self.rows.append(row)
+        return row
+
+
+# ---------------------------------------------------------------------- #
+# trajectory files
+
+
+def _nan_safe_dump(payload: Any) -> str:
+    """JSON with NaN spelled as the string ``"NaN"`` (strict JSON has no NaN)."""
+
+    def encode(value: Any) -> Any:
+        if isinstance(value, float) and math.isnan(value):
+            return "NaN"
+        if isinstance(value, dict):
+            return {key: encode(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [encode(item) for item in value]
+        return value
+
+    return json.dumps(encode(payload), indent=2, sort_keys=True) + "\n"
+
+
+def _nan_safe_load(text: str) -> Any:
+    def decode(value: Any) -> Any:
+        if value == "NaN":
+            return float("nan")
+        if isinstance(value, dict):
+            return {key: decode(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [decode(item) for item in value]
+        return value
+
+    return decode(json.loads(text))
+
+
+def write_rows(path: str | Path, rows: Iterable[Mapping[str, Any]]) -> None:
+    """Write a bare row list (a session's emissions, not a trajectory)."""
+    validated = [validate_row(row) for row in rows]
+    Path(path).write_text(_nan_safe_dump(validated))
+
+
+def load_rows(path: str | Path) -> list[dict[str, Any]]:
+    """Load rows from either a bare row list or a trajectory file."""
+    payload = _nan_safe_load(Path(path).read_text())
+    if isinstance(payload, Mapping):
+        payload = payload.get("rows", [])
+    return [validate_row(row) for row in payload]
+
+
+def load_trajectory(path: str | Path) -> list[dict[str, Any]]:
+    """Load a trajectory file's rows ([] when the file does not exist)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    return load_rows(path)
+
+
+def merge_trajectory(
+    path: str | Path, rows: Iterable[Mapping[str, Any]]
+) -> list[dict[str, Any]]:
+    """Merge ``rows`` into the trajectory at ``path`` (created when absent).
+
+    Deduplicates on :func:`row_key`: a re-run at the same revision replaces
+    its old row, new revisions append.  Rows are kept sorted by
+    ``(benchmark, metric, profile, recorded_at)`` so diffs of the checked-in
+    file stay readable.  Returns the merged row list.
+    """
+    merged: dict[tuple, dict[str, Any]] = {
+        row_key(row): row for row in load_trajectory(path)
+    }
+    for row in rows:
+        row = validate_row(row)
+        merged[row_key(row)] = row
+    ordered = sorted(
+        merged.values(),
+        key=lambda row: (
+            row["benchmark"],
+            row["metric"],
+            row["profile"],
+            row["recorded_at"],
+        ),
+    )
+    Path(path).write_text(
+        _nan_safe_dump({"schema_version": SCHEMA_VERSION, "rows": ordered})
+    )
+    return ordered

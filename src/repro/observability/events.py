@@ -1,0 +1,268 @@
+"""The typed event taxonomy of the serving stack.
+
+Every observable thing the serving layer does is one of the frozen event
+dataclasses below, emitted through an
+:class:`repro.observability.EventRecorder` and sunk to the SQLite-backed
+:class:`repro.observability.EventStore`.  Events are *data*, not behaviour:
+each one is a flat record of scalars (plus short strings), cheap to
+construct on a hot path and trivially serializable.
+
+The taxonomy (``kind`` → emitted by):
+
+========================  ====================================================
+``request_served``        :meth:`repro.serving.EstimationService.submit_batch`,
+                          one per answered request (estimator, resolution,
+                          model generation, attributed latency).
+``batch_served``          the same method, one per planned batch — carries the
+                          batch's cache hit/miss deltas, so cache behaviour is
+                          on the record without touching the cache hot path.
+``dispatcher_batch``      :class:`repro.serving.ServingDispatcher`, one per
+                          coalesced batch drained from the queue.
+``index_build``           :class:`repro.serving.PoolEncodingIndex`, one per
+                          slab build / rebuild / incremental append.
+``feedback``              :class:`repro.serving.FeedbackCollector`, one per
+                          recorded ground-truth observation (the q-error
+                          signal behind the per-estimator views).
+``drift_trip``            :class:`repro.serving.AdaptationManager`, one per
+                          drift evaluation whose policy fired.
+``accept_gate``           the same manager, one per candidate gate decision
+                          (accepted or rejected, with both q-error readings).
+``model_swap``            the same manager, one per promoted hot swap — keyed
+                          by ``model_generation``, the number stamped on every
+                          subsequent :class:`repro.serving.EstimateResult`.
+``stats_drained``         :meth:`repro.serving.EstimationService.drain_stats`
+                          — the drained counter snapshot, so draining moves
+                          history into the store instead of discarding it.
+========================  ====================================================
+
+Each event exposes :meth:`Event.payload` (every field, a plain dict) and
+:meth:`Event.value` — the event's *primary scalar* (a request's latency, a
+feedback observation's q-error, ...), hoisted into its own SQL column so the
+store's aggregate views never need to parse JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of every serving event.
+
+    Subclasses set ``kind`` (the store's discriminator column) and may
+    override :meth:`value`, :attr:`estimator_field`, or
+    :attr:`generation_field` to surface their primary scalar / grouping
+    columns to the store.
+    """
+
+    kind: ClassVar[str] = "event"
+
+    def payload(self) -> dict[str, Any]:
+        """Every field as a plain dict (JSON-ready)."""
+        return asdict(self)
+
+    def value(self) -> float | None:
+        """The event's primary scalar, or None when it has no single one."""
+        return None
+
+    def estimator(self) -> str | None:
+        """The registry name this event attributes to, when any."""
+        return getattr(self, "estimator_name", None)
+
+    def model_generation(self) -> int | None:
+        """The model generation this event attributes to, when any."""
+        generation = getattr(self, "generation", None)
+        return int(generation) if generation is not None else None
+
+
+@dataclass(frozen=True)
+class RequestServed(Event):
+    """One answered estimation request."""
+
+    kind: ClassVar[str] = "request_served"
+
+    estimator_name: str
+    resolution: str
+    generation: int
+    estimate: float
+    latency_seconds: float
+    pool_matches: int
+    pairs_scored: int
+    used_fallback: bool
+
+    def value(self) -> float:
+        return self.latency_seconds
+
+
+@dataclass(frozen=True)
+class BatchServed(Event):
+    """One planned service batch, with its cache hit/miss deltas."""
+
+    kind: ClassVar[str] = "batch_served"
+
+    estimator_name: str
+    size: int
+    elapsed_seconds: float
+    planned_pairs: int
+    scored_pairs: int
+    featurization_hits: int
+    featurization_misses: int
+    encoding_hits: int
+    encoding_misses: int
+
+    def value(self) -> float:
+        return self.elapsed_seconds
+
+
+@dataclass(frozen=True)
+class DispatcherBatch(Event):
+    """One batch the dispatcher coalesced and handed to the service."""
+
+    kind: ClassVar[str] = "dispatcher_batch"
+
+    size: int
+    groups: int
+    cancelled: int
+    queue_depth: int
+
+    def value(self) -> float:
+        return float(self.size)
+
+
+@dataclass(frozen=True)
+class IndexBuild(Event):
+    """One pool-index slab build, rebuild, or incremental append."""
+
+    kind: ClassVar[str] = "index_build"
+
+    signature: str
+    rows: int
+    mode: str  # "build" | "rebuild" | "append"
+
+    def value(self) -> float:
+        return float(self.rows)
+
+
+@dataclass(frozen=True)
+class FeedbackRecorded(Event):
+    """One ground-truth observation landing in the feedback window."""
+
+    kind: ClassVar[str] = "feedback"
+
+    estimator_name: str
+    estimate: float
+    true_cardinality: float
+    q_error: float
+    sequence: int
+
+    def value(self) -> float:
+        return self.q_error
+
+
+@dataclass(frozen=True)
+class DriftTrip(Event):
+    """One drift evaluation whose policy fired."""
+
+    kind: ClassVar[str] = "drift_trip"
+
+    estimator_name: str
+    q_error: float
+    baseline_q_error: float
+    observations: int
+    row_delta: float
+    reasons: tuple[str, ...]
+
+    def value(self) -> float:
+        return self.q_error
+
+
+@dataclass(frozen=True)
+class AcceptGateDecision(Event):
+    """One candidate validation verdict (shadow deployment gate)."""
+
+    kind: ClassVar[str] = "accept_gate"
+
+    estimator_name: str
+    accepted: bool
+    incumbent_q_error: float
+    candidate_q_error: float
+    holdout_size: int
+    mode: str  # "incremental" | "full"
+
+    def value(self) -> float:
+        return self.candidate_q_error
+
+
+@dataclass(frozen=True)
+class ModelSwap(Event):
+    """One promoted zero-downtime hot swap, keyed by model generation."""
+
+    kind: ClassVar[str] = "model_swap"
+
+    estimator_name: str
+    generation: int
+    pre_swap_q_error: float
+    post_swap_q_error: float
+    requests_between_swaps: int
+    mode: str
+    retrain_seconds: float
+
+    def value(self) -> float:
+        return self.post_swap_q_error
+
+
+@dataclass(frozen=True)
+class StatsDrained(Event):
+    """One drained service-counter snapshot.
+
+    :meth:`repro.serving.EstimationService.drain_stats` used to *discard*
+    the drained interval; emitting it here is what keeps the event store
+    and live ``stats()`` consistent — the all-time totals are always
+    ``sum(stats_drained events) + the live counters``.
+    """
+
+    kind: ClassVar[str] = "stats_drained"
+
+    requests: int
+    batches: int
+    planned_pairs: int
+    scored_pairs: int
+    fallbacks: int
+    total_seconds: float
+
+    def value(self) -> float:
+        return float(self.requests)
+
+
+#: Every event class, keyed by its ``kind`` discriminator.
+EVENT_KINDS: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        RequestServed,
+        BatchServed,
+        DispatcherBatch,
+        IndexBuild,
+        FeedbackRecorded,
+        DriftTrip,
+        AcceptGateDecision,
+        ModelSwap,
+        StatsDrained,
+    )
+}
+
+
+def event_from_payload(kind: str, payload: dict[str, Any]) -> Event:
+    """Rebuild a typed event from a stored ``(kind, payload)`` record.
+
+    Raises:
+        KeyError: for an unknown ``kind``.
+        TypeError: when the payload does not match the event's fields.
+    """
+    cls = EVENT_KINDS[kind]
+    known = {spec.name for spec in fields(cls)}
+    values = {key: value for key, value in payload.items() if key in known}
+    if "reasons" in values and isinstance(values["reasons"], list):
+        values["reasons"] = tuple(values["reasons"])
+    return cls(**values)

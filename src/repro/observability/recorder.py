@@ -1,0 +1,88 @@
+"""The recorder: the hot-path handle the serving stack emits through.
+
+:class:`EventRecorder` glues a lock-free-on-the-hot-path
+:class:`repro.observability.EventBuffer` to an optional persistent
+:class:`repro.observability.EventStore`.  Instrumentation points hold a
+``recorder`` attribute that is ``None`` by default, so an un-instrumented
+deployment pays exactly one attribute load and one ``is None`` test per
+batch — and an instrumented one pays one deque append per event, never a
+SQLite write, on the serving path.  Sinking to SQLite happens only when a
+consumer calls :meth:`EventRecorder.flush` (the client does this on
+``shutdown`` and whenever ``stats()`` is asked for store-backed gauges).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.observability.buffer import BufferedEvent, EventBuffer
+from repro.observability.events import Event
+from repro.observability.store import EventStore
+
+__all__ = ["EventRecorder"]
+
+
+class EventRecorder:
+    """Buffered event emission with optional SQLite persistence.
+
+    Args:
+        store: the persistent sink :meth:`flush` drains into (None keeps
+            events purely in-memory until a store is attached or the caller
+            drains the buffer itself).
+        capacity: the buffer bound (overflow drops oldest, counted).
+        clock: timestamp source, injectable for deterministic tests.
+        source: the identity this recorder's events are deduplicated under
+            in the store — two recorders flushing into one store must use
+            distinct sources.
+    """
+
+    def __init__(
+        self,
+        store: EventStore | None = None,
+        capacity: int = 8192,
+        clock: Callable[[], float] | None = None,
+        source: str = "serving",
+    ) -> None:
+        if not source:
+            raise ValueError("source must be non-empty")
+        self.store = store
+        self.source = source
+        self.buffer = EventBuffer(capacity=capacity, clock=clock)
+        self._flushed = 0
+
+    # ------------------------------------------------------------------ #
+    # hot path
+
+    def emit(self, event: Event) -> int:
+        """Buffer one event (no I/O); returns its sequence number."""
+        return self.buffer.emit(event)
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+
+    def flush(self) -> list[BufferedEvent]:
+        """Drain the buffer, sink to the store (when attached), return the batch.
+
+        Safe to call from any thread and at any frequency; the store's
+        ``(source, sequence)`` dedup makes repeated or overlapping flushes
+        idempotent.
+        """
+        drained = self.buffer.drain()
+        if drained and self.store is not None:
+            self.store.insert(self.source, drained)
+            self._flushed += len(drained)
+        return drained
+
+    @property
+    def flushed(self) -> int:
+        """Events sunk to the store so far."""
+        return self._flushed
+
+    def stats_snapshot(self) -> dict[str, float]:
+        """Recorder gauges, mergeable into ``format_service_stats``."""
+        return {
+            "events_emitted": float(self.buffer.emitted),
+            "events_buffered": float(len(self.buffer)),
+            "events_dropped": float(self.buffer.dropped),
+            "events_flushed": float(self._flushed),
+        }

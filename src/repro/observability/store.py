@@ -1,0 +1,278 @@
+"""The persistent event store: SQLite with deduplicated records and views.
+
+Follows the eval-results-database shape (deduplicated result records +
+aggregate views): every event lands in one ``events`` table keyed by
+``(source, sequence)`` with ``INSERT OR IGNORE``, so flushing the same
+drained batch twice — a retried flush, overlapping consumers, a crash
+between flush and ack — cannot double-count anything.  The event's primary
+scalar (:meth:`repro.observability.Event.value`) and its attribution columns
+(estimator, model generation) are hoisted out of the JSON payload into real
+columns, so the aggregate views are plain SQL over indexed data:
+
+* ``view_per_estimator_q_error`` — feedback q-error aggregates per registry
+  name (count / mean / max);
+* ``view_tail_latency`` — request-latency aggregates per registry name (the
+  exact quantiles come from :meth:`EventStore.latency_quantile`, since
+  SQLite has no percentile aggregate);
+* ``view_swap_history`` — every promoted hot swap, keyed by
+  ``model_generation`` — the same number stamped on every
+  :class:`repro.serving.EstimateResult`, so responses and swap records
+  attribute to the same model;
+* ``view_event_counts`` — events per kind (the taxonomy's census).
+
+The store is thread-safe (one connection, writes serialized on an internal
+lock) and file-backed by default, so a restarted process — or a CI artifact
+download — can query the full history of a serving run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sqlite3
+import threading
+from typing import Any, Iterable, Sequence
+
+from repro.observability.buffer import BufferedEvent
+from repro.observability.events import Event, event_from_payload
+
+__all__ = ["EventStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS events (
+    source TEXT NOT NULL,
+    sequence INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    kind TEXT NOT NULL,
+    estimator TEXT,
+    model_generation INTEGER,
+    value REAL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (source, sequence)
+);
+CREATE INDEX IF NOT EXISTS idx_events_kind ON events (kind);
+CREATE INDEX IF NOT EXISTS idx_events_estimator ON events (estimator);
+
+CREATE VIEW IF NOT EXISTS view_per_estimator_q_error AS
+    SELECT estimator,
+           COUNT(*)   AS observations,
+           AVG(value) AS mean_q_error,
+           MIN(value) AS min_q_error,
+           MAX(value) AS max_q_error
+    FROM events
+    WHERE kind = 'feedback' AND value IS NOT NULL
+    GROUP BY estimator;
+
+CREATE VIEW IF NOT EXISTS view_tail_latency AS
+    SELECT estimator,
+           COUNT(*)          AS requests,
+           AVG(value) * 1000 AS mean_latency_ms,
+           MAX(value) * 1000 AS max_latency_ms
+    FROM events
+    WHERE kind = 'request_served' AND value IS NOT NULL
+    GROUP BY estimator;
+
+CREATE VIEW IF NOT EXISTS view_swap_history AS
+    SELECT model_generation,
+           estimator,
+           ts,
+           json_extract(payload, '$.pre_swap_q_error')        AS pre_swap_q_error,
+           json_extract(payload, '$.post_swap_q_error')       AS post_swap_q_error,
+           json_extract(payload, '$.requests_between_swaps')  AS requests_between_swaps,
+           json_extract(payload, '$.mode')                    AS mode
+    FROM events
+    WHERE kind = 'model_swap'
+    ORDER BY model_generation;
+
+CREATE VIEW IF NOT EXISTS view_event_counts AS
+    SELECT kind, COUNT(*) AS events
+    FROM events
+    GROUP BY kind;
+"""
+
+
+def _clean(value: float | None) -> float | None:
+    """NaN has no SQL ordering and would poison aggregates; store NULL."""
+    if value is None:
+        return None
+    value = float(value)
+    return None if math.isnan(value) else value
+
+
+class EventStore:
+    """A SQLite-backed sink of :class:`repro.observability.Event` records.
+
+    Args:
+        path: database file (``":memory:"`` for an in-process store — still
+            queryable, just not durable).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        self._connection.row_factory = sqlite3.Row
+        with self._lock:
+            self._connection.executescript(_SCHEMA)
+            self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # writing
+
+    def insert(self, source: str, events: Iterable[BufferedEvent]) -> int:
+        """Sink a drained batch; returns how many records were *new*.
+
+        Records are deduplicated on ``(source, sequence)`` with
+        ``INSERT OR IGNORE``: flushing the same batch twice is a no-op, so
+        at-least-once delivery from the buffer becomes exactly-once storage.
+        """
+        rows = [
+            (
+                source,
+                item.sequence,
+                item.timestamp,
+                item.event.kind,
+                item.event.estimator(),
+                item.event.model_generation(),
+                _clean(item.event.value()),
+                json.dumps(item.event.payload(), default=str),
+            )
+            for item in events
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            before = self._connection.total_changes
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO events "
+                "(source, sequence, ts, kind, estimator, model_generation, value, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._connection.commit()
+            return self._connection.total_changes - before
+
+    # ------------------------------------------------------------------ #
+    # querying
+
+    def query(self, sql: str, parameters: Sequence[Any] = ()) -> list[dict[str, Any]]:
+        """Run arbitrary SQL (views included) and return plain dict rows."""
+        with self._lock:
+            cursor = self._connection.execute(sql, tuple(parameters))
+            return [dict(row) for row in cursor.fetchall()]
+
+    def events(self, kind: str | None = None, source: str | None = None) -> list[Event]:
+        """Typed events back out of storage, in ``(source, sequence)`` order."""
+        clauses, parameters = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            parameters.append(kind)
+        if source is not None:
+            clauses.append("source = ?")
+            parameters.append(source)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self.query(
+            f"SELECT kind, payload FROM events {where} ORDER BY source, sequence",
+            parameters,
+        )
+        return [
+            event_from_payload(row["kind"], json.loads(row["payload"])) for row in rows
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind (``view_event_counts``)."""
+        return {
+            row["kind"]: int(row["events"])
+            for row in self.query("SELECT * FROM view_event_counts")
+        }
+
+    def per_estimator_q_error(self) -> list[dict[str, Any]]:
+        """The ``view_per_estimator_q_error`` rows."""
+        return self.query("SELECT * FROM view_per_estimator_q_error ORDER BY estimator")
+
+    def tail_latency(self) -> list[dict[str, Any]]:
+        """The ``view_tail_latency`` rows."""
+        return self.query("SELECT * FROM view_tail_latency ORDER BY estimator")
+
+    def swap_history(self) -> list[dict[str, Any]]:
+        """Every promoted hot swap, keyed (and ordered) by model generation."""
+        return self.query("SELECT * FROM view_swap_history")
+
+    def latency_quantile(self, q: float, estimator: str | None = None) -> float:
+        """An exact request-latency quantile in seconds (NaN with no data).
+
+        SQLite has no percentile aggregate, so the quantile is computed by
+        ordering and offsetting — exact, if not O(1).
+        """
+        return self._value_quantile("request_served", q, estimator)
+
+    def q_error_quantile(self, q: float, estimator: str | None = None) -> float:
+        """An exact feedback q-error quantile (NaN with no data)."""
+        return self._value_quantile("feedback", q, estimator)
+
+    def _value_quantile(self, kind: str, q: float, estimator: str | None) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q!r}")
+        clauses = ["kind = ?", "value IS NOT NULL"]
+        parameters: list[Any] = [kind]
+        if estimator is not None:
+            clauses.append("estimator = ?")
+            parameters.append(estimator)
+        where = " AND ".join(clauses)
+        rows = self.query(
+            f"SELECT COUNT(*) AS n FROM events WHERE {where}", parameters
+        )
+        count = int(rows[0]["n"])
+        if not count:
+            return float("nan")
+        offset = min(count - 1, max(0, round(q * (count - 1))))
+        rows = self.query(
+            f"SELECT value FROM events WHERE {where} "
+            f"ORDER BY value LIMIT 1 OFFSET ?",
+            parameters + [offset],
+        )
+        return float(rows[0]["value"])
+
+    def drained_totals(self) -> dict[str, float]:
+        """The summed ``stats_drained`` counters across every drained interval.
+
+        This is the other half of the drain-consistency contract: the
+        service's all-time totals are always *these sums plus the live
+        counters*, so :meth:`repro.serving.ServingClient.stats` and the
+        store can never disagree about how much traffic was served (see
+        ``tests/test_observability_serving.py``).
+        """
+        rows = self.query(
+            "SELECT "
+            "COALESCE(SUM(json_extract(payload, '$.requests')), 0)      AS requests, "
+            "COALESCE(SUM(json_extract(payload, '$.batches')), 0)       AS batches, "
+            "COALESCE(SUM(json_extract(payload, '$.planned_pairs')), 0) AS planned_pairs, "
+            "COALESCE(SUM(json_extract(payload, '$.scored_pairs')), 0)  AS scored_pairs, "
+            "COALESCE(SUM(json_extract(payload, '$.fallbacks')), 0)     AS fallbacks, "
+            "COALESCE(SUM(json_extract(payload, '$.total_seconds')), 0) AS total_seconds "
+            "FROM events WHERE kind = 'stats_drained'"
+        )
+        return {key: float(value) for key, value in rows[0].items()}
+
+    def stats_snapshot(self) -> dict[str, float]:
+        """Store-level gauges, mergeable into ``format_service_stats``."""
+        counts = self.counts()
+        return {
+            "stored_events": float(sum(counts.values())),
+            "stored_swaps": float(counts.get("model_swap", 0)),
+            "stored_drift_trips": float(counts.get("drift_trip", 0)),
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "EventStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

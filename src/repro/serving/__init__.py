@@ -79,6 +79,7 @@ from repro.serving.config import (
     DispatcherConfig,
     EstimatorConfig,
     FeedbackConfig,
+    ObservabilityConfig,
     PoolConfig,
     ServingConfig,
 )
@@ -143,6 +144,7 @@ __all__ = [
     "IndexedSlab",
     "LifecycleStats",
     "NoMatchingPoolQueryError",
+    "ObservabilityConfig",
     "PoolConfig",
     "PoolEncodingIndex",
     "PoolIndexStats",

@@ -46,6 +46,8 @@ from typing import Iterable, Sequence
 
 from repro.core.cnt2crd import Cnt2CrdEstimator
 from repro.core.crn import CRNEstimator
+from repro.observability.recorder import EventRecorder
+from repro.observability.store import EventStore
 from repro.serving.cache import EncodingCache, FeaturizationCache
 from repro.serving.config import ServingConfig
 from repro.serving.dispatcher import ServingDispatcher
@@ -80,7 +82,9 @@ class ServiceStack:
     pool_index: PoolEncodingIndex | None
 
 
-def build_service_stack(config: ServingConfig) -> ServiceStack:
+def build_service_stack(
+    config: ServingConfig, recorder: EventRecorder | None = None
+) -> ServiceStack:
     """Wire an :class:`EstimationService` exactly as ``config`` describes.
 
     This is the **single** wiring routine behind both the client and the
@@ -88,7 +92,8 @@ def build_service_stack(config: ServingConfig) -> ServiceStack:
     makes the two paths bit-for-bit identical: the caches, the cache-aware
     :class:`repro.core.crn.CRNEstimator`, the pool encoding index, the
     :class:`repro.core.cnt2crd.Cnt2CrdEstimator`, the registry entries, and
-    the warm-up all come from here.
+    the warm-up all come from here.  ``recorder`` attaches *before* the
+    warm-up, so the initial pool-index slab builds are on the record too.
     """
     estimator_config = config.estimator
     featurization_cache = FeaturizationCache(
@@ -122,7 +127,10 @@ def build_service_stack(config: ServingConfig) -> ServiceStack:
         featurization_cache=featurization_cache,
         encoding_cache=encoding_cache,
         pool_index=pool_index,
+        recorder=recorder,
     )
+    if pool_index is not None:
+        pool_index.recorder = recorder
     service.register(estimator_config.name, cnt2crd, default=True)
     if config.fallback_estimator is not None:
         service.register(estimator_config.fallback_name, config.fallback_estimator)
@@ -159,7 +167,17 @@ class ServingClient:
 
     def __init__(self, config: ServingConfig) -> None:
         self.config = config
-        stack = build_service_stack(config)
+        self.recorder: EventRecorder | None = None
+        self.event_store: EventStore | None = None
+        if config.observability.enabled:
+            observability = config.observability
+            self.event_store = EventStore(observability.sqlite_path or ":memory:")
+            self.recorder = EventRecorder(
+                store=self.event_store,
+                capacity=observability.capacity,
+                source=observability.source,
+            )
+        stack = build_service_stack(config, recorder=self.recorder)
         self.stack = stack
         self.service = stack.service
         self.collector: FeedbackCollector | None = None
@@ -171,6 +189,7 @@ class ServingClient:
                 max_observations=config.feedback.max_observations,
                 epsilon=config.feedback.epsilon,
                 oracle=config.oracle,
+                recorder=self.recorder,
             )
         if config.adaptation.enabled:
             adaptation = config.adaptation
@@ -249,6 +268,13 @@ class ServingClient:
             self.manager.stop(wait=wait)
         if self.dispatcher is not None:
             self.dispatcher.shutdown(wait=wait)
+        # Final flush *after* the workers stop: every event they emitted is
+        # in the store before shutdown returns.  The store itself stays open
+        # — post-mortem queries (swap history, tail latency) are the whole
+        # point; callers close it via ``client.event_store.close()`` (or use
+        # the store as a context manager) when done.
+        if self.recorder is not None:
+            self.recorder.flush()
 
     @property
     def started(self) -> bool:
@@ -408,4 +434,11 @@ class ServingClient:
             merged["feedback_observations"] = float(summary.count)
             merged["feedback_p50_q_error"] = summary.p50
             merged["feedback_p90_q_error"] = summary.p90
+        if self.recorder is not None:
+            # Sink buffered events first, so the store-backed gauges below
+            # (and any follow-up view queries) see everything emitted so far.
+            self.recorder.flush()
+            merged.update(self.recorder.stats_snapshot())
+        if self.event_store is not None:
+            merged.update(self.event_store.stats_snapshot())
         return merged

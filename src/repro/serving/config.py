@@ -14,7 +14,9 @@ with one frozen object of nested sections:
   (``build_crn_service`` silently doubled its ``max_cache_entries``);
 * :class:`DispatcherConfig` — the request-coalescing front-end;
 * :class:`FeedbackConfig` — the rolling feedback window;
-* :class:`AdaptationConfig` — drift policy + background retraining.
+* :class:`AdaptationConfig` — drift policy + background retraining;
+* :class:`ObservabilityConfig` — the structured event log and its optional
+  SQLite persistence (:mod:`repro.observability`).
 
 Every section validates its bounds at construction (``max_batch=0``,
 ``max_cache_entries=-1`` and friends raise a ``ValueError`` here, not
@@ -47,6 +49,7 @@ __all__ = [
     "DispatcherConfig",
     "EstimatorConfig",
     "FeedbackConfig",
+    "ObservabilityConfig",
     "PoolConfig",
     "ServingConfig",
 ]
@@ -212,6 +215,35 @@ class FeedbackConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """The structured event log (:mod:`repro.observability`).
+
+    Attributes:
+        enabled: attach an :class:`repro.observability.EventRecorder` to the
+            stack (service, dispatcher, pool index, feedback collector, and
+            the adaptation manager all emit through it).
+        capacity: the recorder's bounded-buffer size; overflow drops the
+            oldest events (counted in ``events_dropped``).
+        sqlite_path: persistent :class:`repro.observability.EventStore`
+            location — ``None`` keeps the store in memory (``":memory:"``),
+            which still gives dedup and the aggregate views for the
+            process's lifetime.
+        source: the store's dedup identity for this recorder's events; two
+            clients flushing into one SQLite file need distinct sources.
+    """
+
+    enabled: bool = False
+    capacity: int = 8192
+    sqlite_path: str | None = None
+    source: str = "serving"
+
+    def __post_init__(self) -> None:
+        _positive("capacity", self.capacity)
+        if not self.source:
+            raise ValueError("observability source must be non-empty")
+
+
+@dataclass(frozen=True)
 class AdaptationConfig:
     """Drift monitoring and background retraining.
 
@@ -283,6 +315,7 @@ _SECTION_SPECS: tuple[tuple[str, type, str], ...] = (
     ("dispatcher", DispatcherConfig, "dispatcher"),
     ("feedback", FeedbackConfig, "feedback"),
     ("adaptation", AdaptationConfig, "adaptation"),
+    ("observability", ObservabilityConfig, "observability"),
 )
 _SECTIONS = tuple(key for key, _, _ in _SECTION_SPECS)
 
@@ -326,6 +359,7 @@ class ServingConfig:
     dispatcher: DispatcherConfig = field(default_factory=DispatcherConfig)
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
     adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extra_estimators", dict(self.extra_estimators))

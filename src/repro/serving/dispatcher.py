@@ -469,13 +469,27 @@ class ServingDispatcher:
     def _serve(self, batch: list[_PendingRequest]) -> None:
         self.stats.record_batch(len(batch))
         groups: dict[tuple[str | None, str], list[_PendingRequest]] = {}
+        cancelled = 0
         for request in batch:
             if request.future.cancelled():
                 # The caller abandoned the request (a deadline expired, or an
                 # explicit cancel) before pickup: skip the work entirely —
                 # it must not occupy a batch slot or be counted as served.
+                cancelled += 1
                 continue
             groups.setdefault(self._group_key(request), []).append(request)
+        recorder = self.service.recorder
+        if recorder is not None:
+            from repro.observability.events import DispatcherBatch
+
+            recorder.emit(
+                DispatcherBatch(
+                    size=len(batch),
+                    groups=len(groups),
+                    cancelled=cancelled,
+                    queue_depth=self._queue.qsize(),
+                )
+            )
         for (estimator, policy), requests in groups.items():
             group_options = RequestOptions(estimator=estimator, fallback_policy=policy)
             # Promote to RUNNING only now, immediately before this group

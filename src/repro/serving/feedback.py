@@ -90,6 +90,7 @@ class FeedbackCollector:
         max_observations: int = 1024,
         epsilon: float = 1.0,
         oracle=None,
+        recorder=None,
     ) -> None:
         if max_observations <= 0:
             raise ValueError("max_observations must be positive")
@@ -98,6 +99,10 @@ class FeedbackCollector:
         self.max_observations = max_observations
         self.epsilon = epsilon
         self.oracle = oracle
+        # Optional repro.observability.EventRecorder: when set, every
+        # recorded observation also emits a FeedbackRecorded event — the
+        # q-error signal behind the store's per-estimator views.
+        self.recorder = recorder
         self._window: deque[FeedbackObservation] = deque(maxlen=max_observations)
         self._lock = threading.Lock()
         self._sequence = 0
@@ -127,6 +132,19 @@ class FeedbackCollector:
             self._sequence += 1
             self._total_recorded += 1
             self._window.append(observation)
+        recorder = self.recorder
+        if recorder is not None:
+            from repro.observability.events import FeedbackRecorded
+
+            recorder.emit(
+                FeedbackRecorded(
+                    estimator_name=observation.estimator_name,
+                    estimate=observation.estimate,
+                    true_cardinality=observation.true_cardinality,
+                    q_error=observation.q_error,
+                    sequence=observation.sequence,
+                )
+            )
         return observation
 
     def record_served(

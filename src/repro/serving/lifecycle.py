@@ -59,6 +59,7 @@ from repro.extensions.updates import (
     RetrainSession,
     refresh_queries_pool,
 )
+from repro.observability.events import AcceptGateDecision, DriftTrip, ModelSwap
 from repro.serving.cache import FeaturizationCache
 from repro.serving.feedback import FeedbackCollector
 from repro.serving.service import EstimationService
@@ -774,6 +775,18 @@ class AdaptationManager:
             rows_at_refresh=self._rows_at_refresh,
         )
         self.stats.record_evaluation(verdict.triggered)
+        recorder = self.service.recorder
+        if recorder is not None and verdict.triggered:
+            recorder.emit(
+                DriftTrip(
+                    estimator_name=self.estimator_name,
+                    q_error=verdict.q_error,
+                    baseline_q_error=verdict.baseline_q_error,
+                    observations=verdict.observations,
+                    row_delta=verdict.row_delta,
+                    reasons=verdict.reasons,
+                )
+            )
         if not force:
             if self.paused:
                 return AdaptationOutcome("paused", None, verdict)
@@ -806,6 +819,20 @@ class AdaptationManager:
         self.stats.record_retrain(mode, seconds, failed=False)
 
         incumbent_q, candidate_q, accepted, holdout_count = self._validate(shadow)
+        recorder = self.service.recorder
+        # holdout_count == 0 means the gate was skipped (empty window):
+        # an unconditional promotion is not a gate decision, so no event.
+        if recorder is not None and holdout_count:
+            recorder.emit(
+                AcceptGateDecision(
+                    estimator_name=self.estimator_name,
+                    accepted=accepted,
+                    incumbent_q_error=incumbent_q,
+                    candidate_q_error=candidate_q,
+                    holdout_size=holdout_count,
+                    mode=mode,
+                )
+            )
         if not accepted:
             self._consecutive_failures += 1
             self.stats.record_rejection()
@@ -846,12 +873,26 @@ class AdaptationManager:
         # The drained interval includes the shadow validation's own
         # submissions; subtract them so the gauge attributes only real
         # traffic to the outgoing generation.
+        generation = self.service.generation(self.estimator_name)
+        requests_between = max(int(drained["requests"]) - holdout_count, 0)
         self.stats.record_swap(
             incumbent_q,
             candidate_q,
-            max(int(drained["requests"]) - holdout_count, 0),
-            generation=self.service.generation(self.estimator_name),
+            requests_between,
+            generation=generation,
         )
+        if recorder is not None:
+            recorder.emit(
+                ModelSwap(
+                    estimator_name=self.estimator_name,
+                    generation=generation,
+                    pre_swap_q_error=incumbent_q,
+                    post_swap_q_error=candidate_q,
+                    requests_between_swaps=requests_between,
+                    mode=mode,
+                    retrain_seconds=seconds,
+                )
+            )
         self._consecutive_failures = 0
         self._rows_at_refresh = self.retrainer.database.total_rows
         self._cooldown_until = time.monotonic() + policy.cooldown_seconds

@@ -187,6 +187,11 @@ class PoolEncodingIndex:
             raise ValueError("initial_capacity must be positive")
         self.pool = pool
         self.stats = PoolIndexStats()
+        # Optional observability hook (repro.observability.EventRecorder):
+        # when set, every slab build / rebuild / append emits an IndexBuild
+        # event.  Emission is a single deque append, safe under the index
+        # lock.  The client wires this; None costs one attribute test.
+        self.recorder = None
         self._initial_capacity = initial_capacity
         self._slabs: dict[tuple, _Slab] = {}
         # One lock guards the owner fence AND the slab store: the fence
@@ -339,6 +344,12 @@ class PoolEncodingIndex:
             slab.entries = eligible
             slab.version = version
             self.stats.record_appended(len(tail))
+            if self.recorder is not None and tail:
+                from repro.observability.events import IndexBuild
+
+                self.recorder.emit(
+                    IndexBuild(signature=str(signature), rows=len(tail), mode="append")
+                )
             return slab
         # An entry changed in place (cardinality update) or the slab is new:
         # rebuild wholesale.  Encodings come back out of the shared
@@ -354,6 +365,16 @@ class PoolEncodingIndex:
         rebuilt.entries = eligible
         rebuilt.version = version
         self.stats.record_build(len(eligible), rebuild=slab is not None)
+        if self.recorder is not None:
+            from repro.observability.events import IndexBuild
+
+            self.recorder.emit(
+                IndexBuild(
+                    signature=str(signature),
+                    rows=len(eligible),
+                    mode="rebuild" if slab is not None else "build",
+                )
+            )
         self._slabs[key] = rebuilt
         return rebuilt
 

@@ -35,6 +35,7 @@ from repro.core.estimators import CardinalityEstimator
 from repro.core.featurization import QueryFeaturizer
 from repro.core.final_functions import FinalFunction
 from repro.core.queries_pool import QueriesPool
+from repro.observability.events import BatchServed, RequestServed, StatsDrained
 from repro.serving.cache import EncodingCache, FeaturizationCache
 from repro.serving.errors import UnknownEstimatorError
 from repro.serving.planner import (
@@ -254,6 +255,13 @@ class EstimationService:
             backing the registered Cnt2Crd estimators, reported in
             :meth:`stats_snapshot` and rebuilt by the adaptation lifecycle
             on a model hot swap (optional).
+        recorder: an :class:`repro.observability.EventRecorder` receiving
+            the typed serving events (one ``request_served`` per answered
+            request, one ``batch_served`` with the cache hit/miss deltas per
+            batch, one ``stats_drained`` per :meth:`drain_stats`).  Emission
+            is a bounded-buffer append — no I/O, no locks on the hot path —
+            and ``None`` (the default) reduces the whole instrumentation to
+            one attribute test per batch.
     """
 
     def __init__(
@@ -262,6 +270,7 @@ class EstimationService:
         featurization_cache: FeaturizationCache | None = None,
         encoding_cache: EncodingCache | None = None,
         pool_index: PoolEncodingIndex | None = None,
+        recorder=None,
     ) -> None:
         self._registry: dict[str, CardinalityEstimator] = {}
         self._generations: dict[str, int] = {}
@@ -270,6 +279,7 @@ class EstimationService:
         self.featurization_cache = featurization_cache
         self.encoding_cache = encoding_cache
         self.pool_index = pool_index
+        self.recorder = recorder
         self.stats = ServiceStats()
         self._registry_lock = threading.RLock()
         self._stats_lock = threading.Lock()
@@ -464,6 +474,7 @@ class EstimationService:
                 name = self.default_estimator
             chosen = self.get(name)
             generation = self._generations.get(name, 0)
+        recorder = self.recorder
         feat_hits_before = (
             self.featurization_cache.stats.hits
             if self.featurization_cache is not None
@@ -472,6 +483,17 @@ class EstimationService:
         enc_hits_before = (
             self.encoding_cache.stats.hits if self.encoding_cache is not None else 0
         )
+        if recorder is not None:
+            feat_misses_before = (
+                self.featurization_cache.stats.misses
+                if self.featurization_cache is not None
+                else 0
+            )
+            enc_misses_before = (
+                self.encoding_cache.stats.misses
+                if self.encoding_cache is not None
+                else 0
+            )
         start = time.perf_counter()
         if isinstance(chosen, Cnt2CrdEstimator):
             served, planned_pairs, scored_pairs = self._submit_cnt2crd(
@@ -520,6 +542,41 @@ class EstimationService:
             self.stats.scored_pairs += scored_pairs
             self.stats.total_seconds += elapsed
             self.stats.fallbacks += sum(1 for item in served if item.used_fallback)
+        if recorder is not None:
+            recorder.emit(
+                BatchServed(
+                    estimator_name=name,
+                    size=len(queries),
+                    elapsed_seconds=elapsed,
+                    planned_pairs=planned_pairs,
+                    scored_pairs=scored_pairs,
+                    featurization_hits=feat_hits,
+                    featurization_misses=(
+                        self.featurization_cache.stats.misses - feat_misses_before
+                        if self.featurization_cache is not None
+                        else 0
+                    ),
+                    encoding_hits=enc_hits,
+                    encoding_misses=(
+                        self.encoding_cache.stats.misses - enc_misses_before
+                        if self.encoding_cache is not None
+                        else 0
+                    ),
+                )
+            )
+            for item in served:
+                recorder.emit(
+                    RequestServed(
+                        estimator_name=item.estimator_name,
+                        resolution=item.resolution,
+                        generation=item.model_generation,
+                        estimate=item.estimate,
+                        latency_seconds=item.latency_seconds,
+                        pool_matches=item.pool_matches,
+                        pairs_scored=item.pairs_scored,
+                        used_fallback=item.used_fallback,
+                    )
+                )
         return served
 
     def warm(self, queries: Iterable[Query]) -> None:
@@ -576,10 +633,30 @@ class EstimationService:
 
         Returns only the counter block (no cache rows: cache hit rates are
         cumulative gauges owned by the caches, not per-interval counters).
+
+        Draining no longer *discards* history: with a recorder attached, the
+        drained interval is emitted as a ``stats_drained`` event, so the
+        event store's summed intervals plus the live counters always equal
+        the all-time totals — :meth:`repro.serving.ServingClient.stats` and
+        the store can never disagree (pinned by the consistency test in
+        ``tests/test_observability_serving.py``).
         """
         with self._stats_lock:
             snapshot = self._counters_locked()
+            drained = StatsDrained(
+                requests=self.stats.requests,
+                batches=self.stats.batches,
+                planned_pairs=self.stats.planned_pairs,
+                scored_pairs=self.stats.scored_pairs,
+                fallbacks=self.stats.fallbacks,
+                total_seconds=self.stats.total_seconds,
+            )
             self.stats.reset()
+            # Emit under the stats lock: two racing drains must land their
+            # events in the same order they drained, or the store's interval
+            # history would interleave inconsistently with the resets.
+            if self.recorder is not None:
+                self.recorder.emit(drained)
         return snapshot
 
     def reset_stats(self) -> None:

@@ -1,0 +1,287 @@
+"""The benchmark row schema, trajectory round-trips, and the regression gate.
+
+``scripts/bench_report.py`` is loaded as a module so its exit codes and
+deltas are pinned directly: 0 ok, 1 regression beyond threshold, 2 usage /
+missing baseline file, 3 no signal (NaN).  NaN must read as "no signal",
+never as a pass.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import itertools
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.observability.bench import (
+    SCHEMA_VERSION,
+    BenchRun,
+    load_rows,
+    load_trajectory,
+    merge_trajectory,
+    validate_row,
+    write_rows,
+)
+
+REPORT_PATH = Path(__file__).parent.parent / "scripts" / "bench_report.py"
+_spec = importlib.util.spec_from_file_location("bench_report", REPORT_PATH)
+bench_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_report)
+
+
+def fake_clock(start: float = 1000.0, step: float = 10.0):
+    counter = itertools.count()
+    return lambda: start + step * next(counter)
+
+
+def make_row(
+    benchmark="bench_x",
+    metric="speedup",
+    value=2.0,
+    units="x",
+    higher_is_better=True,
+    profile="smoke",
+    git_rev="aaaaaaa",
+    recorded_at=1000.0,
+):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "serving",
+        "benchmark": benchmark,
+        "metric": metric,
+        "value": value,
+        "units": units,
+        "higher_is_better": higher_is_better,
+        "profile": profile,
+        "git_rev": git_rev,
+        "recorded_at": recorded_at,
+        "env": {},
+    }
+
+
+def write_trajectory(path: Path, rows) -> str:
+    merge_trajectory(path, rows)
+    return str(path)
+
+
+class TestRowSchema:
+    def test_validate_accepts_a_complete_row(self):
+        assert validate_row(make_row())["metric"] == "speedup"
+
+    def test_missing_and_mistyped_fields_are_named(self):
+        row = make_row()
+        del row["units"]
+        row["value"] = "fast"
+        with pytest.raises(ValueError, match="units"):
+            validate_row(row)
+        with pytest.raises(ValueError, match="value"):
+            validate_row(make_row(value="fast"))
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ValueError, match="value"):
+            validate_row(make_row(value=True))
+
+    def test_infinity_is_rejected_nan_is_allowed(self):
+        with pytest.raises(ValueError, match="finite or NaN"):
+            validate_row(make_row(value=float("inf")))
+        assert math.isnan(validate_row(make_row(value=float("nan")))["value"])
+
+
+class TestFakeClockRowEmission:
+    """Satellite: every serving benchmark's row emission, smoke-tested with a
+    fake clock — schema-valid, byte-stable, and lossless through the
+    write/load/merge pipeline and bench_report."""
+
+    def test_bench_run_rows_are_schema_valid_and_deterministic(self):
+        run = BenchRun("serving", clock=fake_clock(), git_rev="aaaaaaa",
+                       profile="smoke", env={"cpu_count": 1})
+        first = run.record("bench_serving_throughput", "served_speedup", 5.6, "x", True)
+        second = run.record("bench_serving_throughput", "served_speedup", 6.0, "x", True)
+        assert validate_row(second) == second
+        assert first["recorded_at"] == 1000.0
+        # Same (benchmark, metric, profile, git_rev): last measurement wins.
+        assert len(run.rows) == 1 and run.rows[0]["value"] == 6.0
+
+    def test_rows_round_trip_without_loss(self, tmp_path):
+        run = BenchRun("serving", clock=fake_clock(), git_rev="aaaaaaa",
+                       profile="smoke", env={"cpu_count": 1})
+        run.record("bench_a", "qps", 123.5, "qps", True)
+        run.record("bench_b", "overhead", float("nan"), "x", False)
+        rows_file = tmp_path / "rows.json"
+        write_rows(rows_file, run.rows)
+        loaded = load_rows(rows_file)
+        assert loaded[0] == run.rows[0]
+        assert math.isnan(loaded[1]["value"])  # NaN survived strict JSON
+
+        trajectory = tmp_path / "BENCH_serving.json"
+        merged = merge_trajectory(trajectory, loaded)
+        assert merged[0] == run.rows[0]
+        reloaded = load_trajectory(trajectory)
+        # NaN != NaN blocks whole-dict equality for the dark row; compare the
+        # finite fields exactly and the NaN-ness separately.
+        assert reloaded[0] == merged[0]
+        assert {k: v for k, v in reloaded[1].items() if k != "value"} == {
+            k: v for k, v in merged[1].items() if k != "value"
+        }
+        assert math.isnan(reloaded[1]["value"]) and math.isnan(merged[1]["value"])
+
+        # And the full report pipeline reads the same rows back: one gated
+        # series per metric, the NaN one dark.
+        findings = bench_report.compare(load_trajectory(trajectory), None)
+        assert {f["status"] for f in findings} == {"new", "no-signal"}
+
+    def test_merge_replaces_same_revision_and_appends_new(self, tmp_path):
+        trajectory = tmp_path / "BENCH_serving.json"
+        merge_trajectory(trajectory, [make_row(value=2.0)])
+        merge_trajectory(trajectory, [make_row(value=3.0)])  # same key: replace
+        assert [row["value"] for row in load_trajectory(trajectory)] == [3.0]
+        merge_trajectory(
+            trajectory, [make_row(value=4.0, git_rev="bbbbbbb", recorded_at=2000.0)]
+        )
+        assert [row["value"] for row in load_trajectory(trajectory)] == [3.0, 4.0]
+
+
+class TestRegressionGate:
+    """Satellite: synthetic trajectory fixtures pinning exit codes and deltas."""
+
+    def history(self, old_value, new_value, higher_is_better=True, metric="speedup"):
+        return [
+            make_row(metric=metric, value=old_value,
+                     higher_is_better=higher_is_better),
+            make_row(metric=metric, value=new_value, git_rev="bbbbbbb",
+                     recorded_at=2000.0, higher_is_better=higher_is_better),
+        ]
+
+    def test_improvement_exits_zero(self, tmp_path, capsys):
+        path = write_trajectory(tmp_path / "t.json", self.history(2.0, 3.0))
+        assert bench_report.main(["check", path]) == bench_report.EXIT_OK
+        assert "+50.0%" in capsys.readouterr().out
+
+    def test_regression_beyond_threshold_exits_one(self, tmp_path, capsys):
+        path = write_trajectory(tmp_path / "t.json", self.history(2.0, 1.0))
+        assert bench_report.main(["check", path]) == bench_report.EXIT_REGRESSION
+        captured = capsys.readouterr()
+        assert "-50.0%" in captured.out
+        assert "REGRESSION" in captured.err
+
+    def test_regression_within_threshold_passes(self, tmp_path):
+        path = write_trajectory(tmp_path / "t.json", self.history(2.0, 1.9))
+        assert bench_report.main(["check", path]) == bench_report.EXIT_OK
+        # ... until the threshold tightens past the 5% move.
+        assert (
+            bench_report.main(["check", path, "--max-regression", "0.01"])
+            == bench_report.EXIT_REGRESSION
+        )
+
+    def test_lower_is_better_direction(self, tmp_path):
+        worse = self.history(10.0, 14.0, higher_is_better=False, metric="lat_ms")
+        path = write_trajectory(tmp_path / "worse.json", worse)
+        assert bench_report.main(["check", path]) == bench_report.EXIT_REGRESSION
+        better = self.history(10.0, 7.0, higher_is_better=False, metric="lat_ms")
+        path = write_trajectory(tmp_path / "better.json", better)
+        assert bench_report.main(["check", path]) == bench_report.EXIT_OK
+
+    def test_missing_baseline_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert bench_report.main(["check", missing]) == bench_report.EXIT_USAGE
+        assert "missing trajectory file" in capsys.readouterr().err
+
+    def test_empty_trajectory_exits_two(self, tmp_path):
+        path = write_trajectory(tmp_path / "t.json", [])
+        assert bench_report.main(["check", path]) == bench_report.EXIT_USAGE
+
+    def test_single_row_is_new_and_passes(self, tmp_path, capsys):
+        path = write_trajectory(tmp_path / "t.json", [make_row()])
+        assert bench_report.main(["check", path]) == bench_report.EXIT_OK
+        assert "new" in capsys.readouterr().out
+
+    def test_nan_metric_is_no_signal_never_a_pass(self, tmp_path, capsys):
+        """A benchmark that stopped producing numbers must not look green —
+        even when its last finite reading would have passed the gate."""
+        path = write_trajectory(
+            tmp_path / "t.json", self.history(2.0, float("nan"))
+        )
+        assert bench_report.main(["check", path]) == bench_report.EXIT_NO_SIGNAL
+        captured = capsys.readouterr()
+        assert "NO SIGNAL" in captured.err
+        assert "no-signal" in captured.out
+
+    def test_finite_reading_after_nan_counts_as_new(self, tmp_path):
+        rows = self.history(2.0, float("nan"))
+        rows.append(
+            make_row(value=1.5, git_rev="ccccccc", recorded_at=3000.0)
+        )
+        path = write_trajectory(tmp_path / "t.json", rows)
+        # The series came back from dark: no baseline to regress against,
+        # so it is "new" — reported, not failed.
+        assert bench_report.main(["check", path]) == bench_report.EXIT_OK
+
+    def test_regression_and_nan_together_prefer_exit_one(self, tmp_path):
+        rows = self.history(2.0, 1.0) + self.history(
+            3.0, float("nan"), metric="qps"
+        )
+        path = write_trajectory(tmp_path / "t.json", rows)
+        assert bench_report.main(["check", path]) == bench_report.EXIT_REGRESSION
+
+    def test_only_filter_scopes_the_gate_but_not_the_table(self, tmp_path, capsys):
+        rows = self.history(2.0, 1.0) + self.history(5.0, 6.0, metric="qps")
+        path = write_trajectory(tmp_path / "t.json", rows)
+        assert (
+            bench_report.main(["check", path, "--only", "qps"])
+            == bench_report.EXIT_OK
+        )
+        out = capsys.readouterr().out
+        # The regressed-but-ungated series still shows in the table.
+        assert "speedup" in out and "-50.0%" in out
+
+    def test_delta_values_are_pinned(self, tmp_path):
+        path = write_trajectory(tmp_path / "t.json", self.history(4.0, 5.0))
+        findings = bench_report.compare(load_trajectory(path), None)
+        (finding,) = findings
+        assert finding["delta"] == pytest.approx(0.25)
+        assert finding["status"] == "improved"
+        assert finding["baseline"]["value"] == 4.0
+        assert finding["current"]["value"] == 5.0
+
+    def test_show_never_gates(self, tmp_path):
+        path = write_trajectory(tmp_path / "t.json", self.history(2.0, 0.1))
+        assert bench_report.main(["show", path]) == bench_report.EXIT_OK
+
+    def test_injected_2x_latency_regression_on_the_real_trajectory(self, tmp_path):
+        """The acceptance scenario: the checked-in trajectory passes, and the
+        same trajectory with a 2x latency regression appended fails."""
+        real = Path(__file__).parent.parent / "BENCH_serving.json"
+        rows = load_trajectory(real)
+        assert rows, "BENCH_serving.json must be checked in with rows"
+        assert bench_report.main(["check", str(real)]) == bench_report.EXIT_OK
+
+        latency = next(row for row in rows if not row["higher_is_better"])
+        injected = dict(latency)
+        injected["value"] = latency["value"] * 2.0
+        injected["git_rev"] = "fffffff"
+        injected["recorded_at"] = latency["recorded_at"] + 1.0
+        path = write_trajectory(tmp_path / "t.json", rows + [injected])
+        assert bench_report.main(["check", path]) == bench_report.EXIT_REGRESSION
+
+
+class TestMergeCommand:
+    def test_merge_subcommand_folds_session_rows(self, tmp_path, capsys):
+        rows_file = tmp_path / "rows_serving.json"
+        write_rows(rows_file, [make_row()])
+        trajectory = tmp_path / "BENCH_serving.json"
+        assert (
+            bench_report.main(["merge", str(trajectory), str(rows_file)])
+            == bench_report.EXIT_OK
+        )
+        assert load_trajectory(trajectory) == [make_row()]
+        assert "1 rows" in capsys.readouterr().out
+
+    def test_merge_missing_rows_file_exits_two(self, tmp_path):
+        assert (
+            bench_report.main(
+                ["merge", str(tmp_path / "t.json"), str(tmp_path / "nope.json")]
+            )
+            == bench_report.EXIT_USAGE
+        )

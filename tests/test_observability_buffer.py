@@ -1,0 +1,156 @@
+"""The bounded event buffer: ordering contract, overflow, and concurrency.
+
+The buffer's ordering contract (pinned in :mod:`repro.observability.buffer`):
+
+1. events emitted by one thread drain in that thread's emission order;
+2. sequence numbers are globally unique and strictly increasing per drain;
+3. a drain never yields an event twice, and emit/drain never lose an event
+   unless the buffer overflowed (in which case ``dropped`` says how many);
+4. concurrent drains never interleave the same event into two batches.
+
+The hypothesis property test at the bottom hammers emit/flush/drain from
+several threads at once and checks every clause.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.buffer import EventBuffer
+from repro.observability.events import RequestServed
+
+
+def served(estimate: float = 1.0, **kwargs) -> RequestServed:
+    defaults = dict(
+        estimator_name="crn",
+        resolution="model",
+        generation=1,
+        estimate=estimate,
+        latency_seconds=0.001,
+        pool_matches=4,
+        pairs_scored=8,
+        used_fallback=False,
+    )
+    defaults.update(kwargs)
+    return RequestServed(**defaults)
+
+
+def test_emit_then_drain_preserves_order():
+    buffer = EventBuffer(capacity=16)
+    for index in range(10):
+        buffer.emit(served(float(index)))
+    drained = buffer.drain()
+    assert [item.event.estimate for item in drained] == [float(i) for i in range(10)]
+    assert [item.sequence for item in drained] == sorted(item.sequence for item in drained)
+    assert buffer.drain() == []
+
+
+def test_sequences_are_unique_across_drains():
+    buffer = EventBuffer(capacity=8)
+    seen = set()
+    for round_index in range(5):
+        for _ in range(6):
+            buffer.emit(served())
+        batch = {item.sequence for item in buffer.drain()}
+        assert not (batch & seen), "a drained event reappeared in a later drain"
+        seen |= batch
+    assert len(seen) == 30
+
+
+def test_overflow_drops_oldest_and_counts():
+    buffer = EventBuffer(capacity=4)
+    for index in range(10):
+        buffer.emit(served(float(index)))
+    assert buffer.dropped == 6
+    drained = buffer.drain()
+    # The survivors are the newest four, still in emission order.
+    assert [item.event.estimate for item in drained] == [6.0, 7.0, 8.0, 9.0]
+    assert buffer.emitted == 10
+
+
+def test_timestamps_come_from_the_injected_clock():
+    ticks = iter(range(100))
+    buffer = EventBuffer(capacity=8, clock=lambda: float(next(ticks)))
+    buffer.emit(served())
+    buffer.emit(served())
+    first, second = buffer.drain()
+    assert (first.timestamp, second.timestamp) == (0.0, 1.0)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventBuffer(capacity=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    emits_per_thread=st.lists(st.integers(min_value=1, max_value=40), min_size=2, max_size=4),
+    drains=st.integers(min_value=1, max_value=5),
+)
+def test_concurrent_emit_flush_drain_never_drops_duplicates_or_reorders(
+    emits_per_thread, drains
+):
+    """Clauses 1-4 of the ordering contract under real thread interleaving.
+
+    Emitter threads tag events with ``(thread, index)``; drainer threads
+    pull concurrently.  Capacity exceeds the total emission count, so *no*
+    event may be lost — and within each emitter thread the drained order
+    must be exactly the emission order.
+    """
+    total = sum(emits_per_thread)
+    buffer = EventBuffer(capacity=total + 8)
+    batches: list[list] = []
+    batches_lock = threading.Lock()
+    start = threading.Barrier(len(emits_per_thread) + drains)
+
+    def emitter(thread_index: int, count: int):
+        start.wait()
+        for event_index in range(count):
+            # estimate encodes the thread, latency encodes the position.
+            buffer.emit(
+                served(float(thread_index), latency_seconds=float(event_index))
+            )
+
+    def drainer():
+        start.wait()
+        for _ in range(3):
+            batch = buffer.drain()
+            with batches_lock:
+                batches.append(batch)
+
+    threads = [
+        threading.Thread(target=emitter, args=(index, count))
+        for index, count in enumerate(emits_per_thread)
+    ] + [threading.Thread(target=drainer) for _ in range(drains)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    batches.append(buffer.drain())  # sweep anything the racing drains missed
+
+    drained = [item for batch in batches for item in batch]
+    # No drop, no duplicate: every emitted event appears exactly once.
+    assert len(drained) == total
+    assert buffer.dropped == 0
+    sequences = [item.sequence for item in drained]
+    assert len(set(sequences)) == total
+    # Sequences inside one drained batch are strictly increasing.
+    for batch in batches:
+        batch_sequences = [item.sequence for item in batch]
+        assert batch_sequences == sorted(batch_sequences)
+        assert len(set(batch_sequences)) == len(batch_sequences)
+    # Per-thread order: sorting all drained events by sequence must list each
+    # thread's events in emission order (clause 1 — no reordering within a
+    # thread, ever).
+    drained.sort(key=lambda item: item.sequence)
+    for thread_index, count in enumerate(emits_per_thread):
+        positions = [
+            item.event.latency_seconds
+            for item in drained
+            if item.event.estimate == float(thread_index)
+        ]
+        assert positions == [float(i) for i in range(count)]

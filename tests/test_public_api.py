@@ -19,6 +19,7 @@ from repro.serving.config import (
     DispatcherConfig,
     EstimatorConfig,
     FeedbackConfig,
+    ObservabilityConfig,
     PoolConfig,
     ServingConfig,
 )
@@ -51,6 +52,7 @@ EXPECTED_SERVING_ALL = [
     "IndexedSlab",
     "LifecycleStats",
     "NoMatchingPoolQueryError",
+    "ObservabilityConfig",
     "PoolConfig",
     "PoolEncodingIndex",
     "PoolIndexStats",
@@ -109,6 +111,7 @@ EXPECTED_CONFIG_FIELDS = {
         "dispatcher",
         "feedback",
         "adaptation",
+        "observability",
     ],
     EstimatorConfig: ["name", "fallback_name", "final_function", "epsilon", "batch_size"],
     PoolConfig: ["warm", "use_index"],
@@ -133,6 +136,7 @@ EXPECTED_CONFIG_FIELDS = {
         "full_epochs",
         "seed",
     ],
+    ObservabilityConfig: ["enabled", "capacity", "sqlite_path", "source"],
 }
 
 EXPECTED_CLIENT_METHODS = [
