@@ -1,0 +1,195 @@
+"""Compiled inference plans: frozen fused kernels vs the reference path.
+
+The pool encoding index already removed the per-pair Python bookkeeping from
+serving (see ``bench_pool_index.py``); what remains per request is the pair
+head itself — autodiff ``Tensor`` objects, gradient plumbing, fresh
+allocations for every intermediate, and a float64-only execution dtype.  The
+inference-plan PR freezes the trained model into an
+:class:`repro.serving.InferencePlan`: a flat sequence of NumPy/BLAS calls
+over preallocated scratch, with an optional float32 slab layout negotiated
+with the index and a fused slab kernel that caches the pool side of the
+first pair-head GEMM per slab version.
+
+This benchmark serves the identical bucket-heavy single-request workload as
+``bench_pool_index.py`` through three otherwise-identical indexed clients:
+
+* **reference** -- ``InferenceConfig(mode="reference")``: the indexed float64
+  ``Tensor`` path, today's default and the baseline the acceptance bar is
+  measured against;
+* **compiled f64** -- ``mode="compiled", slab_dtype="float64"``: the plan's
+  generic pass, which must be **bit-for-bit identical** to the reference
+  (asserted per request) — it removes overhead, never changes a number;
+* **compiled f32** -- ``mode="compiled", slab_dtype="float32"``: float32
+  mirror slabs plus the fused slab kernel, within the configured tolerance
+  of the reference estimates (asserted per request).
+
+The acceptance bar: the compiled float32 client's single-request p50 must be
+**>= 3x** faster than the reference indexed client at pool sizes >= 2048.
+
+Smoke mode (``REPRO_SMOKE=1``, used by CI) shrinks the sweep and skips the
+timing requirement — the identity/tolerance assertions and the whole
+compile-negotiate-serve machinery still run on every push.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from bench_pool_index import build_bucket_heavy_pool, build_requests, serve_timed
+from repro.core import CRNConfig, CRNModel, QueryFeaturizer
+from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
+from repro.serving import InferenceConfig, PoolConfig, ServingClient, ServingConfig
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
+POOL_SIZES = (64, 256) if SMOKE else (256, 1024, 2048, 4096)
+REQUESTS = 10 if SMOKE else 25
+HIDDEN_SIZE = 64  # closer to the paper's H=512 than the index bench's 32
+REQUIRED_SPEEDUP = 3.0
+SPEEDUP_AT_OR_ABOVE = 2048  # the acceptance bar applies to big pools
+F32_TOLERANCE = 1e-3
+
+
+def build_client(model, featurizer, pool, inference: InferenceConfig) -> ServingClient:
+    """An unstarted (synchronous-path) indexed client over ``pool``."""
+    return ServingClient(
+        ServingConfig(
+            model=model,
+            featurizer=featurizer,
+            pool=pool,
+            pool_options=PoolConfig(warm=True, use_index=True),
+            inference=inference,
+        )
+    )
+
+
+def max_q_error(estimates, reference) -> float:
+    """The worst multiplicative ratio between two estimate lists."""
+    worst = 1.0
+    for value, base in zip(estimates, reference):
+        lo, hi = sorted((max(value, 1e-12), max(base, 1e-12)))
+        worst = max(worst, hi / lo)
+    return worst
+
+
+def test_inference_plan_speedup_and_identity(results_dir, bench_record):
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=300, seed=11))
+    featurizer = QueryFeaturizer(database)
+    model = CRNModel(featurizer.vector_size, CRNConfig(hidden_size=HIDDEN_SIZE, seed=5))
+    requests = build_requests(REQUESTS)
+
+    rows = []
+    for size in POOL_SIZES:
+        pool = build_bucket_heavy_pool(size)
+        reference = build_client(
+            model, featurizer, pool, InferenceConfig(mode="reference")
+        )
+        compiled_f64 = build_client(
+            model,
+            featurizer,
+            pool,
+            InferenceConfig(mode="compiled", slab_dtype="float64"),
+        )
+        compiled_f32 = build_client(
+            model,
+            featurizer,
+            pool,
+            InferenceConfig(mode="compiled", slab_dtype="float32", tolerance=F32_TOLERANCE),
+        )
+
+        reference_estimates, reference_p50 = serve_timed(reference, requests)
+        f64_estimates, _ = serve_timed(compiled_f64, requests)
+        f32_estimates, f32_p50 = serve_timed(compiled_f32, requests)
+
+        assert f64_estimates == reference_estimates, (
+            f"compiled float64 estimates diverged from the reference path "
+            f"at pool size {size}"
+        )
+        worst = max_q_error(f32_estimates, reference_estimates)
+        assert worst <= 1.0 + F32_TOLERANCE, (
+            f"compiled float32 estimates exceeded the q-error tolerance at "
+            f"pool size {size}: worst ratio {worst:.6f}"
+        )
+        resolutions = {item.resolution for item in compiled_f32.estimate_many(requests)}
+        assert resolutions == {"indexed_slab"}, (
+            f"compiled requests must resolve from the slab path, got {resolutions}"
+        )
+
+        speedup = reference_p50 / f32_p50 if f32_p50 > 0 else float("inf")
+        rows.append((size, reference_p50, f32_p50, speedup, worst))
+        if not SMOKE and size >= SPEEDUP_AT_OR_ABOVE:
+            assert speedup >= REQUIRED_SPEEDUP, (
+                f"expected the compiled float32 plan to be >= "
+                f"{REQUIRED_SPEEDUP:.0f}x faster than the reference indexed "
+                f"path at pool size {size}, measured {speedup:.1f}x "
+                f"({reference_p50 * 1000:.2f}ms vs {f32_p50 * 1000:.2f}ms)"
+            )
+
+    # The largest sweep point is the headline row: big pools are the regime
+    # the compiled plan exists for (and where the acceptance bar applies).
+    largest = rows[-1]
+    bench_record(
+        "serving",
+        "bench_inference_plan",
+        f"compiled_p50_speedup_pool_{largest[0]}",
+        largest[3],
+        "x",
+        True,
+    )
+    bench_record(
+        "serving",
+        "bench_inference_plan",
+        f"compiled_p50_ms_pool_{largest[0]}",
+        largest[2] * 1000.0,
+        "ms",
+        False,
+    )
+
+    header = (
+        f"{'pool size':>10}{'reference p50':>16}{'compiled f32 p50':>18}"
+        f"{'speedup':>10}{'worst q-error':>15}"
+    )
+    table = [header] + [
+        f"{size:>10}{ref * 1000:>14.2f}ms{f32 * 1000:>16.2f}ms"
+        f"{speedup:>9.1f}x{worst:>15.8f}"
+        for size, ref, f32, speedup, worst in rows
+    ]
+    report = "\n".join(
+        [
+            f"compiled inference plan (H={HIDDEN_SIZE}), single-request p50 "
+            f"over {REQUESTS} requests" + (" (smoke)" if SMOKE else ""),
+            "",
+            *table,
+            "",
+            "compiled float64 is bit-for-bit identical to the reference at "
+            "every size; requirement: compiled float32 >= "
+            f"{REQUIRED_SPEEDUP:.0f}x at pool size >= {SPEEDUP_AT_OR_ABOVE}"
+            + (" (timing not enforced in smoke mode)" if SMOKE else ""),
+        ]
+    )
+    (results_dir / "inference_plan.txt").write_text(report + "\n")
+    print(f"\n{report}\n")
+
+
+def test_plan_compile_cost(results_dir, bench_record):
+    """Compilation is a build/promote-time cost; record it so a regression
+    in trace-and-lower time shows up in the trajectory."""
+    database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=300, seed=11))
+    featurizer = QueryFeaturizer(database)
+    model = CRNModel(featurizer.vector_size, CRNConfig(hidden_size=HIDDEN_SIZE, seed=5))
+    from repro.serving import compile_plan
+
+    start = time.perf_counter()
+    plan = compile_plan(model, dtype=np.float32, slab_size=64, tolerance=F32_TOLERANCE)
+    elapsed = time.perf_counter() - start
+    assert plan.compile_seconds <= elapsed
+    bench_record(
+        "serving",
+        "bench_inference_plan",
+        "plan_compile_ms",
+        plan.compile_seconds * 1000.0,
+        "ms",
+        False,
+    )

@@ -254,6 +254,13 @@ class Cnt2CrdEstimator(CardinalityEstimator):
             return None
         if not resolved.entries:
             return resolved, np.empty(0, dtype=np.float64)
+        # Prefer the slab-aware scoring call: a float32 inference plan then
+        # consumes the slab's pre-cast mirrors instead of re-downcasting the
+        # float64 rows per request.  Duck-typed for non-CRN containment
+        # estimators (resolve already fenced those out, but stay defensive).
+        against_slab = getattr(self.containment_estimator, "rates_against_slab", None)
+        if against_slab is not None:
+            return resolved, against_slab(query, resolved)
         rates = self.containment_estimator.rates_against_pool(
             query, resolved.first, resolved.second
         )

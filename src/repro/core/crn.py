@@ -364,6 +364,13 @@ class CRNEstimator(ContainmentEstimator):
         self.featurizer = featurizer
         self.batch_size = batch_size
         self.encoding_cache = encoding_cache
+        #: Optional compiled inference plan
+        #: (:class:`repro.serving.InferencePlan`).  When attached, the pair
+        #: head runs through the plan's fused kernels instead of the Tensor
+        #: path — bit-identical in float64 mode, within the plan's documented
+        #: tolerance in float32 mode.  Duck-typed so core never imports the
+        #: serving layer.
+        self.inference_plan = None
         if encoding_cache is not None:
             # Cached encodings are only valid for this model's weights.
             bind = getattr(encoding_cache, "bind", None)
@@ -372,6 +379,68 @@ class CRNEstimator(ContainmentEstimator):
 
     def estimate_containment(self, first: Query, second: Query) -> float:
         return self.estimate_containments([(first, second)])[0]
+
+    # ------------------------------------------------------------------ #
+    # compiled inference plans
+
+    def attach_plan(self, plan) -> None:
+        """Route pair-head inference through a compiled plan.
+
+        The plan must have been compiled from *this* estimator's model with
+        the same slab size — the float64 mode's bit-identity guarantee is
+        defined against this estimator's ``batch_size`` slab discipline.
+        """
+        if plan.model is not self.model:
+            raise ValueError(
+                "inference plan was compiled from a different model; "
+                "recompile against this estimator's model"
+            )
+        if plan.slab_size != self.batch_size:
+            raise ValueError(
+                f"inference plan slab_size {plan.slab_size} does not match "
+                f"estimator batch_size {self.batch_size}"
+            )
+        self.inference_plan = plan
+
+    def detach_plan(self) -> None:
+        """Return to the reference Tensor inference path."""
+        self.inference_plan = None
+
+    def _head_rates(self, first_reprs: np.ndarray, second_reprs: np.ndarray) -> np.ndarray:
+        """Run the pair head: compiled plan when attached, Tensor path otherwise."""
+        plan = self.inference_plan
+        if plan is not None:
+            return plan.rates_from_encodings(first_reprs, second_reprs)
+        return self.model.rates_from_encodings(
+            first_reprs, second_reprs, slab_size=self.batch_size
+        )
+
+    def _assemble_pairs_f32(
+        self,
+        query_first: np.ndarray,
+        query_second: np.ndarray,
+        pool_first: np.ndarray,
+        pool_second: np.ndarray,
+        pool_first32: np.ndarray | None = None,
+        pool_second32: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Interleave query-vs-pool pairs directly into float32 matrices.
+
+        The float32 fused path's analogue of
+        :meth:`CRNModel.assemble_pool_pairs`: when the pool index has
+        negotiated float32 mirrors, rows copy with no cast at all; otherwise
+        the strided writes downcast once, here, instead of the plan casting
+        a float64 assembly a second time.
+        """
+        count = pool_first.shape[0]
+        hidden = self.model.hidden_size
+        first = np.empty((2 * count, hidden), dtype=np.float32)
+        second = np.empty((2 * count, hidden), dtype=np.float32)
+        first[0::2] = pool_first32 if pool_first32 is not None else pool_first
+        first[1::2] = query_first
+        second[0::2] = query_second
+        second[1::2] = pool_second32 if pool_second32 is not None else pool_second
+        return first, second
 
     def _encoding_scope(self):
         """The database-snapshot scope baked into encoding-cache keys.
@@ -390,9 +459,7 @@ class CRNEstimator(ContainmentEstimator):
         encodings = self._encode_unique(pairs)
         first_reprs = np.stack([encodings[(first, 1)] for first, _ in pairs])
         second_reprs = np.stack([encodings[(second, 2)] for _, second in pairs])
-        rates = self.model.rates_from_encodings(
-            first_reprs, second_reprs, slab_size=self.batch_size
-        )
+        rates = self._head_rates(first_reprs, second_reprs)
         return [float(rate) for rate in rates]
 
     def encode_query(self, query: Query, position: int) -> np.ndarray:
@@ -402,7 +469,15 @@ class CRNEstimator(ContainmentEstimator):
             cached = self.encoding_cache.get(query, position, scope=scope, owner=self.model)
             if cached is not None:
                 return cached
-        encoding = self.model.encode_set(self.featurizer.featurize(query), position)
+        # A compiled plan carries frozen copies of the encoder weights, so
+        # plan-mode encodings stay consistent with the frozen head even if
+        # the live model is mutated after compilation.
+        encode = (
+            self.model.encode_set
+            if self.inference_plan is None
+            else self.inference_plan.encode_set
+        )
+        encoding = encode(self.featurizer.featurize(query), position)
         if self.encoding_cache is not None:
             self.encoding_cache.put(query, position, encoding, scope=scope, owner=self.model)
         return encoding
@@ -422,29 +497,136 @@ class CRNEstimator(ContainmentEstimator):
         """
         first_repr = self.encode_query(query, 1)
         second_repr = self.encode_query(query, 2)
-        return self.model.rates_against_pool(
-            first_repr,
-            second_repr,
-            pool_first_reprs,
-            pool_second_reprs,
-            slab_size=self.batch_size,
+        plan = self.inference_plan
+        if plan is not None and plan.dtype == np.float32:
+            first, second = self._assemble_pairs_f32(
+                first_repr, second_repr, pool_first_reprs, pool_second_reprs
+            )
+            return plan.rates_from_encodings(first, second)
+        first, second = self.model.assemble_pool_pairs(
+            first_repr, second_repr, pool_first_reprs, pool_second_reprs
         )
+        return self._head_rates(first, second)
+
+    def rates_against_slab(self, query: Query, slab) -> np.ndarray:
+        """Containment rates of ``query`` against a resolved index slab.
+
+        The slab-aware twin of :meth:`rates_against_pool`: given an
+        :class:`repro.serving.IndexedSlab` (duck-typed — anything with
+        ``first`` / ``second`` and optional ``first_f32`` / ``second_f32``
+        mirrors), a float32 plan consumes the pre-cast mirrors directly so
+        the hot path never touches the float64 rows at all — through the
+        plan's fused slab kernel, which caches the pool-side weight
+        projections under the slab's identity ``token``.
+        """
+        plan = self.inference_plan
+        if plan is not None and plan.dtype == np.float32:
+            first_repr = self.encode_query(query, 1)
+            second_repr = self.encode_query(query, 2)
+            pool_first32 = getattr(slab, "first_f32", None)
+            pool_second32 = getattr(slab, "second_f32", None)
+            if plan.supports_slab_fusion:
+                return plan.rates_against_slab(
+                    first_repr,
+                    second_repr,
+                    pool_first32 if pool_first32 is not None else slab.first,
+                    pool_second32 if pool_second32 is not None else slab.second,
+                    token=getattr(slab, "token", None),
+                )
+            first, second = self._assemble_pairs_f32(
+                first_repr,
+                second_repr,
+                slab.first,
+                slab.second,
+                pool_first32,
+                pool_second32,
+            )
+            return plan.rates_from_encodings(first, second)
+        return self.rates_against_pool(query, slab.first, slab.second)
 
     def rates_against_pools(self, items) -> list[np.ndarray]:
-        """Score many ``(query, pool_first, pool_second)`` requests at once.
+        """Score many query-vs-pool requests at once.
 
-        Each item's pair rows are assembled exactly as
-        :meth:`rates_against_pool` would, but all blocks run through *one*
-        fixed-shape slab sequence: with many concurrent requests over small
-        buckets, per-request slab runs would each pad to a full slab and
-        waste most of the pair-head compute.  Because every row's rate is
-        independent of batch composition, the fused run returns bit-for-bit
-        the same rates as one call per item.
+        Each item is either ``(query, slab)`` — a resolved
+        :class:`repro.serving.IndexedSlab` (or anything slab-shaped) — or
+        the legacy ``(query, pool_first, pool_second)`` matrix triple.  Each
+        item's pair rows are assembled exactly as :meth:`rates_against_pool`
+        would, but all blocks run through *one* pair-head pass: with many
+        concurrent requests over small buckets, per-request slab runs would
+        each pad to a full slab and waste most of the pair-head compute.
+        Because every row's rate is independent of batch composition, the
+        fused run returns bit-for-bit the same rates as one call per item
+        (float32-plan mode: the same rates within the plan's tolerance —
+        there each item runs the plan's fused slab kernel, consuming index
+        mirrors cast-free and reusing the cached pool-side weight projection
+        keyed by the item's slab token).
 
         Returns one ``(2 * n_i,)`` rate array per item, in order.
         """
+        normalized = []
+        tokens = []
+        for item in items:
+            if len(item) == 2:
+                query, slab = item
+                normalized.append(
+                    (
+                        query,
+                        slab.first,
+                        slab.second,
+                        getattr(slab, "first_f32", None),
+                        getattr(slab, "second_f32", None),
+                    )
+                )
+                tokens.append(getattr(slab, "token", None))
+            else:
+                query, pool_first, pool_second = item
+                normalized.append((query, pool_first, pool_second, None, None))
+                tokens.append(None)
+        if not normalized:
+            return []
+        plan = self.inference_plan
+        if plan is not None and plan.dtype == np.float32 and plan.supports_slab_fusion:
+            # Per-item fused slab runs: each reuses the cached pool-side
+            # projection for its slab token, which beats one giant assembled
+            # pass — the assembly recomputes the pool half of the first GEMM
+            # for every request, the cache pays it once per slab version.
+            results: list[np.ndarray] = []
+            for (query, pf, ps, pf32, ps32), token in zip(normalized, tokens):
+                results.append(
+                    plan.rates_against_slab(
+                        self.encode_query(query, 1),
+                        self.encode_query(query, 2),
+                        pf32 if pf32 is not None else pf,
+                        ps32 if ps32 is not None else ps,
+                        token=token,
+                    )
+                )
+            return results
+        if plan is not None and plan.dtype == np.float32:
+            counts = [pool_first.shape[0] for _, pool_first, _, _, _ in normalized]
+            hidden = self.model.hidden_size
+            first = np.empty((2 * sum(counts), hidden), dtype=np.float32)
+            second = np.empty((2 * sum(counts), hidden), dtype=np.float32)
+            offset = 0
+            for (query, pf, ps, pf32, ps32), count in zip(normalized, counts):
+                query_first = self.encode_query(query, 1)
+                query_second = self.encode_query(query, 2)
+                first_block = first[offset : offset + 2 * count]
+                second_block = second[offset : offset + 2 * count]
+                first_block[0::2] = pf32 if pf32 is not None else pf
+                first_block[1::2] = query_first
+                second_block[0::2] = query_second
+                second_block[1::2] = ps32 if ps32 is not None else ps
+                offset += 2 * count
+            rates = plan.rates_from_encodings(first, second)
+            results: list[np.ndarray] = []
+            offset = 0
+            for count in counts:
+                results.append(rates[offset : offset + 2 * count])
+                offset += 2 * count
+            return results
         blocks = []
-        for query, pool_first, pool_second in items:
+        for query, pool_first, pool_second, _, _ in normalized:
             first_repr = self.encode_query(query, 1)
             second_repr = self.encode_query(query, 2)
             blocks.append(
@@ -452,14 +634,10 @@ class CRNEstimator(ContainmentEstimator):
                     first_repr, second_repr, pool_first, pool_second
                 )
             )
-        if not blocks:
-            return []
         stacked_first = np.concatenate([first for first, _ in blocks], axis=0)
         stacked_second = np.concatenate([second for _, second in blocks], axis=0)
-        rates = self.model.rates_from_encodings(
-            stacked_first, stacked_second, slab_size=self.batch_size
-        )
-        results: list[np.ndarray] = []
+        rates = self._head_rates(stacked_first, stacked_second)
+        results = []
         offset = 0
         for first, _ in blocks:
             count = first.shape[0]

@@ -1,0 +1,91 @@
+"""Op-tape tracing: record a forward pass as a flat list of primitive ops.
+
+:func:`trace` installs a thread-local :class:`Tape`; while it is active every
+primitive ``Tensor`` operation reports itself via ``tensor._record`` after
+computing its result.  The tape assigns each distinct ``Tensor`` object a
+dense integer *slot* and stores one :class:`TraceNode` per executed op, so a
+forward pass such as ``model.head(first, second)`` becomes a linear program
+over slots — exactly the representation
+:mod:`repro.serving.inference_plan` compiles into fused NumPy kernels.
+
+Composite ops decompose for free: ``a - b`` runs as ``neg`` + ``add`` and
+``mean`` as ``sum`` + ``div``, because only primitives call ``_record``.
+The tape keeps a strong reference to every tensor it has assigned a slot
+(``tensor_for_slot``), both so callers can inspect traced values and so a
+garbage-collected intermediate cannot free its ``id()`` for reuse by a later
+tensor, which would silently alias two slots.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .tensor import _TRACE_STATE, Tensor
+
+__all__ = ["Tape", "TraceNode", "trace"]
+
+
+@dataclass(frozen=True)
+class TraceNode:
+    """One executed primitive op: ``output = op(*inputs, **attrs)``."""
+
+    op: str
+    inputs: tuple[int, ...]
+    output: int
+    attrs: dict[str, Any]
+
+
+class Tape:
+    """An append-only record of primitive ops over slot-numbered tensors."""
+
+    def __init__(self) -> None:
+        self.nodes: list[TraceNode] = []
+        self._slots: dict[int, int] = {}
+        self._tensors: list[Tensor] = []
+
+    def slot(self, tensor: Tensor) -> int:
+        """Return the slot for ``tensor``, assigning the next one if new."""
+        key = id(tensor)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = len(self._tensors)
+            self._slots[key] = slot
+            self._tensors.append(tensor)
+        return slot
+
+    def slot_of(self, tensor: Tensor) -> int | None:
+        """Return the slot already assigned to ``tensor``, or None."""
+        return self._slots.get(id(tensor))
+
+    def tensor_for_slot(self, slot: int) -> Tensor:
+        """Return the tensor that occupies ``slot``."""
+        return self._tensors[slot]
+
+    @property
+    def num_slots(self) -> int:
+        """Number of distinct tensors seen so far."""
+        return len(self._tensors)
+
+    def record(self, op: str, inputs: tuple[Tensor, ...], output: Tensor, attrs: dict) -> None:
+        """Append one op (called by ``tensor._record`` while tracing)."""
+        node = TraceNode(
+            op=op,
+            inputs=tuple(self.slot(tensor) for tensor in inputs),
+            output=self.slot(output),
+            attrs=dict(attrs),
+        )
+        self.nodes.append(node)
+
+
+@contextlib.contextmanager
+def trace() -> Iterator[Tape]:
+    """Record every primitive Tensor op on this thread into a fresh tape."""
+    previous = getattr(_TRACE_STATE, "tape", None)
+    tape = Tape()
+    _TRACE_STATE.tape = tape
+    try:
+        yield tape
+    finally:
+        _TRACE_STATE.tape = previous

@@ -51,6 +51,8 @@ from repro.observability.events import (
     FeedbackRecorded,
     IndexBuild,
     ModelSwap,
+    PlanCompiled,
+    PlanSwap,
     RequestServed,
     StatsDrained,
     event_from_payload,
@@ -73,6 +75,8 @@ __all__ = [
     "FeedbackRecorded",
     "IndexBuild",
     "ModelSwap",
+    "PlanCompiled",
+    "PlanSwap",
     "RequestServed",
     "SCHEMA_VERSION",
     "StatsDrained",

@@ -30,6 +30,16 @@ The taxonomy (``kind`` → emitted by):
 ``model_swap``            the same manager, one per promoted hot swap — keyed
                           by ``model_generation``, the number stamped on every
                           subsequent :class:`repro.serving.EstimateResult`.
+``plan_compile``          :func:`repro.serving.build_service_stack` and the
+                          adaptation promote path, one per compiled
+                          :class:`repro.serving.InferencePlan` (dtype, node
+                          count, compile time), keyed by the generation the
+                          plan serves.
+``plan_swap``             :class:`repro.serving.AdaptationManager`, one per
+                          plan handover — ``promoted`` when the candidate's
+                          freshly compiled plan goes live with the swap,
+                          ``rollback`` when a failed promote leaves the
+                          incumbent's plan bound.
 ``stats_drained``         :meth:`repro.serving.EstimationService.drain_stats`
                           — the drained counter snapshot, so draining moves
                           history into the store instead of discarding it.
@@ -214,6 +224,45 @@ class ModelSwap(Event):
 
 
 @dataclass(frozen=True)
+class PlanCompiled(Event):
+    """One compiled inference plan (build-time or pre-swap recompile)."""
+
+    kind: ClassVar[str] = "plan_compile"
+
+    estimator_name: str
+    generation: int
+    dtype: str
+    nodes: int
+    constants: int
+    compile_seconds: float
+
+    def value(self) -> float:
+        return self.compile_seconds
+
+
+@dataclass(frozen=True)
+class PlanSwap(Event):
+    """One inference-plan handover during an adaptation promote.
+
+    ``outcome`` is ``"promoted"`` when the candidate's recompiled plan went
+    live with the model swap, ``"rollback"`` when the promote failed and the
+    incumbent kept serving on its own plan (mirroring the index rebind
+    discipline — the incumbent's plan was never replaced, so rollback is a
+    statement of fact, not a re-attach).
+    """
+
+    kind: ClassVar[str] = "plan_swap"
+
+    estimator_name: str
+    generation: int
+    dtype: str
+    outcome: str  # "promoted" | "rollback"
+
+    def value(self) -> float:
+        return float(self.generation)
+
+
+@dataclass(frozen=True)
 class StatsDrained(Event):
     """One drained service-counter snapshot.
 
@@ -248,6 +297,8 @@ EVENT_KINDS: dict[str, type[Event]] = {
         DriftTrip,
         AcceptGateDecision,
         ModelSwap,
+        PlanCompiled,
+        PlanSwap,
         StatsDrained,
     )
 }

@@ -18,6 +18,9 @@ columns, so the aggregate views are plain SQL over indexed data:
   ``model_generation`` — the same number stamped on every
   :class:`repro.serving.EstimateResult`, so responses and swap records
   attribute to the same model;
+* ``view_plan_history`` — every compiled-inference-plan lifecycle event
+  (``plan_compile`` / ``plan_swap``), keyed by ``model_generation`` so plan
+  compiles and handovers line up next to the swap history they belong to;
 * ``view_event_counts`` — events per kind (the taxonomy's census).
 
 The store is thread-safe (one connection, writes serialized on an internal
@@ -83,6 +86,18 @@ CREATE VIEW IF NOT EXISTS view_swap_history AS
     FROM events
     WHERE kind = 'model_swap'
     ORDER BY model_generation;
+
+CREATE VIEW IF NOT EXISTS view_plan_history AS
+    SELECT model_generation,
+           estimator,
+           ts,
+           kind,
+           json_extract(payload, '$.dtype')   AS dtype,
+           json_extract(payload, '$.nodes')   AS nodes,
+           json_extract(payload, '$.outcome') AS outcome
+    FROM events
+    WHERE kind IN ('plan_compile', 'plan_swap')
+    ORDER BY model_generation, ts;
 
 CREATE VIEW IF NOT EXISTS view_event_counts AS
     SELECT kind, COUNT(*) AS events
@@ -197,6 +212,10 @@ class EventStore:
     def swap_history(self) -> list[dict[str, Any]]:
         """Every promoted hot swap, keyed (and ordered) by model generation."""
         return self.query("SELECT * FROM view_swap_history")
+
+    def plan_history(self) -> list[dict[str, Any]]:
+        """Compiled-plan lifecycle (compiles and handovers) by model generation."""
+        return self.query("SELECT * FROM view_plan_history")
 
     def latency_quantile(self, q: float, estimator: str | None = None) -> float:
         """An exact request-latency quantile in seconds (NaN with no data).

@@ -32,6 +32,13 @@ forward passes.  This package amortizes that work across requests:
   validated, dict/JSON-round-trippable description of a whole deployment
   (estimator, pool/index, caches, dispatcher, feedback, adaptation
   sections).
+* :mod:`repro.serving.inference_plan` -- :class:`InferencePlan` /
+  :func:`compile_plan`, the frozen-model inference engine: a trained CRN's
+  pair-head forward pass traced once into a flat sequence of fused
+  NumPy/BLAS calls over preallocated scratch buffers (no ``Tensor``
+  objects, no grad-mode checks), with an optional float32 slab layout
+  negotiated with :class:`PoolEncodingIndex` under a documented q-error
+  bound — enabled through :class:`InferenceConfig` (``mode: compiled``).
 * :mod:`repro.serving.client` -- :class:`ServingClient`, the one-handle
   façade: builds everything a :class:`ServingConfig` enables, owns start and
   shutdown ordering, and exposes ``estimate`` / ``estimate_many`` /
@@ -79,10 +86,12 @@ from repro.serving.config import (
     DispatcherConfig,
     EstimatorConfig,
     FeedbackConfig,
+    InferenceConfig,
     ObservabilityConfig,
     PoolConfig,
     ServingConfig,
 )
+from repro.serving.inference_plan import InferencePlan, compile_plan
 from repro.serving.dispatcher import DispatcherStats, ServingDispatcher
 from repro.serving.errors import (
     DeadlineExceededError,
@@ -142,6 +151,8 @@ __all__ = [
     "FeedbackObservation",
     "FeedbackSummary",
     "IndexedSlab",
+    "InferenceConfig",
+    "InferencePlan",
     "LifecycleStats",
     "NoMatchingPoolQueryError",
     "ObservabilityConfig",
@@ -160,4 +171,5 @@ __all__ = [
     "UnknownEstimatorError",
     "build_crn_service",
     "build_service_stack",
+    "compile_plan",
 ]

@@ -44,8 +44,11 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.cnt2crd import Cnt2CrdEstimator
 from repro.core.crn import CRNEstimator
+from repro.observability.events import PlanCompiled
 from repro.observability.recorder import EventRecorder
 from repro.observability.store import EventStore
 from repro.serving.cache import EncodingCache, FeaturizationCache
@@ -53,6 +56,7 @@ from repro.serving.config import ServingConfig
 from repro.serving.dispatcher import ServingDispatcher
 from repro.serving.errors import ServingError
 from repro.serving.feedback import FeedbackCollector, FeedbackObservation
+from repro.serving.inference_plan import InferencePlan, compile_plan
 from repro.serving.lifecycle import AdaptationManager, AdaptationOutcome, CRNRetrainer
 from repro.serving.pool_index import PoolEncodingIndex
 from repro.serving.service import (
@@ -80,6 +84,7 @@ class ServiceStack:
     featurization_cache: FeaturizationCache
     encoding_cache: EncodingCache
     pool_index: PoolEncodingIndex | None
+    inference_plan: InferencePlan | None = None
 
 
 def build_service_stack(
@@ -136,6 +141,35 @@ def build_service_stack(
         service.register(estimator_config.fallback_name, config.fallback_estimator)
     for name, estimator in config.extra_estimators.items():
         service.register(name, estimator)
+    plan: InferencePlan | None = None
+    if config.inference.mode == "compiled":
+        # Compile before warming: warm-time encodings then flow through the
+        # plan's frozen encoder weights, and the index builds its slabs in
+        # the negotiated layout instead of rebuilding on the first request.
+        plan = compile_plan(
+            config.model,
+            dtype=(
+                np.float32
+                if config.inference.slab_dtype == "float32"
+                else np.float64
+            ),
+            slab_size=estimator_config.batch_size,
+            tolerance=config.inference.tolerance,
+        )
+        crn.attach_plan(plan)
+        if pool_index is not None:
+            pool_index.negotiate_dtype(plan.dtype)
+        if recorder is not None:
+            recorder.emit(
+                PlanCompiled(
+                    estimator_name=estimator_config.name,
+                    generation=service.generation(estimator_config.name),
+                    dtype=plan.dtype.name,
+                    nodes=plan.num_nodes,
+                    constants=plan.num_constants,
+                    compile_seconds=plan.compile_seconds,
+                )
+            )
     if config.pool_options.warm:
         service.warm(entry.query for entry in config.pool)
         if pool_index is not None:
@@ -146,6 +180,7 @@ def build_service_stack(
         featurization_cache=featurization_cache,
         encoding_cache=encoding_cache,
         pool_index=pool_index,
+        inference_plan=plan,
     )
 
 

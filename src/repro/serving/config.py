@@ -16,7 +16,9 @@ with one frozen object of nested sections:
 * :class:`FeedbackConfig` — the rolling feedback window;
 * :class:`AdaptationConfig` — drift policy + background retraining;
 * :class:`ObservabilityConfig` — the structured event log and its optional
-  SQLite persistence (:mod:`repro.observability`).
+  SQLite persistence (:mod:`repro.observability`);
+* :class:`InferenceConfig` — reference ``Tensor`` inference vs a compiled
+  :class:`repro.serving.InferencePlan`, and the compiled plan's slab dtype.
 
 Every section validates its bounds at construction (``max_batch=0``,
 ``max_cache_entries=-1`` and friends raise a ``ValueError`` here, not
@@ -49,6 +51,7 @@ __all__ = [
     "DispatcherConfig",
     "EstimatorConfig",
     "FeedbackConfig",
+    "InferenceConfig",
     "ObservabilityConfig",
     "PoolConfig",
     "ServingConfig",
@@ -243,6 +246,53 @@ class ObservabilityConfig:
             raise ValueError("observability source must be non-empty")
 
 
+#: Inference execution modes.
+INFERENCE_MODES = ("reference", "compiled")
+#: Slab dtypes the compiled mode can negotiate with the pool index.
+SLAB_DTYPES = ("float64", "float32")
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """How the stack runs pair-head inference.
+
+    Attributes:
+        mode: ``"reference"`` runs the autodiff ``Tensor`` path (bit-exact
+            baseline, always float64); ``"compiled"`` freezes the model into
+            an :class:`repro.serving.InferencePlan` of fused NumPy kernels
+            at build time and recompiles it on every adaptation promote.
+        slab_dtype: the compiled plan's execution dtype.  ``"float64"`` is
+            bit-identical to the reference path (pure overhead removal);
+            ``"float32"`` additionally negotiates float32 mirror slabs with
+            the pool encoding index and runs fused variable-row passes —
+            fastest, with estimates within ``tolerance`` of the reference.
+        tolerance: the documented q-error bound of ``float32`` estimates
+            relative to the reference path (see ``docs/architecture.md``);
+            carried on the plan for events/stats and checked by the property
+            tests.  Ignored in ``float64`` modes.
+    """
+
+    mode: str = "reference"
+    slab_dtype: str = "float64"
+    tolerance: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.mode not in INFERENCE_MODES:
+            raise ValueError(
+                f"inference mode must be one of {INFERENCE_MODES}, got {self.mode!r}"
+            )
+        if self.slab_dtype not in SLAB_DTYPES:
+            raise ValueError(
+                f"slab_dtype must be one of {SLAB_DTYPES}, got {self.slab_dtype!r}"
+            )
+        _positive("tolerance", self.tolerance)
+        if self.mode == "reference" and self.slab_dtype != "float64":
+            raise ValueError(
+                "reference mode always runs float64; set mode='compiled' to "
+                "use float32 slabs"
+            )
+
+
 @dataclass(frozen=True)
 class AdaptationConfig:
     """Drift monitoring and background retraining.
@@ -316,6 +366,7 @@ _SECTION_SPECS: tuple[tuple[str, type, str], ...] = (
     ("feedback", FeedbackConfig, "feedback"),
     ("adaptation", AdaptationConfig, "adaptation"),
     ("observability", ObservabilityConfig, "observability"),
+    ("inference", InferenceConfig, "inference"),
 )
 _SECTIONS = tuple(key for key, _, _ in _SECTION_SPECS)
 
@@ -360,6 +411,7 @@ class ServingConfig:
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
     adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extra_estimators", dict(self.extra_estimators))

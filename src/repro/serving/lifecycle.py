@@ -59,9 +59,16 @@ from repro.extensions.updates import (
     RetrainSession,
     refresh_queries_pool,
 )
-from repro.observability.events import AcceptGateDecision, DriftTrip, ModelSwap
+from repro.observability.events import (
+    AcceptGateDecision,
+    DriftTrip,
+    ModelSwap,
+    PlanCompiled,
+    PlanSwap,
+)
 from repro.serving.cache import FeaturizationCache
 from repro.serving.feedback import FeedbackCollector
+from repro.serving.inference_plan import compile_plan
 from repro.serving.service import EstimationService
 
 
@@ -863,6 +870,21 @@ class AdaptationManager:
                     self.service.pool_index.rebind(
                         incumbent.containment_estimator.model, pool=incumbent.pool
                     )
+                incumbent_plan = getattr(
+                    incumbent.containment_estimator, "inference_plan", None
+                )
+                if recorder is not None and incumbent_plan is not None:
+                    # The incumbent's plan was never detached, so there is
+                    # nothing to re-attach — the event records that the
+                    # candidate's freshly compiled plan did NOT go live.
+                    recorder.emit(
+                        PlanSwap(
+                            estimator_name=self.estimator_name,
+                            generation=self.service.generation(self.estimator_name),
+                            dtype=incumbent_plan.dtype.name,
+                            outcome="rollback",
+                        )
+                    )
             self._consecutive_failures += 1
             self.stats.record_promote_failure()
             self._cooldown_until = time.monotonic() + policy.cooldown_seconds
@@ -893,6 +915,19 @@ class AdaptationManager:
                     retrain_seconds=seconds,
                 )
             )
+            promoted = self.service.get(self.estimator_name)
+            promoted_plan = getattr(
+                promoted.containment_estimator, "inference_plan", None
+            )
+            if promoted_plan is not None:
+                recorder.emit(
+                    PlanSwap(
+                        estimator_name=self.estimator_name,
+                        generation=generation,
+                        dtype=promoted_plan.dtype.name,
+                        outcome="promoted",
+                    )
+                )
         self._consecutive_failures = 0
         self._rows_at_refresh = self.retrainer.database.total_rows
         self._cooldown_until = time.monotonic() + policy.cooldown_seconds
@@ -1005,6 +1040,36 @@ class AdaptationManager:
             batch_size=batch_size,
             encoding_cache=encoding_cache,
         )
+        incumbent_plan = getattr(containment, "inference_plan", None)
+        if shared and incumbent_plan is not None:
+            # Plans freeze their weights at compile time, so the incumbent's
+            # plan cannot serve the candidate model: recompile with the same
+            # dtype/slab/tolerance contract and attach *before* the registry
+            # swap ever exposes the new estimator — the first post-swap
+            # request must already run the compiled path.  Shadow builds
+            # (shared=False) stay on the reference path: a rejected candidate
+            # should not pay for a compile.
+            plan = compile_plan(
+                candidate.model,
+                dtype=incumbent_plan.dtype,
+                slab_size=batch_size,
+                tolerance=incumbent_plan.tolerance,
+            )
+            crn.attach_plan(plan)
+            recorder = self.service.recorder
+            if recorder is not None:
+                recorder.emit(
+                    PlanCompiled(
+                        estimator_name=self.estimator_name,
+                        # replace() bumps the generation; this plan serves
+                        # the candidate's generation, not the incumbent's.
+                        generation=self.service.generation(self.estimator_name) + 1,
+                        dtype=plan.dtype.name,
+                        nodes=plan.num_nodes,
+                        constants=plan.num_constants,
+                        compile_seconds=plan.compile_seconds,
+                    )
+                )
         return Cnt2CrdEstimator(
             crn,
             pool,

@@ -78,6 +78,14 @@ class IndexedSlab:
             version, row count); two resolves with equal tokens carry
             identical rows, so batched callers deduplicate rate computation
             on ``(query, token)``.
+        first_f32: ``None``, or a float32 mirror of ``first`` when the index
+            has negotiated a float32 layout with a compiled inference plan
+            (:meth:`PoolEncodingIndex.negotiate_dtype`) — the plan's fused
+            float32 pass reads these rows cast-free.  The float64 matrices
+            above stay canonical either way: reference-mode estimators and
+            bit-exact float64 plans resolved against the same index are
+            unaffected by the negotiation.
+        second_f32: float32 mirror of ``second``, same contract.
     """
 
     entries: tuple[PoolEntry, ...]
@@ -85,23 +93,40 @@ class IndexedSlab:
     second: np.ndarray
     cardinalities: np.ndarray
     token: tuple
+    first_f32: np.ndarray | None = None
+    second_f32: np.ndarray | None = None
 
 
 class _Slab:
-    """Mutable per-(scope, signature) storage with geometric growth."""
+    """Mutable per-(scope, signature) storage with geometric growth.
 
-    __slots__ = ("entries", "first", "second", "cardinalities", "version")
+    The float64 matrices are canonical.  When ``mirror`` is set the slab also
+    keeps float32 copies of both matrices, maintained row-for-row alongside
+    the canonical writes, so a float32 inference plan reads pre-cast rows.
+    """
 
-    def __init__(self, hidden: int, capacity: int) -> None:
+    __slots__ = ("entries", "first", "second", "first_f32", "second_f32", "cardinalities", "version")
+
+    def __init__(self, hidden: int, capacity: int, mirror: bool = False) -> None:
         self.entries: tuple[PoolEntry, ...] = ()
         self.first = np.empty((capacity, hidden), dtype=np.float64)
         self.second = np.empty((capacity, hidden), dtype=np.float64)
+        self.first_f32 = np.empty((capacity, hidden), dtype=np.float32) if mirror else None
+        self.second_f32 = np.empty((capacity, hidden), dtype=np.float32) if mirror else None
         self.cardinalities = np.empty(capacity, dtype=np.float64)
         self.version = -1
 
     @property
     def count(self) -> int:
         return len(self.entries)
+
+    def set_row(self, offset: int, first_row: np.ndarray, second_row: np.ndarray) -> None:
+        """Write one entry's encodings (and their mirrors, when negotiated)."""
+        self.first[offset] = first_row
+        self.second[offset] = second_row
+        if self.first_f32 is not None:
+            self.first_f32[offset] = first_row
+            self.second_f32[offset] = second_row
 
     def ensure_capacity(self, rows: int) -> None:
         """Grow the matrices to hold ``rows`` rows (doubling, amortized O(1)).
@@ -121,6 +146,13 @@ class _Slab:
         grown_first[: self.count] = self.first[: self.count]
         grown_second[: self.count] = self.second[: self.count]
         grown_cardinalities[: self.count] = self.cardinalities[: self.count]
+        if self.first_f32 is not None:
+            grown_first32 = np.empty((capacity, self.first.shape[1]), dtype=np.float32)
+            grown_second32 = np.empty((capacity, self.second.shape[1]), dtype=np.float32)
+            grown_first32[: self.count] = self.first_f32[: self.count]
+            grown_second32[: self.count] = self.second_f32[: self.count]
+            self.first_f32 = grown_first32
+            self.second_f32 = grown_second32
         self.first = grown_first
         self.second = grown_second
         self.cardinalities = grown_cardinalities
@@ -194,6 +226,11 @@ class PoolEncodingIndex:
         self.recorder = None
         self._initial_capacity = initial_capacity
         self._slabs: dict[tuple, _Slab] = {}
+        # Negotiated slab layout (see negotiate_dtype): None keeps the
+        # canonical float64-only slabs; float32 adds mirror matrices.  The
+        # negotiation survives rebind — it is a property of how the serving
+        # stack runs inference, not of which model owns the rows.
+        self._mirror_dtype: np.dtype | None = None
         # One lock guards the owner fence AND the slab store: the fence
         # check and the slab read/build must be a single unit, or a reader
         # could pass the fence, lose the CPU to a rebind, and then rebuild a
@@ -236,6 +273,32 @@ class PoolEncodingIndex:
             if pool is not None:
                 self.pool = pool
             self._owner = owner
+
+    def negotiate_dtype(self, dtype) -> None:
+        """Negotiate the slab layout with a compiled inference plan.
+
+        ``float64`` (the default) keeps the canonical slabs only; ``float32``
+        makes every slab additionally maintain float32 mirror matrices that
+        a float32 :class:`repro.serving.InferencePlan` reads cast-free.  The
+        canonical float64 rows are kept either way, so reference-mode and
+        bit-exact float64 consumers of the same index are unaffected.
+
+        Changing the layout drops existing slabs (they rebuild lazily, out
+        of the encoding cache, on the next resolve).  The negotiated layout
+        deliberately survives :meth:`rebind`: a lifecycle hot swap replaces
+        the model, not the serving stack's inference mode.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == np.dtype(np.float64):
+            target = None
+        elif dtype == np.dtype(np.float32):
+            target = dtype
+        else:
+            raise ValueError(f"slab dtype must be float64 or float32, got {dtype}")
+        with self._lock:
+            if target != self._mirror_dtype:
+                self._mirror_dtype = target
+                self._slabs.clear()
 
     # ------------------------------------------------------------------ #
     # resolution
@@ -280,6 +343,12 @@ class PoolEncodingIndex:
                     second=slab.second[: slab.count],
                     cardinalities=slab.cardinalities[: slab.count],
                     token=(scope, signature, slab.version, slab.count),
+                    first_f32=(
+                        slab.first_f32[: slab.count] if slab.first_f32 is not None else None
+                    ),
+                    second_f32=(
+                        slab.second_f32[: slab.count] if slab.second_f32 is not None else None
+                    ),
                 )
         if fenced:
             self.stats.record_fallback()
@@ -338,8 +407,11 @@ class PoolEncodingIndex:
             tail = eligible[slab.count :]
             slab.ensure_capacity(len(eligible))
             for offset, entry in enumerate(tail, start=slab.count):
-                slab.first[offset] = containment.encode_query(entry.query, 1)
-                slab.second[offset] = containment.encode_query(entry.query, 2)
+                slab.set_row(
+                    offset,
+                    containment.encode_query(entry.query, 1),
+                    containment.encode_query(entry.query, 2),
+                )
                 slab.cardinalities[offset] = entry.cardinality
             slab.entries = eligible
             slab.version = version
@@ -357,10 +429,14 @@ class PoolEncodingIndex:
         rebuilt = _Slab(
             containment.model.hidden_size,
             max(self._initial_capacity, len(eligible)),
+            mirror=self._mirror_dtype is not None,
         )
         for offset, entry in enumerate(eligible):
-            rebuilt.first[offset] = containment.encode_query(entry.query, 1)
-            rebuilt.second[offset] = containment.encode_query(entry.query, 2)
+            rebuilt.set_row(
+                offset,
+                containment.encode_query(entry.query, 1),
+                containment.encode_query(entry.query, 2),
+            )
             rebuilt.cardinalities[offset] = entry.cardinality
         rebuilt.entries = eligible
         rebuilt.version = version
@@ -389,4 +465,5 @@ class PoolEncodingIndex:
         snapshot = self.stats.snapshot()
         snapshot["pool_index_signatures"] = float(signatures)
         snapshot["pool_index_rows"] = float(rows)
+        snapshot["pool_index_f32_mirrors"] = float(self._mirror_dtype is not None)
         return snapshot

@@ -719,10 +719,7 @@ class EstimationService:
             scored += 2 * len(request.entries)
         if pending:
             blocks = containment.rates_against_pools(
-                [
-                    (request.query, request.slab.first, request.slab.second)
-                    for _, request in pending
-                ]
+                [(request.query, request.slab) for _, request in pending]
             )
             for (key, _), block in zip(pending, blocks):
                 indexed_rates[key] = block

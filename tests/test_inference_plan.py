@@ -1,0 +1,425 @@
+"""Tests for the frozen-model inference engine (tracing, plans, serving).
+
+Covers the whole compiled-inference stack: the ``repro.nn.trace`` tape, plan
+compilation and its freeze guarantee, float64 bit-identity with the reference
+``Tensor`` path, the float32 tolerance mode, the pool index's negotiated
+float32 slab layout, the ``InferenceConfig`` section, the client end-to-end
+paths (including mid-serving pool adds), the lifecycle's pre-swap recompile,
+and the ``plan_compile`` / ``plan_swap`` observability trail.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Cnt2CrdEstimator, CRNConfig, CRNEstimator, CRNModel, QueriesPool
+from repro.datasets import build_queries_pool_queries
+from repro.nn import Tensor, no_grad, trace
+from repro.serving import (
+    InferenceConfig,
+    InferencePlan,
+    ServingClient,
+    ServingConfig,
+    compile_plan,
+)
+from repro.serving.config import ObservabilityConfig
+from repro.serving.pool_index import PoolEncodingIndex
+
+
+@pytest.fixture(scope="module")
+def pool(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=60, seed=17, oracle=imdb_oracle)
+    return QueriesPool.from_labeled_queries(labeled)
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=24, seed=23, oracle=imdb_oracle)
+    return [item.query for item in labeled]
+
+
+@pytest.fixture(scope="module")
+def model(imdb_featurizer):
+    return CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=5))
+
+
+def make_model(hidden: int = 16, seed: int = 5, **kwargs) -> CRNModel:
+    return CRNModel(8, CRNConfig(hidden_size=hidden, seed=seed, **kwargs))
+
+
+def encodings(hidden: int, rows: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((rows, hidden)),
+        rng.standard_normal((rows, hidden)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# tracing
+
+
+class TestTracing:
+    def test_tape_records_the_head_ops(self):
+        crn = make_model()
+        first = Tensor(np.ones((3, crn.hidden_size)))
+        second = Tensor(np.ones((3, crn.hidden_size)))
+        with no_grad(), trace() as tape:
+            out = crn.head(first, second)
+        ops = [node.op for node in tape.nodes]
+        # The expand path: concat -> two linear layers -> relu -> sigmoid.
+        assert "concat" in ops and "matmul" in ops and "sigmoid" in ops
+        assert tape.slot_of(first) is not None
+        assert tape.slot_of(out) is not None
+        # Every node's output slot resolves back to a live tensor.
+        for node in tape.nodes:
+            assert tape.tensor_for_slot(node.output) is not None
+
+    def test_tracing_is_scoped(self):
+        crn = make_model()
+        first = Tensor(np.ones((2, crn.hidden_size)))
+        second = Tensor(np.ones((2, crn.hidden_size)))
+        with no_grad(), trace() as tape:
+            crn.head(first, second)
+        recorded = len(tape.nodes)
+        with no_grad():
+            crn.head(first, second)  # outside any trace: must not record
+        assert len(tape.nodes) == recorded
+
+
+# --------------------------------------------------------------------------- #
+# compilation
+
+
+class TestCompilePlan:
+    def test_rejects_bad_arguments(self):
+        crn = make_model()
+        with pytest.raises(TypeError, match="CRNModel"):
+            compile_plan(object())
+        with pytest.raises(ValueError, match="dtype"):
+            compile_plan(crn, dtype=np.int32)
+        with pytest.raises(ValueError, match="slab_size"):
+            compile_plan(crn, slab_size=0)
+        with pytest.raises(ValueError, match="tolerance"):
+            compile_plan(crn, tolerance=0.0)
+
+    def test_describe_and_counters(self):
+        plan = compile_plan(make_model(), dtype="float32", slab_size=64, tolerance=1e-4)
+        described = plan.describe()
+        assert described["dtype"] == "float32"
+        assert described["slab_size"] == 64
+        assert described["tolerance"] == 1e-4
+        assert described["nodes"] == plan.num_nodes > 0
+        assert described["constants"] == plan.num_constants > 0
+        assert described["compile_seconds"] > 0.0
+
+    def test_weights_are_frozen_at_compile_time(self):
+        crn = make_model()
+        plan = compile_plan(crn)
+        first, second = encodings(crn.hidden_size, 9)
+        before = plan.rates_from_encodings(first, second)
+        vectors = np.ones((4, 8))
+        encoded_before = plan.encode_set(vectors, position=1)
+        # A post-compilation "optimizer step" must not leak into the plan.
+        for parameter in crn.parameters():
+            parameter.data = parameter.data + 0.5
+        np.testing.assert_array_equal(plan.rates_from_encodings(first, second), before)
+        np.testing.assert_array_equal(plan.encode_set(vectors, position=1), encoded_before)
+        # The live model, by contrast, moved.
+        assert not np.array_equal(
+            crn.rates_from_encodings(first, second, slab_size=256), before
+        )
+
+    def test_sum_pooling_models_compile_too(self):
+        crn = make_model(pooling="sum")
+        plan = compile_plan(crn)
+        vectors = np.random.default_rng(3).standard_normal((5, 8))
+        np.testing.assert_array_equal(
+            plan.encode_set(vectors, position=2), crn.encode_set(vectors, position=2)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# execution: bit-identity and the float32 bound
+
+
+class TestPlanExecution:
+    @pytest.mark.parametrize("use_expand", [True, False])
+    @pytest.mark.parametrize("rows", [0, 1, 7, 256, 300])
+    def test_float64_is_bit_identical_to_the_tensor_path(self, use_expand, rows):
+        crn = make_model(use_expand=use_expand)
+        plan = compile_plan(crn, slab_size=256)
+        first, second = encodings(crn.hidden_size, rows, seed=rows)
+        expected = crn.rates_from_encodings(first, second, slab_size=256)
+        actual = plan.rates_from_encodings(first, second)
+        assert actual.dtype == np.float64
+        assert actual.tobytes() == expected.tobytes()
+
+    def test_float32_stays_within_the_documented_bound(self):
+        crn = make_model()
+        plan = compile_plan(crn, dtype=np.float32, tolerance=1e-3)
+        first, second = encodings(crn.hidden_size, 400, seed=11)
+        expected = crn.rates_from_encodings(first, second, slab_size=256)
+        actual = plan.rates_from_encodings(first, second)
+        assert actual.dtype == np.float64  # rates are always canonical float64
+        np.testing.assert_allclose(actual, expected, rtol=plan.tolerance, atol=1e-6)
+
+    def test_scratch_grows_geometrically_and_is_reused(self):
+        crn = make_model()
+        plan = compile_plan(crn, dtype=np.float32)
+        hidden = crn.hidden_size
+        # The compile-time self-check already allocated this thread's
+        # scratch (13 marker rows); growth counts start from there.
+        base = plan.scratch_stats()
+        for rows in (20, 21, 39, 40):
+            plan.rates_from_encodings(*encodings(hidden, rows))
+        stats = plan.scratch_stats()
+        # 20 doubles 13-row capacity to 26; 39 doubles it again to 52;
+        # 21 and 40 ride the existing high-water mark.
+        assert stats["capacity_rows"] == 52
+        assert stats["allocations"] == base["allocations"] + 2
+        # Shrinking and re-growing within capacity allocates nothing new.
+        plan.rates_from_encodings(*encodings(hidden, 2))
+        plan.rates_from_encodings(*encodings(hidden, 40))
+        assert plan.scratch_stats()["allocations"] == stats["allocations"]
+
+    def test_shape_validation(self):
+        plan = compile_plan(make_model())
+        with pytest.raises(ValueError, match="same shape"):
+            plan.rates_from_encodings(np.zeros((2, 16)), np.zeros((3, 16)))
+        with pytest.raises(ValueError, match="encodings"):
+            plan.rates_from_encodings(np.zeros((2, 4)), np.zeros((2, 4)))
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        hidden=st.sampled_from([4, 8, 16]),
+        rows=st.integers(min_value=0, max_value=70),
+        slab=st.sampled_from([16, 64, 256]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        use_expand=st.booleans(),
+    )
+    def test_property_compiled_matches_reference(self, hidden, rows, slab, seed, use_expand):
+        """Across random CRN configs and batch sizes: float64 is bit-exact,
+        float32 is inside the plan's documented tolerance."""
+        crn = CRNModel(8, CRNConfig(hidden_size=hidden, seed=seed, use_expand=use_expand))
+        rng = np.random.default_rng(seed)
+        first = rng.standard_normal((rows, hidden))
+        second = rng.standard_normal((rows, hidden))
+        expected = crn.rates_from_encodings(first, second, slab_size=slab)
+
+        exact = compile_plan(crn, dtype=np.float64, slab_size=slab)
+        assert exact.rates_from_encodings(first, second).tobytes() == expected.tobytes()
+
+        fused = compile_plan(crn, dtype=np.float32, slab_size=slab, tolerance=1e-3)
+        np.testing.assert_allclose(
+            fused.rates_from_encodings(first, second),
+            expected,
+            rtol=fused.tolerance,
+            atol=1e-6,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# estimator integration
+
+
+class TestEstimatorPlanAttachment:
+    def test_attach_validates_model_and_slab(self, model, imdb_featurizer):
+        estimator = CRNEstimator(model, imdb_featurizer, batch_size=128)
+        other = CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=99))
+        with pytest.raises(ValueError, match="different model"):
+            estimator.attach_plan(compile_plan(other, slab_size=128))
+        with pytest.raises(ValueError, match="slab"):
+            estimator.attach_plan(compile_plan(model, slab_size=64))
+        plan = compile_plan(model, slab_size=128)
+        estimator.attach_plan(plan)
+        assert estimator.inference_plan is plan
+        estimator.detach_plan()
+        assert estimator.inference_plan is None
+
+    def test_attached_plan_serves_identical_rates(self, model, imdb_featurizer):
+        estimator = CRNEstimator(model, imdb_featurizer, batch_size=256)
+        first, second = encodings(model.hidden_size, 40)
+        reference = estimator._head_rates(first, second)
+        estimator.attach_plan(compile_plan(model, slab_size=256))
+        assert estimator._head_rates(first, second).tobytes() == reference.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# the pool index's negotiated float32 layout
+
+
+class TestIndexDtypeNegotiation:
+    def test_rejects_unsupported_dtypes(self, pool):
+        index = PoolEncodingIndex(pool)
+        with pytest.raises(ValueError, match="slab dtype"):
+            index.negotiate_dtype(np.int16)
+
+    def test_float32_layout_adds_mirrors_and_keeps_canonical_rows(
+        self, model, imdb_featurizer, pool, workload
+    ):
+        index = PoolEncodingIndex(pool)
+        estimator = Cnt2CrdEstimator(
+            CRNEstimator(model, imdb_featurizer, batch_size=256),
+            pool,
+            pool_index=index,
+        )
+        index.negotiate_dtype(np.float32)
+        query = next(q for q in workload if pool.has_match(q))
+        slab = index.resolve(estimator, query)
+        assert slab is not None
+        assert slab.first.dtype == np.float64  # canonical rows stay float64
+        assert slab.first_f32 is not None and slab.first_f32.dtype == np.float32
+        assert slab.second_f32 is not None and slab.second_f32.dtype == np.float32
+        np.testing.assert_allclose(slab.first_f32, slab.first.astype(np.float32))
+        # Negotiating back to float64 drops the mirrors.
+        index.negotiate_dtype(np.float64)
+        slab = index.resolve(estimator, query)
+        assert slab.first_f32 is None and slab.second_f32 is None
+
+    def test_negotiated_layout_survives_rebind(
+        self, model, imdb_featurizer, pool, workload
+    ):
+        # A lifecycle hot swap replaces the model, not the inference mode:
+        # the rebound index must keep building float32 mirrors.
+        index = PoolEncodingIndex(pool)
+        index.negotiate_dtype(np.float32)
+        replacement = CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=77))
+        index.rebind(replacement, pool=pool)
+        estimator = Cnt2CrdEstimator(
+            CRNEstimator(replacement, imdb_featurizer, batch_size=256),
+            pool,
+            pool_index=index,
+        )
+        query = next(q for q in workload if pool.has_match(q))
+        slab = index.resolve(estimator, query)
+        assert slab is not None and slab.first_f32 is not None
+
+
+# --------------------------------------------------------------------------- #
+# configuration
+
+
+class TestInferenceConfig:
+    def test_defaults_are_reference_float64(self):
+        section = InferenceConfig()
+        assert section.mode == "reference"
+        assert section.slab_dtype == "float64"
+        assert section.tolerance == 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            InferenceConfig(mode="jit")
+        with pytest.raises(ValueError, match="slab_dtype"):
+            InferenceConfig(mode="compiled", slab_dtype="float16")
+        with pytest.raises(ValueError, match="tolerance"):
+            InferenceConfig(tolerance=-1.0)
+        with pytest.raises(ValueError, match="reference"):
+            InferenceConfig(mode="reference", slab_dtype="float32")
+
+    def test_mapping_round_trip(self, model, imdb_featurizer, pool):
+        config = ServingConfig(
+            model=model,
+            featurizer=imdb_featurizer,
+            pool=pool,
+            inference=InferenceConfig(mode="compiled", slab_dtype="float32", tolerance=5e-4),
+        )
+        mapping = json.loads(json.dumps(config.to_mapping()))
+        assert mapping["inference"] == {
+            "mode": "compiled",
+            "slab_dtype": "float32",
+            "tolerance": 5e-4,
+        }
+        rebuilt = ServingConfig.from_mapping(
+            mapping, model=model, featurizer=imdb_featurizer, pool=pool
+        )
+        assert rebuilt.inference == config.inference
+
+
+# --------------------------------------------------------------------------- #
+# client end to end
+
+
+class TestCompiledServing:
+    def start_client(self, model, imdb_featurizer, pool, mode, dtype="float64", **overrides):
+        config = ServingConfig(
+            model=model,
+            featurizer=imdb_featurizer,
+            pool=pool,
+            inference=InferenceConfig(mode=mode, slab_dtype=dtype),
+            **overrides,
+        )
+        return ServingClient.start(config)
+
+    def test_compiled_float64_serves_bit_identical_estimates(
+        self, model, imdb_featurizer, pool, workload
+    ):
+        reference = self.start_client(model, imdb_featurizer, pool, "reference")
+        compiled = self.start_client(model, imdb_featurizer, pool, "compiled")
+        try:
+            assert compiled.stack.inference_plan is not None
+            for ref, fast in zip(
+                reference.estimate_many(workload), compiled.estimate_many(workload)
+            ):
+                assert np.float64(ref.estimate).tobytes() == np.float64(fast.estimate).tobytes()
+        finally:
+            reference.shutdown()
+            compiled.shutdown()
+
+    def test_compiled_float32_stays_within_tolerance_across_pool_adds(
+        self, model, imdb_featurizer, pool, workload, imdb_small, imdb_oracle
+    ):
+        reference = self.start_client(model, imdb_featurizer, pool, "reference")
+        compiled = self.start_client(model, imdb_featurizer, pool, "compiled", dtype="float32")
+        try:
+            plan = compiled.stack.inference_plan
+            assert plan is not None and plan.dtype == np.float32
+            extra = build_queries_pool_queries(imdb_small, count=8, seed=41, oracle=imdb_oracle)
+
+            def check(queries):
+                for ref, fast in zip(
+                    reference.estimate_many(queries), compiled.estimate_many(queries)
+                ):
+                    if ref.used_fallback or fast.used_fallback:
+                        continue
+                    scale = max(abs(ref.estimate), 1.0)
+                    assert abs(fast.estimate - ref.estimate) <= plan.tolerance * scale
+
+            check(workload)
+            # Mid-serving pool adds: the index appends mirrored rows and the
+            # compiled path keeps tracking the reference estimates.
+            for labeled in extra:
+                pool.add(labeled.query, labeled.cardinality)
+            check(workload)
+        finally:
+            reference.shutdown()
+            compiled.shutdown()
+
+    def test_plan_compile_event_and_history_view(self, model, imdb_featurizer, pool):
+        client = self.start_client(
+            model,
+            imdb_featurizer,
+            pool,
+            "compiled",
+            dtype="float32",
+            observability=ObservabilityConfig(enabled=True),
+        )
+        try:
+            client.recorder.flush()
+            history = client.event_store.plan_history()
+            assert len(history) == 1
+            row = history[0]
+            assert row["kind"] == "plan_compile"
+            assert row["dtype"] == "float32"
+            assert row["nodes"] == client.stack.inference_plan.num_nodes
+        finally:
+            client.shutdown()

@@ -64,6 +64,24 @@ class TestStateDict:
         inputs = Tensor(np.ones((2, 3)))
         np.testing.assert_allclose(model(inputs).numpy(), clone(inputs).numpy())
 
+    def test_snapshot_is_isolated_from_later_training(self):
+        # state_dict must hand back copies, never live parameter arrays: a
+        # checkpoint taken before an optimizer step (or a compiled inference
+        # plan freezing weights) must not be rewritten by later training.
+        model = Sequential(Linear(3, 2, rng=np.random.default_rng(3)))
+        state = model.state_dict()
+        frozen = {name: value.copy() for name, value in state.items()}
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        for name in state:
+            np.testing.assert_array_equal(state[name], frozen[name])
+        # And symmetrically: poking the snapshot leaves the model alone.
+        live = {name: p.data.copy() for name, p in model.named_parameters()}
+        for value in state.values():
+            value[...] = -123.0
+        for name, parameter in model.named_parameters():
+            np.testing.assert_array_equal(parameter.data, live[name])
+
     def test_missing_key_rejected(self):
         model = Sequential(Linear(3, 2, rng=np.random.default_rng(3)))
         state = model.state_dict()

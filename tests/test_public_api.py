@@ -19,6 +19,7 @@ from repro.serving.config import (
     DispatcherConfig,
     EstimatorConfig,
     FeedbackConfig,
+    InferenceConfig,
     ObservabilityConfig,
     PoolConfig,
     ServingConfig,
@@ -50,6 +51,8 @@ EXPECTED_SERVING_ALL = [
     "FeedbackObservation",
     "FeedbackSummary",
     "IndexedSlab",
+    "InferenceConfig",
+    "InferencePlan",
     "LifecycleStats",
     "NoMatchingPoolQueryError",
     "ObservabilityConfig",
@@ -68,6 +71,7 @@ EXPECTED_SERVING_ALL = [
     "UnknownEstimatorError",
     "build_crn_service",
     "build_service_stack",
+    "compile_plan",
 ]
 
 EXPECTED_SERVED_ESTIMATE_FIELDS = [
@@ -112,6 +116,7 @@ EXPECTED_CONFIG_FIELDS = {
         "feedback",
         "adaptation",
         "observability",
+        "inference",
     ],
     EstimatorConfig: ["name", "fallback_name", "final_function", "epsilon", "batch_size"],
     PoolConfig: ["warm", "use_index"],
@@ -137,6 +142,7 @@ EXPECTED_CONFIG_FIELDS = {
         "seed",
     ],
     ObservabilityConfig: ["enabled", "capacity", "sqlite_path", "source"],
+    InferenceConfig: ["mode", "slab_dtype", "tolerance"],
 }
 
 EXPECTED_CLIENT_METHODS = [

@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.baselines import PostgresCardinalityEstimator
@@ -20,6 +21,7 @@ from repro.core import (
 from repro.datasets import build_queries_pool_queries, build_training_pairs
 from repro.datasets.imdb import SyntheticIMDbConfig, build_synthetic_imdb
 from repro.db import TrueCardinalityOracle
+from repro.observability import EventRecorder, EventStore
 from repro.serving import (
     AdaptationManager,
     CRNRetrainer,
@@ -28,6 +30,7 @@ from repro.serving import (
     FeedbackCollector,
     ServingDispatcher,
     build_crn_service,
+    compile_plan,
 )
 
 
@@ -370,6 +373,51 @@ class TestAdaptationManager:
         assert outcome.action == "rejected"
         assert service.get("crn") is before
         assert outcome.incumbent_q_error != outcome.incumbent_q_error  # NaN
+
+    def test_promote_recompiles_the_inference_plan(self, trained, imdb_small, pool):
+        # A compiled-mode deployment must come out of a hot swap still
+        # compiled: the candidate gets its own freshly compiled plan (same
+        # dtype/slab/tolerance contract) before the registry swap, and the
+        # plan lifecycle lands in the event store as plan_compile+plan_swap.
+        service, _, _, manager = self.build(trained, imdb_small, pool)
+        store = EventStore()
+        service.recorder = EventRecorder(store=store)
+        incumbent = service.get("crn").containment_estimator
+        plan = compile_plan(
+            trained.model,
+            dtype=np.float32,
+            slab_size=incumbent.batch_size,
+            tolerance=5e-4,
+        )
+        incumbent.attach_plan(plan)
+        if service.pool_index is not None:
+            service.pool_index.negotiate_dtype(np.float32)
+        outcome = manager.trigger()
+        assert outcome.swapped
+        swapped = service.get("crn").containment_estimator
+        recompiled = swapped.inference_plan
+        assert recompiled is not None and recompiled is not plan
+        assert recompiled.model is swapped.model
+        assert recompiled.dtype == plan.dtype
+        assert recompiled.slab_size == plan.slab_size
+        assert recompiled.tolerance == plan.tolerance
+        # The incumbent keeps its own plan (rollback never needs a re-attach).
+        assert incumbent.inference_plan is plan
+        service.recorder.flush()
+        history = store.plan_history()
+        assert [(row["kind"], row["outcome"]) for row in history] == [
+            ("plan_compile", None),
+            ("plan_swap", "promoted"),
+        ]
+        generation = service.generation("crn")
+        assert all(row["model_generation"] == generation for row in history)
+        assert all(row["dtype"] == "float32" for row in history)
+
+    def test_reference_mode_swap_compiles_nothing(self, trained, imdb_small, pool):
+        service, _, _, manager = self.build(trained, imdb_small, pool)
+        assert service.get("crn").containment_estimator.inference_plan is None
+        assert manager.trigger().swapped
+        assert service.get("crn").containment_estimator.inference_plan is None
 
     def test_promote_rebuilds_the_pool_index_before_the_swap(
         self, trained, imdb_small, pool, workload
