@@ -48,6 +48,7 @@ from repro.serving import (
     RequestOptions,
     ServingClient,
     ServingConfig,
+    TracingConfig,
 )
 
 SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
@@ -100,6 +101,10 @@ def test_adaptive_serving(results_dir, bench_record):
         observability=ObservabilityConfig(
             enabled=True, capacity=1 << 15, sqlite_path=str(event_db)
         ),
+        # Tail-sampled tracing: the artifact carries full span trees for the
+        # slowest requests of the episode (scripts/trace_report.py smoke-runs
+        # against this file in CI).
+        tracing=TracingConfig(enabled=True, sample_every=8),
         adaptation=AdaptationConfig(
             enabled=True,
             quantile=0.5,  # the median shifts ~3x with the data; the p90+
@@ -222,6 +227,12 @@ def test_adaptive_serving(results_dir, bench_record):
         swaps = story.swap_history()
         assert [swap["model_generation"] for swap in swaps][-1] == post_swap_generation
         assert counts.get("request_served", 0) >= 2 * WORKLOAD_SIZE
+        # The trace record rode along: sampled span trees (with at least the
+        # slowest request's), the shared batch spans, and the swap itself.
+        assert counts.get("span", 0) >= 1, "no spans reached the store"
+        assert story.slowest_traces(1), "no request trace was kept"
+        span_names = {row["name"] for row in story.span_kind_latency()}
+        assert "model_swap" in span_names, "the hot swap left no span"
     evaluation = evaluate_adaptation(manager, pre_update, degraded, recovered)
     bench_record(
         "serving",

@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Inspect stored request traces: trees, flame aggregates, critical-path diffs.
+
+The serving stack's :class:`repro.observability.Tracer` sinks per-request
+span trees into the same SQLite event store everything else lands in
+(``spans`` / ``span_links`` tables).  This script is the operator's view of
+those tables — the "why was this request slow" tool:
+
+Subcommands::
+
+    trace_report.py show  STORE [--trace ID | --slowest N]   # span trees
+    trace_report.py flame STORE                              # per-kind aggregate
+    trace_report.py diff  STORE_A STORE_B                    # critical-path diff
+
+``show`` renders each selected trace as an indented tree: the request root,
+its own stages (``queue_wait``), and its fan-in links to shared spans
+(``dispatcher_batch``, ``service_batch`` and the stages nested under it)
+with the amortized share each contributed.  The critical-path line ranks
+where the request's wall-clock actually went: queue wait, the amortized
+batch share, and unattributed remainder.
+
+``flame`` aggregates every stored span by kind — a text flame graph: one bar
+per span name, scaled by total seconds, with counts and mean/max.
+
+``diff`` compares the per-kind totals **normalized per traced request**
+between two stores, so "the p99 moved because queue_wait doubled" is one
+command against the before/after artifacts.
+
+Exit codes: 0 ok, 2 usage error (missing file / unknown trace), 3 the store
+has no spans (empty or untraced run) — CI smoke-runs ``show --slowest 1``
+against the adaptive-serving artifact and treats nonzero as a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.observability.store import EventStore  # noqa: E402
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_EMPTY = 3
+
+#: Span attributes worth echoing inline in the tree view, in display order.
+_SHOWN_ATTRIBUTES = (
+    "estimator",
+    "resolution",
+    "mode",
+    "size",
+    "groups",
+    "rows",
+    "planned_pairs",
+    "scored_pairs",
+    "pairs",
+    "requests",
+    "signature",
+    "error",
+)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.3f}ms"
+
+
+def _attr_suffix(attributes: dict) -> str:
+    shown = [
+        f"{key}={attributes[key]}" for key in _SHOWN_ATTRIBUTES if key in attributes
+    ]
+    return f"  [{', '.join(shown)}]" if shown else ""
+
+
+def _open_store(path: str) -> EventStore | None:
+    if not Path(path).is_file():
+        print(f"error: no such store: {path}", file=sys.stderr)
+        return None
+    try:
+        store = EventStore(path)
+        store.query("SELECT 1 FROM spans LIMIT 1")
+    except Exception as error:  # malformed / not a SQLite event store
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return None
+    return store
+
+
+def _span_count(store: EventStore) -> int:
+    return int(store.query("SELECT COUNT(*) AS n FROM spans")[0]["n"])
+
+
+def render_trace(store: EventStore, trace_id: str) -> list[str]:
+    """One trace as an indented tree plus its critical-path line."""
+    spans = store.spans_for_trace(trace_id)
+    if not spans:
+        return []
+    links = store.links_for_trace(trace_id)
+    by_parent: dict[str, list[dict]] = {}
+    for span in spans:
+        by_parent.setdefault(span["parent_id"], []).append(span)
+
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{_ms(span['duration_seconds'])}  {span['name']}"
+            f"{_attr_suffix(span['attributes'])}"
+        )
+        for child in by_parent.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    roots = by_parent.get("", [])
+    root = roots[0] if roots else spans[0]
+    lines.append(f"trace {trace_id}  (source {root['source']})")
+    walk(root, 1)
+    amortized_total = 0.0
+    for link in links:
+        shared = link["span_name"]
+        duration = link.get("duration_seconds")
+        batch = (
+            f" of {_ms(duration).strip()} shared ({link.get('span_members') or '?'}"
+            " members)"
+            if duration is not None
+            else ""
+        )
+        if link["link_kind"] == "amortized":
+            amortized_total += link["amortized_seconds"]
+            lines.append(
+                f"    {_ms(link['amortized_seconds'])}  ~ {shared}{batch}"
+                " [amortized share]"
+            )
+        else:
+            lines.append(f"    {'':>10}  ~ {shared}{batch} [context]")
+    own = sum(
+        span["duration_seconds"] for span in by_parent.get(root["span_id"], [])
+    )
+    root_seconds = root["duration_seconds"]
+    latency = float(root["attributes"].get("latency_seconds", "nan"))
+    parts = [
+        ("queue/own stages", own),
+        ("amortized batch share", amortized_total),
+        ("unattributed", max(root_seconds - own - amortized_total, 0.0)),
+    ]
+    parts.sort(key=lambda item: item[1], reverse=True)
+    path = ", ".join(f"{name} {_ms(value).strip()}" for name, value in parts)
+    lines.append(f"  critical path: {path}")
+    lines.append(
+        f"  latency_seconds {_ms(latency).strip()} vs amortized "
+        f"{_ms(amortized_total).strip()}"
+    )
+    return lines
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return EXIT_USAGE
+    if not _span_count(store):
+        print(f"error: {args.store} contains no spans", file=sys.stderr)
+        return EXIT_EMPTY
+    if args.trace:
+        trace_ids = [args.trace]
+    else:
+        trace_ids = [row["trace_id"] for row in store.slowest_traces(args.slowest)]
+    shown = 0
+    for trace_id in trace_ids:
+        lines = render_trace(store, trace_id)
+        if not lines:
+            print(f"error: no such trace: {trace_id}", file=sys.stderr)
+            return EXIT_USAGE
+        if shown:
+            print()
+        print("\n".join(lines))
+        shown += 1
+    if not shown:
+        print(f"error: {args.store} has no request traces", file=sys.stderr)
+        return EXIT_EMPTY
+    return EXIT_OK
+
+
+def _flame_rows(store: EventStore) -> list[dict]:
+    return store.span_kind_latency()
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return EXIT_USAGE
+    rows = _flame_rows(store)
+    if not rows:
+        print(f"error: {args.store} contains no spans", file=sys.stderr)
+        return EXIT_EMPTY
+    rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+    top = rows[0]["total_seconds"] or 1.0
+    width = max(len(row["name"]) for row in rows)
+    print(
+        "span kind".ljust(width)
+        + "spans".rjust(8)
+        + "total".rjust(12)
+        + "mean".rjust(12)
+        + "max".rjust(12)
+        + "  flame"
+    )
+    for row in rows:
+        bar = "#" * max(1, round(40 * row["total_seconds"] / top))
+        print(
+            row["name"].ljust(width)
+            + f"{row['spans']:8d}"
+            + f"{row['total_seconds'] * 1e3:10.2f}ms"
+            + f"{row['mean_ms']:10.3f}ms"
+            + f"{row['max_ms']:10.3f}ms"
+            + f"  {bar}"
+        )
+    return EXIT_OK
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    store_a = _open_store(args.store_a)
+    if store_a is None:
+        return EXIT_USAGE
+    store_b = _open_store(args.store_b)
+    if store_b is None:
+        return EXIT_USAGE
+    sides = []
+    for label, store in ((args.store_a, store_a), (args.store_b, store_b)):
+        rows = _flame_rows(store)
+        if not rows:
+            print(f"error: {label} contains no spans", file=sys.stderr)
+            return EXIT_EMPTY
+        requests = next(
+            (row["spans"] for row in rows if row["name"] == "request"), 0
+        ) or 1
+        sides.append(
+            {row["name"]: row["total_seconds"] / requests for row in rows}
+        )
+    before, after = sides
+    names = sorted(set(before) | set(after))
+    width = max(len(name) for name in names)
+    print(
+        "per-request seconds by span kind"
+        f"  (A={args.store_a}, B={args.store_b})"
+    )
+    print(
+        "span kind".ljust(width)
+        + "A".rjust(12)
+        + "B".rjust(12)
+        + "delta".rjust(12)
+    )
+    for name in names:
+        a = before.get(name, 0.0)
+        b = after.get(name, 0.0)
+        print(
+            name.ljust(width)
+            + f"{a * 1e3:10.3f}ms"
+            + f"{b * 1e3:10.3f}ms"
+            + f"{(b - a) * 1e3:+10.3f}ms"
+        )
+    return EXIT_OK
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="render span trees for stored traces")
+    show.add_argument("store", help="path to the SQLite event store")
+    group = show.add_mutually_exclusive_group()
+    group.add_argument("--trace", help="render exactly this trace id")
+    group.add_argument(
+        "--slowest",
+        type=int,
+        default=1,
+        metavar="N",
+        help="render the N slowest traced requests (default 1)",
+    )
+    show.set_defaults(func=cmd_show)
+
+    flame = sub.add_parser("flame", help="aggregate stored spans by kind")
+    flame.add_argument("store", help="path to the SQLite event store")
+    flame.set_defaults(func=cmd_flame)
+
+    diff = sub.add_parser(
+        "diff", help="critical-path diff between two stores, per request"
+    )
+    diff.add_argument("store_a", help="baseline SQLite event store")
+    diff.add_argument("store_b", help="comparison SQLite event store")
+    diff.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping to `head` closes stdout early; exit quietly like other
+        # line-oriented tools instead of spewing a traceback.
+        sys.stderr.close()
+        sys.exit(0)

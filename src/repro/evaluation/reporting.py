@@ -150,6 +150,9 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("deduplicated_pairs", "pairs deduplicated", "{:.0f}"),
     ("fallbacks", "fallback answers", "{:.0f}"),
     ("mean_latency_ms", "mean latency", "{:.2f}ms"),
+    ("latency_p50_ms", "latency p50", "{:.2f}ms"),
+    ("latency_p90_ms", "latency p90", "{:.2f}ms"),
+    ("latency_p99_ms", "latency p99", "{:.2f}ms"),
     ("throughput_qps", "throughput", "{:.0f} qps"),
     ("featurization_hit_rate", "featurization hit rate", "{:.1%}"),
     ("featurization_entries", "featurizations cached", "{:.0f}"),
@@ -170,6 +173,9 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("coalesced_requests", "requests coalesced", "{:.0f}"),
     ("mean_batch_size", "mean batch size", "{:.1f}"),
     ("max_queue_depth", "max queue depth", "{:.0f}"),
+    ("queue_wait_p50_ms", "queue wait p50", "{:.2f}ms"),
+    ("queue_wait_p99_ms", "queue wait p99", "{:.2f}ms"),
+    ("queue_wait_max_ms", "queue wait max", "{:.2f}ms"),
     ("evaluations", "drift evaluations", "{:.0f}"),
     ("drift_triggers", "drift triggers", "{:.0f}"),
     ("manual_triggers", "manual triggers", "{:.0f}"),
@@ -190,6 +196,12 @@ _SERVICE_STAT_ROWS: tuple[tuple[str, str, str], ...] = (
     ("feedback_observations", "feedback observations", "{:.0f}"),
     ("feedback_p50_q_error", "feedback p50 q-error", "{:.2f}"),
     ("feedback_p90_q_error", "feedback p90 q-error", "{:.2f}"),
+    ("traces_started", "traces started", "{:.0f}"),
+    ("traces_finished", "traces finished", "{:.0f}"),
+    ("traces_kept", "traces kept", "{:.0f}"),
+    ("traces_dropped", "traces dropped", "{:.0f}"),
+    ("trace_tail_exemplars", "trace tail exemplars", "{:.0f}"),
+    ("shared_spans", "shared spans recorded", "{:.0f}"),
     ("events_emitted", "events emitted", "{:.0f}"),
     ("events_buffered", "events buffered", "{:.0f}"),
     ("events_dropped", "events dropped", "{:.0f}"),

@@ -19,6 +19,13 @@ durable:
 * :mod:`repro.observability.recorder` — :class:`EventRecorder`, the
   buffer+store façade the serving stack holds (enabled through
   :class:`repro.serving.ObservabilityConfig`);
+* :mod:`repro.observability.tracing` — :class:`Tracer`, per-request span
+  trees with coalescing-aware fan-in attribution (shared batch/kernel spans
+  recorded once, linked to member traces with explicit amortized shares)
+  and head + tail-exemplar sampling;
+* :mod:`repro.observability.histogram` — :class:`LatencyHistogram`,
+  fixed-memory log-bucketed latency distributions with mergeable snapshots
+  and a one-bucket-width quantile error bound;
 * :mod:`repro.observability.bench` — the machine-readable benchmark result
   schema and the ``BENCH_serving.json`` / ``BENCH_repro.json`` trajectory
   files that ``scripts/bench_report.py`` diffs and gates in CI.
@@ -54,11 +61,15 @@ from repro.observability.events import (
     PlanCompiled,
     PlanSwap,
     RequestServed,
+    SpanLinked,
+    SpanRecorded,
     StatsDrained,
     event_from_payload,
 )
+from repro.observability.histogram import HistogramSnapshot, LatencyHistogram
 from repro.observability.recorder import EventRecorder
 from repro.observability.store import EventStore
+from repro.observability.tracing import RequestTrace, SpanHandle, Tracer
 
 __all__ = [
     "AcceptGateDecision",
@@ -73,13 +84,20 @@ __all__ = [
     "EventRecorder",
     "EventStore",
     "FeedbackRecorded",
+    "HistogramSnapshot",
     "IndexBuild",
+    "LatencyHistogram",
     "ModelSwap",
     "PlanCompiled",
     "PlanSwap",
     "RequestServed",
+    "RequestTrace",
     "SCHEMA_VERSION",
+    "SpanHandle",
+    "SpanLinked",
+    "SpanRecorded",
     "StatsDrained",
+    "Tracer",
     "current_profile",
     "env_fingerprint",
     "event_from_payload",

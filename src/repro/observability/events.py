@@ -43,6 +43,14 @@ The taxonomy (``kind`` → emitted by):
 ``stats_drained``         :meth:`repro.serving.EstimationService.drain_stats`
                           — the drained counter snapshot, so draining moves
                           history into the store instead of discarding it.
+``span``                  :class:`repro.observability.tracing.Tracer`, one per
+                          completed (and kept) tracing span — request roots,
+                          per-request stages, and shared batch/kernel spans.
+                          Routed to the store's ``spans`` table.
+``span_link``             the same tracer, one per fan-in link from a request
+                          trace to a shared span, carrying the request's
+                          ``amortized_seconds`` share.  Routed to the store's
+                          ``span_links`` table.
 ========================  ====================================================
 
 Each event exposes :meth:`Event.payload` (every field, a plain dict) and
@@ -263,6 +271,64 @@ class PlanSwap(Event):
 
 
 @dataclass(frozen=True)
+class SpanRecorded(Event):
+    """One completed tracing span (see :mod:`repro.observability.tracing`).
+
+    A span is a timed region of the serving pipeline, attributed to a trace
+    (one request, or one shared batch).  ``parent_id`` is empty for a trace's
+    root span; ``members`` is how many requests a *shared* span served (1 for
+    request-owned spans).  ``name`` is the span taxonomy kind (``request``,
+    ``queue_wait``, ``dispatcher_batch``, ``service_batch``, ``plan``,
+    ``pair_rates``, ``slab_kernel``, ``collapse``, ``index_build``, ...);
+    the event-kind discriminator stays ``span`` so every span lands in the
+    store's ``spans`` table.
+    """
+
+    kind: ClassVar[str] = "span"
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    start: float
+    duration_seconds: float
+    estimator_name: str = ""
+    members: int = 1
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def value(self) -> float:
+        return self.duration_seconds
+
+
+@dataclass(frozen=True)
+class SpanLinked(Event):
+    """One fan-in link from a request trace to a shared span.
+
+    Coalescing means one ``dispatcher_batch`` / ``service_batch`` /
+    ``slab_kernel`` span serves N requests; the shared span is recorded
+    **once** (:class:`SpanRecorded`) and each member request links to it
+    here, with its share of the shared time made explicit in
+    ``amortized_seconds``.  ``link_kind`` is ``"amortized"`` when the share
+    counts toward the request's ``latency_seconds`` accounting, or
+    ``"context"`` for links that carry attribution without time (the
+    dispatcher batch wraps the service batch, so counting both would
+    double-book the same wall clock).
+    """
+
+    kind: ClassVar[str] = "span_link"
+
+    trace_id: str
+    span_id: str
+    span_name: str
+    amortized_seconds: float
+    members: int = 1
+    link_kind: str = "amortized"
+
+    def value(self) -> float:
+        return self.amortized_seconds
+
+
+@dataclass(frozen=True)
 class StatsDrained(Event):
     """One drained service-counter snapshot.
 
@@ -299,6 +365,8 @@ EVENT_KINDS: dict[str, type[Event]] = {
         ModelSwap,
         PlanCompiled,
         PlanSwap,
+        SpanRecorded,
+        SpanLinked,
         StatsDrained,
     )
 }
@@ -316,4 +384,8 @@ def event_from_payload(kind: str, payload: dict[str, Any]) -> Event:
     values = {key: value for key, value in payload.items() if key in known}
     if "reasons" in values and isinstance(values["reasons"], list):
         values["reasons"] = tuple(values["reasons"])
+    if "attributes" in values and isinstance(values["attributes"], list):
+        values["attributes"] = tuple(
+            (str(key), str(value)) for key, value in values["attributes"]
+        )
     return cls(**values)

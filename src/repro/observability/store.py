@@ -55,6 +55,42 @@ CREATE TABLE IF NOT EXISTS events (
 );
 CREATE INDEX IF NOT EXISTS idx_events_kind ON events (kind);
 CREATE INDEX IF NOT EXISTS idx_events_estimator ON events (estimator);
+-- The composite index the quantile/aggregate queries actually want: every
+-- one of them filters on kind (often plus estimator), and the single-column
+-- indexes above cannot serve both predicates at once.
+CREATE INDEX IF NOT EXISTS idx_events_kind_estimator ON events (kind, estimator);
+
+CREATE TABLE IF NOT EXISTS spans (
+    source TEXT NOT NULL,
+    sequence INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    trace_id TEXT NOT NULL,
+    span_id TEXT NOT NULL,
+    parent_id TEXT NOT NULL,
+    name TEXT NOT NULL,
+    start REAL NOT NULL,
+    duration_seconds REAL NOT NULL,
+    estimator TEXT,
+    members INTEGER NOT NULL DEFAULT 1,
+    attributes TEXT NOT NULL,
+    PRIMARY KEY (source, sequence)
+);
+CREATE INDEX IF NOT EXISTS idx_spans_trace ON spans (trace_id);
+CREATE INDEX IF NOT EXISTS idx_spans_name ON spans (name);
+
+CREATE TABLE IF NOT EXISTS span_links (
+    source TEXT NOT NULL,
+    sequence INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    trace_id TEXT NOT NULL,
+    span_id TEXT NOT NULL,
+    span_name TEXT NOT NULL,
+    amortized_seconds REAL NOT NULL,
+    members INTEGER NOT NULL DEFAULT 1,
+    link_kind TEXT NOT NULL,
+    PRIMARY KEY (source, sequence)
+);
+CREATE INDEX IF NOT EXISTS idx_span_links_trace ON span_links (trace_id);
 
 CREATE VIEW IF NOT EXISTS view_per_estimator_q_error AS
     SELECT estimator,
@@ -103,6 +139,39 @@ CREATE VIEW IF NOT EXISTS view_event_counts AS
     SELECT kind, COUNT(*) AS events
     FROM events
     GROUP BY kind;
+
+CREATE VIEW IF NOT EXISTS view_span_kind_latency AS
+    SELECT name,
+           COUNT(*)                     AS spans,
+           SUM(duration_seconds)        AS total_seconds,
+           AVG(duration_seconds) * 1000 AS mean_ms,
+           MAX(duration_seconds) * 1000 AS max_ms
+    FROM spans
+    GROUP BY name;
+
+-- Critical-path breakdown per traced request: the root span's wall time,
+-- the sum of its request-owned stage spans, and the sum of its amortized
+-- shares of linked batch/kernel spans.  The fan-in attribution contract is
+-- own_seconds + amortized_seconds ~= latency-accounted time (context links
+-- are excluded: they carry attribution, not additional wall clock).
+CREATE VIEW IF NOT EXISTS view_trace_accounting AS
+    SELECT s.trace_id,
+           s.source,
+           s.estimator,
+           s.start,
+           s.duration_seconds AS root_seconds,
+           CAST(json_extract(s.attributes, '$.latency_seconds') AS REAL)
+               AS latency_seconds,
+           (SELECT COALESCE(SUM(c.duration_seconds), 0)
+              FROM spans c
+             WHERE c.trace_id = s.trace_id AND c.parent_id = s.span_id)
+               AS own_seconds,
+           (SELECT COALESCE(SUM(l.amortized_seconds), 0)
+              FROM span_links l
+             WHERE l.trace_id = s.trace_id AND l.link_kind = 'amortized')
+               AS amortized_seconds
+    FROM spans s
+    WHERE s.parent_id = '' AND s.name = 'request';
 """
 
 
@@ -140,30 +209,87 @@ class EventStore:
         Records are deduplicated on ``(source, sequence)`` with
         ``INSERT OR IGNORE``: flushing the same batch twice is a no-op, so
         at-least-once delivery from the buffer becomes exactly-once storage.
+        Tracing events are routed to their own tables (``span`` →
+        ``spans``, ``span_link`` → ``span_links``); sequences come from the
+        recorder's single counter, so the dedup key stays unique across all
+        three tables.
         """
-        rows = [
-            (
-                source,
-                item.sequence,
-                item.timestamp,
-                item.event.kind,
-                item.event.estimator(),
-                item.event.model_generation(),
-                _clean(item.event.value()),
-                json.dumps(item.event.payload(), default=str),
-            )
-            for item in events
-        ]
-        if not rows:
+        rows = []
+        span_rows = []
+        link_rows = []
+        for item in events:
+            event = item.event
+            if event.kind == "span":
+                span_rows.append(
+                    (
+                        source,
+                        item.sequence,
+                        item.timestamp,
+                        event.trace_id,
+                        event.span_id,
+                        event.parent_id,
+                        event.name,
+                        event.start,
+                        event.duration_seconds,
+                        event.estimator() or None,
+                        event.members,
+                        json.dumps(dict(event.attributes)),
+                    )
+                )
+            elif event.kind == "span_link":
+                link_rows.append(
+                    (
+                        source,
+                        item.sequence,
+                        item.timestamp,
+                        event.trace_id,
+                        event.span_id,
+                        event.span_name,
+                        event.amortized_seconds,
+                        event.members,
+                        event.link_kind,
+                    )
+                )
+            else:
+                rows.append(
+                    (
+                        source,
+                        item.sequence,
+                        item.timestamp,
+                        event.kind,
+                        event.estimator(),
+                        event.model_generation(),
+                        _clean(event.value()),
+                        json.dumps(event.payload(), default=str),
+                    )
+                )
+        if not rows and not span_rows and not link_rows:
             return 0
         with self._lock:
             before = self._connection.total_changes
-            self._connection.executemany(
-                "INSERT OR IGNORE INTO events "
-                "(source, sequence, ts, kind, estimator, model_generation, value, payload) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                rows,
-            )
+            if rows:
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO events "
+                    "(source, sequence, ts, kind, estimator, model_generation, value, payload) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+            if span_rows:
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO spans "
+                    "(source, sequence, ts, trace_id, span_id, parent_id, name, "
+                    "start, duration_seconds, estimator, members, attributes) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    span_rows,
+                )
+            if link_rows:
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO span_links "
+                    "(source, sequence, ts, trace_id, span_id, span_name, "
+                    "amortized_seconds, members, link_kind) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    link_rows,
+                )
             self._connection.commit()
             return self._connection.total_changes - before
 
@@ -195,11 +321,16 @@ class EventStore:
         ]
 
     def counts(self) -> dict[str, int]:
-        """Events per kind (``view_event_counts``)."""
-        return {
+        """Events per kind (``view_event_counts`` plus the span tables)."""
+        counts = {
             row["kind"]: int(row["events"])
             for row in self.query("SELECT * FROM view_event_counts")
         }
+        for kind, table in (("span", "spans"), ("span_link", "span_links")):
+            n = int(self.query(f"SELECT COUNT(*) AS n FROM {table}")[0]["n"])
+            if n:
+                counts[kind] = n
+        return counts
 
     def per_estimator_q_error(self) -> list[dict[str, Any]]:
         """The ``view_per_estimator_q_error`` rows."""
@@ -217,40 +348,129 @@ class EventStore:
         """Compiled-plan lifecycle (compiles and handovers) by model generation."""
         return self.query("SELECT * FROM view_plan_history")
 
-    def latency_quantile(self, q: float, estimator: str | None = None) -> float:
+    def latency_quantile(
+        self, q: float, estimator: str | None = None, window: int | None = None
+    ) -> float:
         """An exact request-latency quantile in seconds (NaN with no data).
 
         SQLite has no percentile aggregate, so the quantile is computed by
-        ordering and offsetting — exact, if not O(1).
+        ordering and offsetting — exact, if not O(1).  ``window`` restricts
+        the computation to the most recent N matching events: periodic
+        ``stats()`` merges over a long episode should not rescan the full
+        table on every call.
         """
-        return self._value_quantile("request_served", q, estimator)
+        return self._value_quantile("request_served", q, estimator, window)
 
-    def q_error_quantile(self, q: float, estimator: str | None = None) -> float:
+    def q_error_quantile(
+        self, q: float, estimator: str | None = None, window: int | None = None
+    ) -> float:
         """An exact feedback q-error quantile (NaN with no data)."""
-        return self._value_quantile("feedback", q, estimator)
+        return self._value_quantile("feedback", q, estimator, window)
 
-    def _value_quantile(self, kind: str, q: float, estimator: str | None) -> float:
+    def _value_quantile(
+        self,
+        kind: str,
+        q: float,
+        estimator: str | None,
+        window: int | None = None,
+    ) -> float:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must lie in [0, 1], got {q!r}")
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive (or None), got {window!r}")
         clauses = ["kind = ?", "value IS NOT NULL"]
         parameters: list[Any] = [kind]
         if estimator is not None:
             clauses.append("estimator = ?")
             parameters.append(estimator)
         where = " AND ".join(clauses)
+        # The recency window keys on rowid: insertion order, which for one
+        # recorder is sequence order.  The (kind, estimator) composite index
+        # serves both the filter and the count without a full-table scan.
+        source = f"events WHERE {where}"
+        if window is not None:
+            source = (
+                f"(SELECT value FROM events WHERE {where} "
+                f"ORDER BY rowid DESC LIMIT {int(window)})"
+            )
+        rows = self.query(f"SELECT COUNT(*) AS n FROM {source}", parameters)
+        count = int(rows[0]["n"])
+        if not count:
+            return float("nan")
+        offset = min(count - 1, max(0, round(q * (count - 1))))
+        if window is not None:
+            rows = self.query(
+                f"SELECT value FROM {source} ORDER BY value LIMIT 1 OFFSET ?",
+                parameters + [offset],
+            )
+        else:
+            rows = self.query(
+                f"SELECT value FROM events WHERE {where} "
+                f"ORDER BY value LIMIT 1 OFFSET ?",
+                parameters + [offset],
+            )
+        return float(rows[0]["value"])
+
+    # ------------------------------------------------------------------ #
+    # traces
+
+    def spans_for_trace(self, trace_id: str) -> list[dict[str, Any]]:
+        """Every stored span of one trace, in start order, attributes parsed."""
         rows = self.query(
-            f"SELECT COUNT(*) AS n FROM events WHERE {where}", parameters
+            "SELECT * FROM spans WHERE trace_id = ? ORDER BY start, sequence",
+            [trace_id],
+        )
+        for row in rows:
+            row["attributes"] = json.loads(row["attributes"])
+        return rows
+
+    def links_for_trace(self, trace_id: str) -> list[dict[str, Any]]:
+        """One trace's fan-in links, joined to the shared spans they name."""
+        return self.query(
+            "SELECT l.*, s.duration_seconds, s.start AS span_start, "
+            "       s.members AS span_members "
+            "FROM span_links l "
+            "LEFT JOIN spans s ON s.source = l.source AND s.span_id = l.span_id "
+            "WHERE l.trace_id = ? ORDER BY l.sequence",
+            [trace_id],
+        )
+
+    def slowest_traces(self, n: int = 10) -> list[dict[str, Any]]:
+        """The N slowest fully-traced requests (root spans by duration)."""
+        return self.query(
+            "SELECT trace_id, source, estimator, start, duration_seconds "
+            "FROM spans WHERE parent_id = '' AND name = 'request' "
+            "ORDER BY duration_seconds DESC LIMIT ?",
+            [int(n)],
+        )
+
+    def span_kind_latency(self) -> list[dict[str, Any]]:
+        """The ``view_span_kind_latency`` rows (per-stage aggregates)."""
+        return self.query("SELECT * FROM view_span_kind_latency ORDER BY name")
+
+    def trace_accounting(self) -> list[dict[str, Any]]:
+        """The ``view_trace_accounting`` rows (critical-path breakdown)."""
+        return self.query(
+            "SELECT * FROM view_trace_accounting ORDER BY root_seconds DESC"
+        )
+
+    def span_duration_quantile(self, name: str, q: float) -> float:
+        """An exact per-stage duration quantile in seconds (NaN with no data)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q!r}")
+        rows = self.query(
+            "SELECT COUNT(*) AS n FROM spans WHERE name = ?", [name]
         )
         count = int(rows[0]["n"])
         if not count:
             return float("nan")
         offset = min(count - 1, max(0, round(q * (count - 1))))
         rows = self.query(
-            f"SELECT value FROM events WHERE {where} "
-            f"ORDER BY value LIMIT 1 OFFSET ?",
-            parameters + [offset],
+            "SELECT duration_seconds FROM spans WHERE name = ? "
+            "ORDER BY duration_seconds LIMIT 1 OFFSET ?",
+            [name, offset],
         )
-        return float(rows[0]["value"])
+        return float(rows[0]["duration_seconds"])
 
     def drained_totals(self) -> dict[str, float]:
         """The summed ``stats_drained`` counters across every drained interval.

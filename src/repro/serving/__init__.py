@@ -90,6 +90,7 @@ from repro.serving.config import (
     ObservabilityConfig,
     PoolConfig,
     ServingConfig,
+    TracingConfig,
 )
 from repro.serving.inference_plan import InferencePlan, compile_plan
 from repro.serving.dispatcher import DispatcherStats, ServingDispatcher
@@ -168,6 +169,7 @@ __all__ = [
     "ServingConfig",
     "ServingDispatcher",
     "ServingError",
+    "TracingConfig",
     "UnknownEstimatorError",
     "build_crn_service",
     "build_service_stack",

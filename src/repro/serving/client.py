@@ -51,6 +51,7 @@ from repro.core.crn import CRNEstimator
 from repro.observability.events import PlanCompiled
 from repro.observability.recorder import EventRecorder
 from repro.observability.store import EventStore
+from repro.observability.tracing import Tracer
 from repro.serving.cache import EncodingCache, FeaturizationCache
 from repro.serving.config import ServingConfig
 from repro.serving.dispatcher import ServingDispatcher
@@ -88,7 +89,9 @@ class ServiceStack:
 
 
 def build_service_stack(
-    config: ServingConfig, recorder: EventRecorder | None = None
+    config: ServingConfig,
+    recorder: EventRecorder | None = None,
+    tracer: Tracer | None = None,
 ) -> ServiceStack:
     """Wire an :class:`EstimationService` exactly as ``config`` describes.
 
@@ -98,7 +101,8 @@ def build_service_stack(
     :class:`repro.core.crn.CRNEstimator`, the pool encoding index, the
     :class:`repro.core.cnt2crd.Cnt2CrdEstimator`, the registry entries, and
     the warm-up all come from here.  ``recorder`` attaches *before* the
-    warm-up, so the initial pool-index slab builds are on the record too.
+    warm-up, so the initial pool-index slab builds are on the record too
+    (and ``tracer``, when given, captures them as ``index_build`` spans).
     """
     estimator_config = config.estimator
     featurization_cache = FeaturizationCache(
@@ -133,9 +137,11 @@ def build_service_stack(
         encoding_cache=encoding_cache,
         pool_index=pool_index,
         recorder=recorder,
+        tracer=tracer,
     )
     if pool_index is not None:
         pool_index.recorder = recorder
+        pool_index.tracer = tracer
     service.register(estimator_config.name, cnt2crd, default=True)
     if config.fallback_estimator is not None:
         service.register(estimator_config.fallback_name, config.fallback_estimator)
@@ -204,6 +210,7 @@ class ServingClient:
         self.config = config
         self.recorder: EventRecorder | None = None
         self.event_store: EventStore | None = None
+        self.tracer: Tracer | None = None
         if config.observability.enabled:
             observability = config.observability
             self.event_store = EventStore(observability.sqlite_path or ":memory:")
@@ -212,7 +219,17 @@ class ServingClient:
                 capacity=observability.capacity,
                 source=observability.source,
             )
-        stack = build_service_stack(config, recorder=self.recorder)
+        if config.tracing.enabled:
+            # ServingConfig already validated tracing implies observability,
+            # so the recorder the tracer sinks through exists here.
+            tracing = config.tracing
+            self.tracer = Tracer(
+                self.recorder,
+                sample_every=tracing.sample_every,
+                tail_quantile=tracing.tail_quantile,
+                min_tail_observations=tracing.min_tail_observations,
+            )
+        stack = build_service_stack(config, recorder=self.recorder, tracer=self.tracer)
         self.stack = stack
         self.service = stack.service
         self.collector: FeedbackCollector | None = None
@@ -469,6 +486,8 @@ class ServingClient:
             merged["feedback_observations"] = float(summary.count)
             merged["feedback_p50_q_error"] = summary.p50
             merged["feedback_p90_q_error"] = summary.p90
+        if self.tracer is not None:
+            merged.update(self.tracer.stats_snapshot())
         if self.recorder is not None:
             # Sink buffered events first, so the store-backed gauges below
             # (and any follow-up view queries) see everything emitted so far.

@@ -17,6 +17,9 @@ with one frozen object of nested sections:
 * :class:`AdaptationConfig` — drift policy + background retraining;
 * :class:`ObservabilityConfig` — the structured event log and its optional
   SQLite persistence (:mod:`repro.observability`);
+* :class:`TracingConfig` — per-request span trees with coalescing-aware
+  attribution and tail-exemplar sampling (:mod:`repro.observability.tracing`;
+  requires observability);
 * :class:`InferenceConfig` — reference ``Tensor`` inference vs a compiled
   :class:`repro.serving.InferencePlan`, and the compiled plan's slab dtype.
 
@@ -55,6 +58,7 @@ __all__ = [
     "ObservabilityConfig",
     "PoolConfig",
     "ServingConfig",
+    "TracingConfig",
 ]
 
 #: Mapping keys of the declarative sections, in rendering order (populated
@@ -246,6 +250,53 @@ class ObservabilityConfig:
             raise ValueError("observability source must be non-empty")
 
 
+@dataclass(frozen=True)
+class TracingConfig:
+    """Per-request distributed tracing (:mod:`repro.observability.tracing`).
+
+    Requires observability: spans sink through the same recorder and land in
+    the event store's ``spans`` / ``span_links`` tables, so enabling tracing
+    without :attr:`ObservabilityConfig.enabled` is a config error.
+
+    Attributes:
+        enabled: attach a :class:`repro.observability.Tracer` to the stack
+            (service, dispatcher, pool index, and the adaptation manager all
+            emit spans through it).  Off by default: the disabled cost is
+            one ``tracer is None`` test per instrumentation point.
+        sample_every: keep every N-th finished request trace (head
+            sampling); 1 keeps every trace, 0 keeps only tail exemplars.
+            Shared batch/kernel spans are always recorded regardless.
+        tail_quantile: requests at least one histogram bucket slower than
+            this quantile of the tracer's live latency histogram are kept in
+            full regardless of head sampling, so the slowest requests always
+            have a trace.  Ties with the bulk (a coalesced batch stamps one
+            latency on all members) are left to head sampling.
+        min_tail_observations: finished requests required before the tail
+            threshold is trusted (a request strictly slower than everything
+            before it is kept unconditionally even before that).
+    """
+
+    enabled: bool = False
+    sample_every: int = 1
+    tail_quantile: float = 0.95
+    min_tail_observations: int = 32
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 0:
+            raise ValueError(
+                f"sample_every must be non-negative, got {self.sample_every!r}"
+            )
+        if not 0.0 < self.tail_quantile <= 1.0:
+            raise ValueError(
+                f"tail_quantile must lie in (0, 1], got {self.tail_quantile!r}"
+            )
+        if self.min_tail_observations < 0:
+            raise ValueError(
+                f"min_tail_observations must be non-negative, "
+                f"got {self.min_tail_observations!r}"
+            )
+
+
 #: Inference execution modes.
 INFERENCE_MODES = ("reference", "compiled")
 #: Slab dtypes the compiled mode can negotiate with the pool index.
@@ -366,6 +417,7 @@ _SECTION_SPECS: tuple[tuple[str, type, str], ...] = (
     ("feedback", FeedbackConfig, "feedback"),
     ("adaptation", AdaptationConfig, "adaptation"),
     ("observability", ObservabilityConfig, "observability"),
+    ("tracing", TracingConfig, "tracing"),
     ("inference", InferenceConfig, "inference"),
 )
 _SECTIONS = tuple(key for key, _, _ in _SECTION_SPECS)
@@ -411,6 +463,7 @@ class ServingConfig:
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
     adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    tracing: TracingConfig = field(default_factory=TracingConfig)
     inference: InferenceConfig = field(default_factory=InferenceConfig)
 
     def __post_init__(self) -> None:
@@ -429,6 +482,11 @@ class ServingConfig:
                     f"extra estimator name {name!r} collides with a reserved "
                     f"registry name ({sorted(reserved)})"
                 )
+        if self.tracing.enabled and not self.observability.enabled:
+            raise ValueError(
+                "tracing.enabled requires observability.enabled: spans sink "
+                "through the event recorder into the store's spans tables"
+            )
         if self.adaptation.enabled:
             if not self.feedback.enabled:
                 raise ValueError(

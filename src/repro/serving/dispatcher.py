@@ -53,6 +53,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro.observability.histogram import LatencyHistogram
 from repro.serving.errors import DeadlineExceededError, DispatcherShutdownError
 from repro.serving.service import EstimateResult, EstimationService, RequestOptions
 from repro.sql.query import Query
@@ -75,6 +76,13 @@ class _PendingRequest:
     estimator: str | None
     future: Future
     options: RequestOptions | None = None
+    #: ``time.perf_counter()`` at enqueue; queue wait = pickup - enqueued_at.
+    enqueued_at: float = 0.0
+    #: Measured at batch pickup, stamped onto the result's provenance.
+    queue_wait_seconds: float = 0.0
+    #: The request's open :class:`repro.observability.RequestTrace` (None
+    #: when tracing is off).
+    trace: object | None = None
 
 
 class DispatcherStats:
@@ -93,6 +101,11 @@ class DispatcherStats:
         coalesced_requests: requests that shared a batch with at least one
             other request (the work the dispatcher amortized).
         max_queue_depth: deepest the request queue ever got.
+        queue_wait: a fixed-memory
+            :class:`repro.observability.LatencyHistogram` of enqueue→pickup
+            times — the dispatcher's share of end-to-end latency, previously
+            folded invisibly into wall time.  Rendered as the
+            ``queue_wait_p*_ms`` gauges in :meth:`snapshot`.
     """
 
     def __init__(self) -> None:
@@ -105,6 +118,7 @@ class DispatcherStats:
         self.coalesced_requests = 0
         self.max_queue_depth = 0
         self._occupancy_total = 0
+        self.queue_wait = LatencyHistogram()
 
     def record_submit(self, queue_depth: int) -> None:
         """Count one accepted request and track the observed queue depth."""
@@ -136,6 +150,10 @@ class DispatcherStats:
         with self._lock:
             self.timed_out += count
 
+    def record_queue_wait(self, seconds: float) -> None:
+        """Record one request's enqueue→pickup wait (histogram has its own lock)."""
+        self.queue_wait.record(seconds)
+
     @property
     def mean_batch_size(self) -> float:
         """Average number of requests per coalesced batch."""
@@ -154,6 +172,7 @@ class DispatcherStats:
             self.coalesced_requests = 0
             self.max_queue_depth = 0
             self._occupancy_total = 0
+        self.queue_wait.reset()
 
     def snapshot(self) -> dict[str, float]:
         """A plain-dict view, renderable by
@@ -161,7 +180,7 @@ class DispatcherStats:
         service's own :meth:`~EstimationService.stats_snapshot`)."""
         with self._lock:
             batches = self.batches
-            return {
+            snapshot = {
                 "submitted": float(self.submitted),
                 "completed": float(self.completed),
                 "failed": float(self.failed),
@@ -173,6 +192,12 @@ class DispatcherStats:
                 ),
                 "max_queue_depth": float(self.max_queue_depth),
             }
+        waits = self.queue_wait.snapshot()
+        if waits.count:
+            snapshot["queue_wait_p50_ms"] = waits.quantile(0.5) * 1000.0
+            snapshot["queue_wait_p99_ms"] = waits.quantile(0.99) * 1000.0
+            snapshot["queue_wait_max_ms"] = waits.max_seen * 1000.0
+        return snapshot
 
 
 class ServingDispatcher:
@@ -284,12 +309,24 @@ class ServingDispatcher:
         its tags are stamped onto the result.
         """
         future: Future = Future()
+        tracer = self.service.tracer
+        trace = tracer.start_request() if tracer is not None else None
+        request = _PendingRequest(
+            query,
+            estimator,
+            future,
+            options,
+            enqueued_at=time.perf_counter(),
+            trace=trace,
+        )
         with self._state_lock:
             if self._closed:
+                if trace is not None:
+                    trace.abandon()
                 raise DispatcherShutdownError(
                     "dispatcher has been shut down; no new requests accepted"
                 )
-            self._queue.put(_PendingRequest(query, estimator, future, options))
+            self._queue.put(request)
         self.stats.record_submit(self._queue.qsize())
         return future
 
@@ -456,15 +493,37 @@ class ServingDispatcher:
         return name, policy
 
     @staticmethod
-    def _stamp_tags(request: _PendingRequest, item: EstimateResult) -> EstimateResult:
-        """Re-stamp a caller's own tags onto its result.
+    def _finalize(request: _PendingRequest, item: EstimateResult) -> EstimateResult:
+        """Re-stamp a caller's own tags and measured queue wait onto its result.
 
         The batch-level submission carried the group's (tag-less) options,
-        so per-caller tags are applied here, on the way back out.
+        so per-caller provenance — tags, and the enqueue→pickup wait measured
+        at batch pickup — is applied here, on the way back out.
         """
-        if request.options is None or not request.options.tags:
+        tags = (
+            request.options.tags
+            if request.options is not None and request.options.tags
+            else None
+        )
+        if tags is None and not request.queue_wait_seconds:
             return item
-        return replace(item, tags=request.options.tags)
+        return replace(
+            item,
+            queue_wait_seconds=request.queue_wait_seconds,
+            **({"tags": tags} if tags is not None else {}),
+        )
+
+    def _resolve(self, request: _PendingRequest, item: EstimateResult) -> None:
+        """Resolve one caller's future and finish its trace (if any)."""
+        item = self._finalize(request, item)
+        request.future.set_result(item)
+        if request.trace is not None:
+            request.trace.finish(
+                latency_seconds=item.latency_seconds,
+                estimator=item.estimator_name,
+                resolution=item.resolution,
+                queue_wait_seconds=item.queue_wait_seconds,
+            )
 
     def _serve(self, batch: list[_PendingRequest]) -> None:
         self.stats.record_batch(len(batch))
@@ -476,6 +535,8 @@ class ServingDispatcher:
                 # explicit cancel) before pickup: skip the work entirely —
                 # it must not occupy a batch slot or be counted as served.
                 cancelled += 1
+                if request.trace is not None:
+                    request.trace.abandon()
                 continue
             groups.setdefault(self._group_key(request), []).append(request)
         recorder = self.service.recorder
@@ -490,29 +551,65 @@ class ServingDispatcher:
                     queue_depth=self._queue.qsize(),
                 )
             )
-        for (estimator, policy), requests in groups.items():
-            group_options = RequestOptions(estimator=estimator, fallback_policy=policy)
-            # Promote to RUNNING only now, immediately before this group
-            # executes: a deadline expiring while an *earlier* group of the
-            # same batch is still running can then still cancel the request
-            # instead of merely being noted after the fact.
-            runnable = [
-                request
-                for request in requests
-                if request.future.set_running_or_notify_cancel()
-            ]
-            if not runnable:
-                continue
-            try:
-                served = self.service.submit_batch(
-                    [request.query for request in runnable], options=group_options
+        tracer = self.service.tracer
+        batch_span = (
+            tracer.begin("dispatcher_batch", members=len(batch))
+            if tracer is not None
+            else None
+        )
+        try:
+            for (estimator, policy), requests in groups.items():
+                group_options = RequestOptions(
+                    estimator=estimator, fallback_policy=policy
                 )
-            except Exception:
-                self._serve_individually(runnable, group_options)
-            else:
-                for request, item in zip(runnable, served):
-                    request.future.set_result(self._stamp_tags(request, item))
-                self.stats.record_completed(len(runnable))
+                # Promote to RUNNING only now, immediately before this group
+                # executes: a deadline expiring while an *earlier* group of
+                # the same batch is still running can then still cancel the
+                # request instead of merely being noted after the fact.
+                runnable = []
+                pickup = time.perf_counter()
+                for request in requests:
+                    if not request.future.set_running_or_notify_cancel():
+                        if request.trace is not None:
+                            request.trace.abandon()
+                        continue
+                    wait = max(pickup - request.enqueued_at, 0.0)
+                    request.queue_wait_seconds = wait
+                    self.stats.record_queue_wait(wait)
+                    if request.trace is not None:
+                        # queue_wait is request-owned time (nobody shares
+                        # it), so it is a span under the request's root —
+                        # unlike the batch spans, which are linked.
+                        request.trace.add_span("queue_wait", wait)
+                        request.trace.link(batch_span, 0.0, link_kind="context")
+                    runnable.append(request)
+                if not runnable:
+                    continue
+                traces = (
+                    [request.trace for request in runnable]
+                    if tracer is not None
+                    else None
+                )
+                try:
+                    served = self.service.submit_batch(
+                        [request.query for request in runnable],
+                        options=group_options,
+                        traces=traces,
+                    )
+                except Exception:
+                    self._serve_individually(runnable, group_options)
+                else:
+                    for request, item in zip(runnable, served):
+                        self._resolve(request, item)
+                    self.stats.record_completed(len(runnable))
+        finally:
+            if batch_span is not None:
+                tracer.end(
+                    batch_span,
+                    size=len(batch),
+                    groups=len(groups),
+                    cancelled=cancelled,
+                )
 
     def _serve_individually(
         self, requests: Sequence[_PendingRequest], options: RequestOptions
@@ -525,11 +622,16 @@ class ServingDispatcher:
         sequential path.
         """
         for request in requests:
+            traces = [request.trace] if request.trace is not None else None
             try:
-                served = self.service.submit_batch([request.query], options=options)[0]
+                served = self.service.submit_batch(
+                    [request.query], options=options, traces=traces
+                )[0]
             except Exception as error:
                 request.future.set_exception(error)
                 self.stats.record_failed()
+                if request.trace is not None:
+                    request.trace.fail(error)
             else:
-                request.future.set_result(self._stamp_tags(request, served))
+                self._resolve(request, served)
                 self.stats.record_completed()

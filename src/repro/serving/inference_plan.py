@@ -199,6 +199,21 @@ class InferencePlan:
             "compile_seconds": self.compile_seconds,
         }
 
+    def kernel_info(self) -> dict[str, Any]:
+        """How this plan executes a slab pass, as span/report attributes.
+
+        What the tracer stamps onto ``slab_kernel`` spans, so a stored trace
+        says which execution mode (fused float32 variable-row vs fixed-slab
+        float64) produced the batch it amortizes over.
+        """
+        return {
+            "mode": "compiled",
+            "dtype": self.dtype.name,
+            "slab_size": self.slab_size,
+            "fused": self.supports_slab_fusion,
+            "nodes": self.num_nodes,
+        }
+
     def scratch_stats(self) -> dict[str, int]:
         """This thread's scratch state (capacity rows and realloc count)."""
         state = self._local

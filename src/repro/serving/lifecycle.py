@@ -1094,17 +1094,32 @@ class AdaptationManager:
         make the candidate visible — in-flight batches finish on the
         incumbent object, every later submission resolves the candidate.
         """
-        estimator = self._build_estimator(candidate, pool, incumbent, shared=True)
-        containment = estimator.containment_estimator
-        if self.warm_on_swap:
-            containment.warm(entry.query for entry in pool)
-            if estimator.pool_index is not None:
-                # Rebuild the whole-pool encoding matrices with the candidate
-                # model *before* the registry swap: the first post-swap
-                # request then scores against warm slabs instead of paying a
-                # full per-signature re-encoding stall.
-                estimator.pool_index.warm(estimator)
-        self.service.replace(self.estimator_name, estimator)
+        tracer = self.service.tracer
+        span = (
+            tracer.begin("model_swap", estimator_name=self.estimator_name)
+            if tracer is not None
+            else None
+        )
+        try:
+            estimator = self._build_estimator(candidate, pool, incumbent, shared=True)
+            containment = estimator.containment_estimator
+            if self.warm_on_swap:
+                containment.warm(entry.query for entry in pool)
+                if estimator.pool_index is not None:
+                    # Rebuild the whole-pool encoding matrices with the
+                    # candidate model *before* the registry swap: the first
+                    # post-swap request then scores against warm slabs
+                    # instead of paying a full per-signature re-encoding
+                    # stall.
+                    estimator.pool_index.warm(estimator)
+            self.service.replace(self.estimator_name, estimator)
+        finally:
+            if span is not None:
+                tracer.end(
+                    span,
+                    generation=self.service.generation(self.estimator_name),
+                    warmed=self.warm_on_swap,
+                )
         # The containment estimator's featurizer IS the new FeaturizationCache
         # (built in _build_estimator); point the service's reporting handle at it.
         self.service.featurization_cache = containment.featurizer

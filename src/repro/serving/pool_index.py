@@ -224,6 +224,11 @@ class PoolEncodingIndex:
         # event.  Emission is a single deque append, safe under the index
         # lock.  The client wires this; None costs one attribute test.
         self.recorder = None
+        # Optional tracing hook (repro.observability.Tracer): when set, slab
+        # builds that do real work additionally record an ``index_build``
+        # span — nested under the in-flight request's ``plan`` span when one
+        # is open on this thread, standalone during warm-up.
+        self.tracer = None
         self._initial_capacity = initial_capacity
         self._slabs: dict[tuple, _Slab] = {}
         # Negotiated slab layout (see negotiate_dtype): None keeps the
@@ -405,14 +410,28 @@ class PoolEncodingIndex:
         if slab is not None and eligible[: slab.count] == slab.entries:
             # Pure growth: encode only the appended tail.
             tail = eligible[slab.count :]
-            slab.ensure_capacity(len(eligible))
-            for offset, entry in enumerate(tail, start=slab.count):
-                slab.set_row(
-                    offset,
-                    containment.encode_query(entry.query, 1),
-                    containment.encode_query(entry.query, 2),
-                )
-                slab.cardinalities[offset] = entry.cardinality
+            span = (
+                self.tracer.begin("index_build")
+                if self.tracer is not None and tail
+                else None
+            )
+            try:
+                slab.ensure_capacity(len(eligible))
+                for offset, entry in enumerate(tail, start=slab.count):
+                    slab.set_row(
+                        offset,
+                        containment.encode_query(entry.query, 1),
+                        containment.encode_query(entry.query, 2),
+                    )
+                    slab.cardinalities[offset] = entry.cardinality
+            finally:
+                if span is not None:
+                    self.tracer.end(
+                        span,
+                        signature=str(signature),
+                        rows=len(tail),
+                        mode="append",
+                    )
             slab.entries = eligible
             slab.version = version
             self.stats.record_appended(len(tail))
@@ -426,18 +445,26 @@ class PoolEncodingIndex:
         # An entry changed in place (cardinality update) or the slab is new:
         # rebuild wholesale.  Encodings come back out of the shared
         # EncodingCache, so a rebuild costs dict lookups, not matmuls.
-        rebuilt = _Slab(
-            containment.model.hidden_size,
-            max(self._initial_capacity, len(eligible)),
-            mirror=self._mirror_dtype is not None,
-        )
-        for offset, entry in enumerate(eligible):
-            rebuilt.set_row(
-                offset,
-                containment.encode_query(entry.query, 1),
-                containment.encode_query(entry.query, 2),
+        mode = "rebuild" if slab is not None else "build"
+        span = self.tracer.begin("index_build") if self.tracer is not None else None
+        try:
+            rebuilt = _Slab(
+                containment.model.hidden_size,
+                max(self._initial_capacity, len(eligible)),
+                mirror=self._mirror_dtype is not None,
             )
-            rebuilt.cardinalities[offset] = entry.cardinality
+            for offset, entry in enumerate(eligible):
+                rebuilt.set_row(
+                    offset,
+                    containment.encode_query(entry.query, 1),
+                    containment.encode_query(entry.query, 2),
+                )
+                rebuilt.cardinalities[offset] = entry.cardinality
+        finally:
+            if span is not None:
+                self.tracer.end(
+                    span, signature=str(signature), rows=len(eligible), mode=mode
+                )
         rebuilt.entries = eligible
         rebuilt.version = version
         self.stats.record_build(len(eligible), rebuild=slab is not None)
@@ -445,11 +472,7 @@ class PoolEncodingIndex:
             from repro.observability.events import IndexBuild
 
             self.recorder.emit(
-                IndexBuild(
-                    signature=str(signature),
-                    rows=len(eligible),
-                    mode="rebuild" if slab is not None else "build",
-                )
+                IndexBuild(signature=str(signature), rows=len(eligible), mode=mode)
             )
         self._slabs[key] = rebuilt
         return rebuilt

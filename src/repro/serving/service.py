@@ -36,6 +36,7 @@ from repro.core.featurization import QueryFeaturizer
 from repro.core.final_functions import FinalFunction
 from repro.core.queries_pool import QueriesPool
 from repro.observability.events import BatchServed, RequestServed, StatsDrained
+from repro.observability.histogram import LatencyHistogram
 from repro.serving.cache import EncodingCache, FeaturizationCache
 from repro.serving.errors import UnknownEstimatorError
 from repro.serving.planner import (
@@ -173,6 +174,11 @@ class EstimateResult(ServedEstimate):
         encoding_cache_hits: encoding-cache hits recorded during the batch
             that served this request (batch-attributed; 0 without a cache).
         tags: the caller's :attr:`RequestOptions.tags`, echoed back.
+        queue_wait_seconds: time the request spent in the dispatcher queue
+            between enqueue and batch pickup — previously folded invisibly
+            into end-to-end wall time, now stamped separately (0.0 on the
+            synchronous paths, which have no queue).  **Not** part of
+            ``latency_seconds``, which remains pure service time.
     """
 
     resolution: str = RESOLUTION_PAIR_BATCH
@@ -180,6 +186,7 @@ class EstimateResult(ServedEstimate):
     featurization_cache_hits: int = 0
     encoding_cache_hits: int = 0
     tags: tuple[tuple[str, str], ...] = ()
+    queue_wait_seconds: float = 0.0
 
 
 @dataclass
@@ -262,6 +269,14 @@ class EstimationService:
             is a bounded-buffer append — no I/O, no locks on the hot path —
             and ``None`` (the default) reduces the whole instrumentation to
             one attribute test per batch.
+        tracer: an optional :class:`repro.observability.Tracer`.  When set,
+            every batch records a ``service_batch`` span with nested stage
+            spans (``plan`` / ``pair_rates`` / ``slab_kernel`` /
+            ``collapse``), and every request's trace links to the shared
+            spans with its explicit amortized share — the fan-in attribution
+            that makes a coalesced request's latency decomposable.  ``None``
+            (the default) follows the recorder discipline: one attribute
+            test per instrumentation point.
     """
 
     def __init__(
@@ -271,6 +286,7 @@ class EstimationService:
         encoding_cache: EncodingCache | None = None,
         pool_index: PoolEncodingIndex | None = None,
         recorder=None,
+        tracer=None,
     ) -> None:
         self._registry: dict[str, CardinalityEstimator] = {}
         self._generations: dict[str, int] = {}
@@ -280,7 +296,12 @@ class EstimationService:
         self.encoding_cache = encoding_cache
         self.pool_index = pool_index
         self.recorder = recorder
+        self.tracer = tracer
         self.stats = ServiceStats()
+        #: Fixed-memory distribution of attributed per-request latencies —
+        #: the ``latency_p*_ms`` gauges in :meth:`stats_snapshot` come from
+        #: here instead of an unbounded scan over recorded events.
+        self.latency_histogram = LatencyHistogram()
         self._registry_lock = threading.RLock()
         self._stats_lock = threading.Lock()
 
@@ -439,6 +460,7 @@ class EstimationService:
         queries: Sequence[Query],
         estimator: str | None = None,
         options: RequestOptions | None = None,
+        traces: Sequence | None = None,
     ) -> list[EstimateResult]:
         """Estimate many concurrent requests with cross-request batching.
 
@@ -455,6 +477,16 @@ class EstimationService:
         argument.  Every result is an :class:`EstimateResult` carrying its
         resolution path, the answering entry's model generation, the batch's
         cache-hit deltas, and the caller's tags.
+
+        ``traces`` (dispatcher-internal) carries one open
+        :class:`repro.observability.RequestTrace` per query; each is linked
+        to this batch's shared spans with its amortized share
+        (``elapsed / len(queries)`` — the *same* division that produces
+        ``latency_seconds``, so a trace's amortized links sum exactly to the
+        stamped latency) and left open for the dispatcher to finish.  With a
+        tracer attached and no ``traces`` given, the service samples the
+        batch's member traces in bulk (:meth:`Tracer.sample_owned_batch`)
+        and materializes only the kept ones.
         """
         if not queries:
             return []
@@ -475,6 +507,24 @@ class EstimationService:
             chosen = self.get(name)
             generation = self._generations.get(name, 0)
         recorder = self.recorder
+        tracer = self.tracer
+        owns_traces = False
+        owned_start_wall = owned_start_perf = 0.0
+        batch_span = None
+        if tracer is not None:
+            if traces is None:
+                # Synchronous callers (estimate / estimate_many) get traces
+                # too — but owned members are homogeneous (one shared
+                # duration, link, and latency), so their traces are sampled
+                # in bulk after the batch and materialized only if kept;
+                # the dispatcher passes real per-request traces, already
+                # carrying the queue_wait stage.
+                owns_traces = True
+                owned_start_wall = tracer.wall_clock()
+                owned_start_perf = tracer.clock()
+            batch_span = tracer.begin(
+                "service_batch", members=len(queries), estimator_name=name
+            )
         feat_hits_before = (
             self.featurization_cache.stats.hits
             if self.featurization_cache is not None
@@ -495,23 +545,52 @@ class EstimationService:
                 else 0
             )
         start = time.perf_counter()
-        if isinstance(chosen, Cnt2CrdEstimator):
-            served, planned_pairs, scored_pairs = self._submit_cnt2crd(
-                queries, name, generation, chosen, options
-            )
-        else:
-            planned_pairs = scored_pairs = 0
-            served = [
-                self._served(
-                    query,
-                    name,
-                    generation,
-                    *self._guarded_estimate(query, name, chosen, options),
+        try:
+            if isinstance(chosen, Cnt2CrdEstimator):
+                served, planned_pairs, scored_pairs = self._submit_cnt2crd(
+                    queries, name, generation, chosen, options
                 )
-                for query in queries
-            ]
+            else:
+                planned_pairs = scored_pairs = 0
+                served = [
+                    self._served(
+                        query,
+                        name,
+                        generation,
+                        *self._guarded_estimate(query, name, chosen, options),
+                    )
+                    for query in queries
+                ]
+        except BaseException as error:
+            # Ending the batch span pops every nested stage span off this
+            # thread's stack too, so a failed batch cannot poison the
+            # parenting of the next one; owned traces finish as errors
+            # (error traces are always kept).
+            if batch_span is not None:
+                tracer.end(batch_span, error=type(error).__name__)
+            if owns_traces:
+                # One representative error trace for the whole owned batch
+                # (its members are indistinguishable); error traces are
+                # always kept.
+                failed = tracer.start_request(name)
+                failed.root.start_wall = owned_start_wall
+                failed.root.start_perf = owned_start_perf
+                failed.root.members = len(queries)
+                failed.fail(error)
+            # Dispatcher-provided traces are NOT failed here: the
+            # dispatcher may retry members individually and owns the
+            # finish/fail decision for its requests.
+            raise
         elapsed = time.perf_counter() - start
         latency = elapsed / len(queries)
+        if batch_span is not None:
+            tracer.end(
+                batch_span,
+                size=len(queries),
+                planned_pairs=planned_pairs,
+                scored_pairs=scored_pairs,
+            )
+        self.latency_histogram.record(latency, count=len(queries))
         # Cache hits are batch-attributed, like latency: concurrent batches
         # sharing the caches may bleed hits into each other's window, so the
         # counts are provenance hints, not an exact per-request ledger.
@@ -535,6 +614,33 @@ class EstimationService:
             )
             for item in served
         ]
+        if batch_span is not None:
+            # The fan-in attribution contract: each member's amortized share
+            # is the SAME elapsed/size division that produced ``latency``
+            # above, so sum(amortized links) == latency_seconds exactly.
+            if owns_traces:
+                # Owned members are sampled in bulk (one lock window, one
+                # histogram record, at most one tail exemplar for the whole
+                # batch) and materialized straight to events only if kept —
+                # the dominant cost of tracing a dropped member is zero.
+                batch_end = time.perf_counter()
+                root_elapsed = batch_end - owned_start_perf
+                for index in tracer.sample_owned_batch(len(queries), root_elapsed):
+                    item = served[index]
+                    tracer.emit_owned_member(
+                        item.estimator_name,
+                        owned_start_wall,
+                        owned_start_perf,
+                        batch_end,
+                        batch_span,
+                        latency,
+                        latency_seconds=latency,
+                        estimator=item.estimator_name,
+                        resolution=item.resolution,
+                    )
+            else:
+                for trace in traces:
+                    trace.link(batch_span, latency)
         with self._stats_lock:
             self.stats.requests += len(queries)
             self.stats.batches += 1
@@ -609,6 +715,13 @@ class EstimationService:
         """
         with self._stats_lock:
             snapshot = self._counters_locked()
+        histogram = self.latency_histogram.snapshot()
+        if histogram.count:
+            # Bucketed, not exact: within one bucket width (~±9%) of the true
+            # quantile, at O(1) memory regardless of traffic volume.
+            snapshot["latency_p50_ms"] = histogram.quantile(0.5) * 1000.0
+            snapshot["latency_p90_ms"] = histogram.quantile(0.9) * 1000.0
+            snapshot["latency_p99_ms"] = histogram.quantile(0.99) * 1000.0
         if self.featurization_cache is not None:
             snapshot["featurization_hit_rate"] = self.featurization_cache.stats.hit_rate
             snapshot["featurization_entries"] = float(len(self.featurization_cache))
@@ -693,12 +806,33 @@ class EstimationService:
         estimator: Cnt2CrdEstimator,
         options: RequestOptions,
     ) -> tuple[list[EstimateResult], int, int]:
-        plan = BatchPlanner(estimator).plan(queries)
-        rates = (
-            estimator.containment_estimator.estimate_containments(list(plan.pairs))
-            if plan.pairs
-            else []
+        tracer = self.tracer
+        span = (
+            tracer.begin("plan", members=len(queries), estimator_name=name)
+            if tracer is not None
+            else None
         )
+        plan = BatchPlanner(estimator).plan(queries)
+        if span is not None:
+            tracer.end(
+                span,
+                requests=len(plan.requests),
+                planned_pairs=plan.planned_pairs,
+                indexed_pairs=plan.indexed_pairs,
+            )
+        if plan.pairs:
+            span = (
+                tracer.begin("pair_rates", members=len(queries), estimator_name=name)
+                if tracer is not None
+                else None
+            )
+            rates = estimator.containment_estimator.estimate_containments(
+                list(plan.pairs)
+            )
+            if span is not None:
+                tracer.end(span, pairs=len(rates))
+        else:
+            rates = []
         # Indexed requests are scored once per unique (query, slab state) —
         # identical queries in a batch share one set of rates, mirroring the
         # pair list's cross-request deduplication — and all unique requests
@@ -718,17 +852,38 @@ class EstimationService:
             pending.append((key, request))
             scored += 2 * len(request.entries)
         if pending:
+            span = None
+            if tracer is not None:
+                attributes = {"requests": len(pending), "mode": "reference"}
+                inference_plan = getattr(containment, "inference_plan", None)
+                if inference_plan is not None:
+                    attributes.update(inference_plan.kernel_info())
+                span = tracer.begin(
+                    "slab_kernel",
+                    members=len(queries),
+                    estimator_name=name,
+                    **attributes,
+                )
             blocks = containment.rates_against_pools(
                 [(request.query, request.slab) for _, request in pending]
             )
             for (key, _), block in zip(pending, blocks):
                 indexed_rates[key] = block
+            if span is not None:
+                tracer.end(span)
+        span = (
+            tracer.begin("collapse", members=len(queries), estimator_name=name)
+            if tracer is not None
+            else None
+        )
         served = [
             self._answer_request(
                 request, name, generation, estimator, rates, indexed_rates, options
             )
             for request in plan.requests
         ]
+        if span is not None:
+            tracer.end(span)
         # Pair counts are returned (not applied here) so the caller records
         # them atomically with requests/batches — and only for completed
         # batches: when a request with no fallback raises above, no counter

@@ -238,3 +238,124 @@ def test_every_event_kind_round_trips():
         with EventStore() as store:
             store.insert("serving", [buffered(sample, 0)])
             assert store.events(kind=kind) == [sample]
+
+
+def span_event(trace_id, span_id, name="request", parent="", duration=0.001):
+    from repro.observability.events import SpanRecorded
+
+    return SpanRecorded(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent,
+        name=name,
+        start=0.0,
+        duration_seconds=duration,
+        attributes=(("latency_seconds", repr(duration)),),
+    )
+
+
+def test_windowed_quantile_sees_only_the_most_recent_events():
+    with EventStore() as store:
+        # 50 slow then 50 fast: the all-time median straddles, the windowed
+        # median sees only the fast recent half.
+        batch = [buffered(served(latency=0.100), i) for i in range(50)]
+        batch += [buffered(served(latency=0.001), 50 + i) for i in range(50)]
+        store.insert("serving", batch)
+        assert store.latency_quantile(0.5) == pytest.approx(0.100)
+        assert store.latency_quantile(0.5, window=50) == pytest.approx(0.001)
+        assert store.latency_quantile(0.5, window=10**6) == pytest.approx(0.100)
+        with pytest.raises(ValueError):
+            store.latency_quantile(0.5, window=0)
+
+
+def test_kind_estimator_index_exists():
+    with EventStore() as store:
+        rows = store.query(
+            "SELECT name FROM sqlite_master WHERE type = 'index' "
+            "AND name = 'idx_events_kind_estimator'"
+        )
+        assert rows, "the (kind, estimator) index must exist"
+
+
+def test_reopen_preserves_events_spans_and_views(tmp_path):
+    path = tmp_path / "events.sqlite"
+    with EventStore(path) as store:
+        store.insert(
+            "serving",
+            [
+                buffered(served(), 0),
+                buffered(feedback(q_error=3.0), 1),
+                buffered(span_event("t1", "s1"), 2),
+                buffered(span_event("t1", "s2", name="queue_wait", parent="s1"), 3),
+            ],
+        )
+        before_views = (
+            store.query("SELECT * FROM view_span_kind_latency ORDER BY name"),
+            store.trace_accounting(),
+        )
+    with EventStore(path) as reopened:
+        assert reopened.counts()["request_served"] == 1
+        spans = reopened.spans_for_trace("t1")
+        assert [row["name"] for row in spans] == ["request", "queue_wait"]
+        after_views = (
+            reopened.query("SELECT * FROM view_span_kind_latency ORDER BY name"),
+            reopened.trace_accounting(),
+        )
+        assert after_views == before_views
+        # Re-inserting the same batch after reopen is still a no-op.
+        assert reopened.insert("serving", [buffered(served(), 0)]) == 0
+
+
+def test_two_recorders_interleaved_flushes_are_exactly_once(tmp_path):
+    """Satellite contract: two writers with distinct sources, interleaved
+    flushes (including replayed ones), exactly-once rows, stable views."""
+    path = tmp_path / "events.sqlite"
+    with EventStore(path) as store:
+        alpha = EventRecorder(store=store, capacity=64, source="alpha")
+        beta = EventRecorder(store=store, capacity=64, source="beta")
+        alpha.emit(served(latency=0.002))
+        beta.emit(served(latency=0.004))
+        first_alpha = alpha.flush()
+        alpha.emit(served(latency=0.006))
+        beta.emit(span_event("tb", "sb"))
+        beta.flush()
+        alpha.flush()
+        # At-least-once delivery: replay both recorders' earlier batches.
+        assert store.insert("alpha", first_alpha) == 0
+        assert store.counts() == {"request_served": 3, "span": 1}
+        views_before = store.query(
+            "SELECT * FROM view_span_kind_latency ORDER BY name"
+        )
+    with EventStore(path) as reopened:
+        assert reopened.counts() == {"request_served": 3, "span": 1}
+        assert (
+            reopened.query("SELECT * FROM view_span_kind_latency ORDER BY name")
+            == views_before
+        )
+        # Same sequences, different sources: both survive as distinct rows.
+        rows = reopened.query(
+            "SELECT source, COUNT(*) AS n FROM events GROUP BY source ORDER BY source"
+        )
+        assert [(row["source"], row["n"]) for row in rows] == [("alpha", 2), ("beta", 1)]
+
+
+def test_span_tables_dedup_on_source_and_sequence():
+    with EventStore() as store:
+        from repro.observability.events import SpanLinked
+
+        batch = [
+            buffered(span_event("t1", "s1"), 0),
+            buffered(
+                SpanLinked(
+                    trace_id="t1",
+                    span_id="shared",
+                    span_name="service_batch",
+                    amortized_seconds=0.5,
+                ),
+                1,
+            ),
+        ]
+        assert store.insert("serving", batch) == 2
+        assert store.insert("serving", batch) == 0
+        assert store.counts() == {"span": 1, "span_link": 1}
+        assert len(store.links_for_trace("t1")) == 1

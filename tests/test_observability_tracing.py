@@ -1,0 +1,411 @@
+"""The tracer: span nesting, fan-in links, the accounting identity, and the
+head + tail-exemplar sampling policy."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    EventBuffer,
+    EventRecorder,
+    EventStore,
+    SpanLinked,
+    SpanRecorded,
+    Tracer,
+)
+
+
+@pytest.fixture()
+def store():
+    with EventStore(":memory:") as event_store:
+        yield event_store
+
+
+@pytest.fixture()
+def recorder(store):
+    return EventRecorder(store=store, capacity=4096, source="test")
+
+
+def make_tracer(recorder, **kwargs):
+    kwargs.setdefault("sample_every", 1)
+    return Tracer(recorder, **kwargs)
+
+
+def stored_spans(recorder, store):
+    recorder.flush()
+    return store.query("SELECT * FROM spans ORDER BY sequence")
+
+
+def stored_links(recorder, store):
+    recorder.flush()
+    return store.query("SELECT * FROM span_links ORDER BY sequence")
+
+
+class TestConstruction:
+    def test_requires_a_recorder(self):
+        with pytest.raises(ValueError):
+            Tracer(None)
+
+    def test_validates_sampling_parameters(self, recorder):
+        with pytest.raises(ValueError):
+            Tracer(recorder, sample_every=-1)
+        with pytest.raises(ValueError):
+            Tracer(recorder, tail_quantile=0.0)
+        with pytest.raises(ValueError):
+            Tracer(recorder, tail_quantile=1.5)
+
+
+class TestRequestTraces:
+    def test_finished_trace_lands_root_stages_and_links(self, recorder, store):
+        tracer = make_tracer(recorder)
+        trace = tracer.start_request("crn")
+        trace.add_span("queue_wait", 0.004)
+        shared = tracer.begin("service_batch", members=4, estimator_name="crn")
+        tracer.end(shared, size=4)
+        trace.link(shared, 0.0025)
+        assert trace.finish(latency_seconds=0.0025, resolution="indexed_slab")
+        spans = stored_spans(recorder, store)
+        names = {row["name"] for row in spans}
+        assert names == {"request", "queue_wait", "service_batch"}
+        root = next(row for row in spans if row["name"] == "request")
+        child = next(row for row in spans if row["name"] == "queue_wait")
+        assert root["parent_id"] == ""
+        assert child["parent_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
+        links = stored_links(recorder, store)
+        assert len(links) == 1
+        assert links[0]["trace_id"] == root["trace_id"]
+        assert links[0]["span_name"] == "service_batch"
+        assert links[0]["amortized_seconds"] == 0.0025
+        assert links[0]["link_kind"] == "amortized"
+
+    def test_latency_seconds_round_trips_exactly(self, recorder, store):
+        tracer = make_tracer(recorder)
+        trace = tracer.start_request()
+        latency = 0.0012345678901234567
+        trace.finish(latency_seconds=latency)
+        rows = store_accounting(recorder, store)
+        assert rows[0]["latency_seconds"] == latency
+
+    def test_finish_is_idempotent(self, recorder, store):
+        tracer = make_tracer(recorder)
+        trace = tracer.start_request()
+        assert trace.finish() is True
+        assert trace.finish() is False
+        assert tracer.stats_snapshot()["traces_finished"] == 1.0
+
+    def test_abandon_counts_a_drop_and_emits_nothing(self, recorder, store):
+        tracer = make_tracer(recorder)
+        trace = tracer.start_request()
+        trace.abandon()
+        stats = tracer.stats_snapshot()
+        assert stats["traces_finished"] == 1.0
+        assert stats["traces_kept"] == 0.0
+        assert stored_spans(recorder, store) == []
+
+    def test_failed_trace_is_always_kept_with_the_error(self, recorder, store):
+        tracer = make_tracer(recorder, sample_every=0)
+        trace = tracer.start_request()
+        trace.fail(ValueError("boom"))
+        spans = stored_spans(recorder, store)
+        assert len(spans) == 1
+        root = store.spans_for_trace(spans[0]["trace_id"])[0]
+        assert root["attributes"]["error"] == "ValueError: boom"
+
+
+def store_accounting(recorder, store):
+    recorder.flush()
+    return store.trace_accounting()
+
+
+class TestSharedSpans:
+    def test_begin_nests_under_the_open_span(self, recorder, store):
+        tracer = make_tracer(recorder)
+        outer = tracer.begin("dispatcher_batch", members=3)
+        inner = tracer.begin("service_batch", members=3)
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        tracer.end(inner)
+        tracer.end(outer)
+        assert tracer.stats_snapshot()["shared_spans"] == 2.0
+
+    def test_end_pops_leaked_nested_spans(self, recorder, store):
+        tracer = make_tracer(recorder)
+        outer = tracer.begin("dispatcher_batch")
+        tracer.begin("service_batch")  # leaked (e.g. an exception unwound)
+        tracer.end(outer)
+        fresh = tracer.begin("dispatcher_batch")
+        assert fresh.parent_id == ""  # the stack healed
+        tracer.end(fresh)
+
+    def test_span_context_manager(self, recorder, store):
+        tracer = make_tracer(recorder)
+        with tracer.span("index_build", rows=7) as handle:
+            handle.set(mode="append")
+        spans = stored_spans(recorder, store)
+        assert len(spans) == 1
+        parsed = store.spans_for_trace(spans[0]["trace_id"])[0]
+        assert parsed["attributes"] == {"mode": "append", "rows": "7"}
+
+    def test_standalone_begin_starts_its_own_trace(self, recorder, store):
+        tracer = make_tracer(recorder)
+        first = tracer.begin("index_build")
+        tracer.end(first)
+        second = tracer.begin("index_build")
+        tracer.end(second)
+        assert first.trace_id != second.trace_id
+
+    def test_threads_do_not_share_the_span_stack(self, recorder, store):
+        tracer = make_tracer(recorder)
+        outer = tracer.begin("dispatcher_batch")
+        seen = {}
+
+        def worker():
+            handle = tracer.begin("index_build")
+            seen["parent"] = handle.parent_id
+            tracer.end(handle)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tracer.end(outer)
+        assert seen["parent"] == ""  # not parented to the other thread's span
+
+
+class TestAccountingIdentity:
+    def test_amortized_links_sum_to_latency_exactly(self, recorder, store):
+        tracer = make_tracer(recorder)
+        members = 7
+        traces = [tracer.start_request("crn") for _ in range(members)]
+        batch = tracer.begin("dispatcher_batch", members=members)
+        service = tracer.begin("service_batch", members=members)
+        tracer.end(service)
+        tracer.end(batch)
+        elapsed = 0.0123456
+        latency = elapsed / members
+        for trace in traces:
+            trace.add_span("queue_wait", 0.001)
+            trace.link(batch, 0.0, link_kind="context")
+            trace.link(service, latency)
+            trace.finish(latency_seconds=latency)
+        rows = store_accounting(recorder, store)
+        assert len(rows) == members
+        for row in rows:
+            # The identity the fan-in attribution is built on: amortized
+            # links alone reconstruct the stamped latency, exactly.
+            assert row["amortized_seconds"] == latency
+            assert row["latency_seconds"] == latency
+            assert row["own_seconds"] == 0.001
+
+    def test_context_links_carry_no_time(self, recorder, store):
+        tracer = make_tracer(recorder)
+        trace = tracer.start_request()
+        batch = tracer.begin("dispatcher_batch", members=2)
+        tracer.end(batch)
+        trace.link(batch, 0.0, link_kind="context")
+        trace.finish(latency_seconds=0.5)
+        rows = store_accounting(recorder, store)
+        assert rows[0]["amortized_seconds"] in (None, 0.0)
+
+
+class TestSampling:
+    def test_head_sampling_keeps_every_nth(self, recorder, store):
+        tracer = make_tracer(recorder, sample_every=4, min_tail_observations=10**9)
+        durations = iter([0.01] * 100)
+        tracer.clock = lambda: 0.0  # finish() measures 0.0 - start_perf
+        kept = 0
+        for _ in range(20):
+            trace = tracer.start_request()
+            trace.root.start_perf = -next(durations)  # fixed duration
+            kept += trace.finish()
+        stats = tracer.stats_snapshot()
+        assert stats["traces_finished"] == 20.0
+        # Ties are not "slowest so far" (the comparison is strict), so only
+        # the head pattern keeps: the first trace (trivially the slowest,
+        # and head index 0) plus every 4th after it.
+        assert kept == 5
+        assert stats["trace_tail_exemplars"] == 1.0
+
+    def test_sample_every_zero_disables_head_sampling(self, recorder, store):
+        tracer = make_tracer(recorder, sample_every=0, min_tail_observations=10**9)
+        tracer.clock = lambda: 0.0
+        decisions = []
+        for index in range(50):
+            trace = tracer.start_request()
+            # Strictly decreasing durations: nothing after the first is ever
+            # the slowest so far, and the tail threshold never activates.
+            trace.root.start_perf = -(1.0 - index * 0.01)
+            decisions.append(trace.finish())
+        assert decisions[0] is True  # slowest-so-far exemplar
+        assert sum(decisions[1:]) == 0
+        stats = tracer.stats_snapshot()
+        assert stats["traces_dropped"] == 49.0
+        assert stats["trace_tail_exemplars"] == 1.0
+
+    def test_tail_exemplars_keep_the_slow_requests(self, recorder, store):
+        tracer = make_tracer(
+            recorder, sample_every=0, tail_quantile=0.9, min_tail_observations=20
+        )
+        tracer.clock = lambda: 0.0
+        for _ in range(40):
+            trace = tracer.start_request()
+            trace.root.start_perf = -0.001
+            trace.finish()
+        slow = tracer.start_request()
+        slow.root.start_perf = -0.5
+        assert slow.finish() is True
+        assert tracer.stats_snapshot()["trace_tail_exemplars"] >= 1.0
+
+    def test_warm_tail_threshold_is_the_quantile_buckets_upper_edge(
+        self, recorder, store
+    ):
+        tracer = make_tracer(
+            recorder, sample_every=0, tail_quantile=0.9, min_tail_observations=40
+        )
+        tracer.clock = lambda: 0.0
+
+        def finish_one(duration):
+            trace = tracer.start_request()
+            trace.root.start_perf = -duration
+            return trace.finish()
+
+        # Warm the histogram: a bulk at 1ms, one early maximum at 200ms
+        # (kept as slowest-so-far), and a p90 shoulder at 100ms.  The 40th
+        # finish triggers the first threshold refresh, so the cached
+        # threshold below is computed from exactly these observations.
+        finish_one(0.2)
+        for _ in range(30):
+            finish_one(0.001)
+        for _ in range(9):
+            finish_one(0.1)
+        # 150ms: not a new maximum, but a full bucket above the p90 bucket
+        # (the 100ms shoulder) — a genuine tail exemplar.
+        assert finish_one(0.15) is True
+        # 100ms ties the p90 bucket itself: NOT an exemplar.  A coalesced
+        # batch stamping one latency on all members must not keep wholesale.
+        assert finish_one(0.1) is False
+        # And well below the tail: dropped.
+        assert finish_one(0.05) is False
+
+    def test_owned_batch_bulk_sampling_matches_sequential_head_pattern(
+        self, recorder, store
+    ):
+        tracer = make_tracer(recorder, sample_every=4, min_tail_observations=10**9)
+        # First batch: 10 members, finish counter starts at 0 -> head keeps
+        # 0, 4, 8; the batch is trivially the slowest so far, so member 0
+        # doubles as the single tail exemplar.
+        assert tracer.sample_owned_batch(10, 0.030) == [0, 4, 8]
+        # Second batch: counter at 10 -> first head index is (-10) % 4 = 2;
+        # a strictly slower batch still contributes only ONE exemplar.
+        assert tracer.sample_owned_batch(10, 0.050) == [0, 2, 6]
+        # Third batch ties the maximum: no exemplar, head pattern only
+        # (counter at 20 -> (-20) % 4 = 0, and member 0 is a head keep, not
+        # a tail keep).
+        assert tracer.sample_owned_batch(10, 0.050) == [0, 4, 8]
+        stats = tracer.stats_snapshot()
+        assert stats["traces_started"] == stats["traces_finished"] == 30.0
+        assert stats["traces_kept"] == 9.0
+        assert stats["trace_tail_exemplars"] == 2.0
+
+    def test_owned_member_round_trips_the_accounting_identity(
+        self, recorder, store
+    ):
+        tracer = make_tracer(recorder)
+        batch = tracer.begin("service_batch", members=4, estimator_name="crn")
+        tracer.end(batch)
+        trace_id = tracer.emit_owned_member(
+            "crn",
+            1000.0,
+            5.0,
+            5.2,
+            batch,
+            0.05,
+            latency_seconds=0.05,
+            resolution="pool",
+        )
+        recorder.flush()
+        rows = store.trace_accounting()
+        row = next(r for r in rows if r["trace_id"] == trace_id)
+        assert row["latency_seconds"] == 0.05
+        assert row["amortized_seconds"] == 0.05
+        assert row["root_seconds"] == pytest.approx(0.2)
+
+    def test_degenerate_distribution_keeps_only_the_first(self, recorder, store):
+        tracer = make_tracer(
+            recorder, sample_every=0, tail_quantile=0.9, min_tail_observations=20
+        )
+        tracer.clock = lambda: 0.0
+        decisions = []
+        for _ in range(80):  # > _TAIL_REFRESH so the warm threshold engages
+            trace = tracer.start_request()
+            trace.root.start_perf = -0.01
+            decisions.append(trace.finish())
+        assert decisions[0] is True  # trivially the slowest so far
+        assert sum(decisions[1:]) == 0
+        assert tracer.stats_snapshot()["trace_tail_exemplars"] == 1.0
+
+    def test_dropped_traces_emit_nothing(self, recorder, store):
+        tracer = make_tracer(recorder, sample_every=0, min_tail_observations=10**9)
+        tracer.clock = lambda: 0.0
+        for index in range(10):
+            trace = tracer.start_request()
+            trace.root.start_perf = -(1.0 - index * 0.05)
+            trace.add_span("queue_wait", 0.001)
+            trace.finish()
+        spans = stored_spans(recorder, store)
+        # Only the first (slowest-so-far) trace kept its spans.
+        assert {row["name"] for row in spans} == {"request", "queue_wait"}
+        assert len(spans) == 2
+
+
+class TestIdentity:
+    def test_ids_are_unique_across_tracer_instances(self, store):
+        recorders = [
+            EventRecorder(store=store, capacity=64, source=f"source-{i}")
+            for i in range(2)
+        ]
+        tracers = [make_tracer(recorder) for recorder in recorders]
+        ids = set()
+        for tracer in tracers:
+            for _ in range(50):
+                trace = tracer.start_request()
+                ids.add(trace.trace_id)
+                ids.add(trace.root.span_id)
+                trace.abandon()
+        assert len(ids) == 2 * 2 * 50
+
+    def test_span_events_round_trip_through_the_event_taxonomy(self, recorder, store):
+        tracer = make_tracer(recorder)
+        handle = tracer.begin("slab_kernel", members=3, mode="compiled")
+        tracer.end(handle, requests=3)
+        recorder.flush()
+        rows = store.query("SELECT * FROM spans")
+        assert len(rows) == 1
+        assert rows[0]["members"] == 3
+        parsed = store.spans_for_trace(rows[0]["trace_id"])[0]
+        assert parsed["attributes"]["mode"] == "compiled"
+        assert parsed["attributes"]["requests"] == "3"
+
+    def test_span_recorded_event_value_is_the_duration(self):
+        event = SpanRecorded(
+            trace_id="t",
+            span_id="s",
+            parent_id="",
+            name="x",
+            start=0.0,
+            duration_seconds=0.125,
+        )
+        assert event.value() == 0.125
+        assert event.kind == "span"
+
+    def test_span_linked_event_value_is_the_amortized_share(self):
+        link = SpanLinked(
+            trace_id="t",
+            span_id="s",
+            span_name="service_batch",
+            amortized_seconds=0.25,
+        )
+        assert link.value() == 0.25
+        assert link.kind == "span_link"

@@ -23,6 +23,7 @@ from repro.serving.config import (
     ObservabilityConfig,
     PoolConfig,
     ServingConfig,
+    TracingConfig,
 )
 
 EXPECTED_SERVING_ALL = [
@@ -68,6 +69,7 @@ EXPECTED_SERVING_ALL = [
     "ServingConfig",
     "ServingDispatcher",
     "ServingError",
+    "TracingConfig",
     "UnknownEstimatorError",
     "build_crn_service",
     "build_service_stack",
@@ -90,6 +92,7 @@ EXPECTED_ESTIMATE_RESULT_FIELDS = EXPECTED_SERVED_ESTIMATE_FIELDS + [
     "featurization_cache_hits",
     "encoding_cache_hits",
     "tags",
+    "queue_wait_seconds",
 ]
 
 EXPECTED_REQUEST_OPTIONS_FIELDS = [
@@ -116,6 +119,7 @@ EXPECTED_CONFIG_FIELDS = {
         "feedback",
         "adaptation",
         "observability",
+        "tracing",
         "inference",
     ],
     EstimatorConfig: ["name", "fallback_name", "final_function", "epsilon", "batch_size"],
@@ -142,6 +146,12 @@ EXPECTED_CONFIG_FIELDS = {
         "seed",
     ],
     ObservabilityConfig: ["enabled", "capacity", "sqlite_path", "source"],
+    TracingConfig: [
+        "enabled",
+        "sample_every",
+        "tail_quantile",
+        "min_tail_observations",
+    ],
     InferenceConfig: ["mode", "slab_dtype", "tolerance"],
 }
 
