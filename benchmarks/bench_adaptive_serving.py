@@ -42,6 +42,7 @@ from repro.evaluation import (
 from repro.observability import EventStore
 from repro.serving import (
     AdaptationConfig,
+    ArtifactConfig,
     DispatcherConfig,
     FeedbackConfig,
     ObservabilityConfig,
@@ -74,6 +75,14 @@ def test_adaptive_serving(results_dir, bench_record):
     # sequence at zero — appending into an old file would silently drop.
     event_db = results_dir / "adaptive_serving_events.sqlite"
     event_db.unlink(missing_ok=True)
+    # The episode's artifact store persists next to the event log: gen-1 is
+    # the pre-update build, and the hot swap saves + promotes the adapted
+    # model — CI uploads the directory and cold-boots a client from it.
+    artifact_root = results_dir / "adaptive_serving_artifacts"
+    if artifact_root.exists():
+        import shutil
+
+        shutil.rmtree(artifact_root)
     database = build_synthetic_imdb(SyntheticIMDbConfig(num_titles=TITLES, seed=3))
     oracle = TrueCardinalityOracle(database)
     featurizer = QueryFeaturizer(database)
@@ -105,6 +114,7 @@ def test_adaptive_serving(results_dir, bench_record):
         # slowest requests of the episode (scripts/trace_report.py smoke-runs
         # against this file in CI).
         tracing=TracingConfig(enabled=True, sample_every=8),
+        artifacts=ArtifactConfig(root=str(artifact_root)),
         adaptation=AdaptationConfig(
             enabled=True,
             quantile=0.5,  # the median shifts ~3x with the data; the p90+
@@ -214,6 +224,17 @@ def test_adaptive_serving(results_dir, bench_record):
     assert post_swap_generation == pre_swap_generation + manager.stats.swaps
     assert merged_stats["model_generation"] == post_swap_generation
 
+    # The adapted model outlived the client: the build saved gen-1, each
+    # accepted candidate persisted under its swap generation, and `latest`
+    # points at the promoted one (CI uploads this directory and cold-boots
+    # from it via ServingClient.from_artifact + artifact_tool.py verify).
+    assert manager.stats.artifact_saves == manager.stats.swaps
+    assert manager.stats.artifact_save_failures == 0
+    store = client.artifact_store
+    assert store.pointer()["generation"] == post_swap_generation
+    assert store.generations() == list(range(1, post_swap_generation + 1))
+    store.verify(post_swap_generation)
+
     # The episode's whole story is on the persisted record: the drift trip,
     # the accept-gate decision, and the hot swap — keyed by the same model
     # generation the responses carry.  Re-open the SQLite file from disk to
@@ -227,6 +248,15 @@ def test_adaptive_serving(results_dir, bench_record):
         swaps = story.swap_history()
         assert [swap["model_generation"] for swap in swaps][-1] == post_swap_generation
         assert counts.get("request_served", 0) >= 2 * WORKLOAD_SIZE
+        # The artifact lifecycle rode the same record: the build save plus
+        # one save+promote per accepted candidate, joinable against the
+        # swaps above by model_generation (view_generation_provenance).
+        assert counts.get("artifact_saved", 0) == 1 + manager.stats.swaps
+        provenance = {
+            row["model_generation"]: row for row in story.generation_provenance()
+        }
+        assert provenance[post_swap_generation]["artifacts_saved"] >= 1
+        assert provenance[post_swap_generation]["swaps"] >= 1
         # The trace record rode along: sampled span trees (with at least the
         # slowest request's), the shared batch spans, and the swap itself.
         assert counts.get("span", 0) >= 1, "no spans reached the store"

@@ -11,6 +11,7 @@ Subcommands::
     trace_report.py show  STORE [--trace ID | --slowest N]   # span trees
     trace_report.py flame STORE                              # per-kind aggregate
     trace_report.py diff  STORE_A STORE_B                    # critical-path diff
+    trace_report.py provenance STORE                         # generation accounting
 
 ``show`` renders each selected trace as an indented tree: the request root,
 its own stages (``queue_wait``), and its fan-in links to shared spans
@@ -25,6 +26,11 @@ per span name, scaled by total seconds, with counts and mean/max.
 ``diff`` compares the per-kind totals **normalized per traced request**
 between two stores, so "the p99 moved because queue_wait doubled" is one
 command against the before/after artifacts.
+
+``provenance`` joins traffic, swaps, and the artifact lifecycle per model
+generation (``view_generation_provenance`` over ``view_artifact_history``):
+which snapshot answered each request — and whether that generation was ever
+persisted, loaded, promoted, or rolled back — from the store alone.
 
 Exit codes: 0 ok, 2 usage error (missing file / unknown trace), 3 the store
 has no spans (empty or untraced run) — CI smoke-runs ``show --slowest 1``
@@ -261,6 +267,57 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_provenance(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return EXIT_USAGE
+    rows = store.generation_provenance()
+    if not rows:
+        print(f"error: {args.store} contains no generation events", file=sys.stderr)
+        return EXIT_EMPTY
+    header = (
+        "generation".rjust(10)
+        + "requests".rjust(10)
+        + "swaps".rjust(7)
+        + "saved".rjust(7)
+        + "loaded".rjust(8)
+        + "promoted".rjust(10)
+        + "rollbacks".rjust(11)
+    )
+    print("per-generation accounting: traffic + swaps + artifact lifecycle")
+    print(header)
+    for row in rows:
+        print(
+            f"{row['model_generation']:10d}"
+            f"{row['requests_served']:10d}"
+            f"{row['swaps']:7d}"
+            f"{row['artifacts_saved']:7d}"
+            f"{row['artifacts_loaded']:8d}"
+            f"{row['artifacts_promoted']:10d}"
+            f"{row['artifact_rollbacks']:11d}"
+        )
+    history = store.artifact_history()
+    if history:
+        print()
+        print("artifact lifecycle events (oldest first):")
+        for event in history:
+            extra = []
+            if event.get("source"):
+                extra.append(f"source={event['source']}")
+            if event.get("size_bytes") is not None:
+                extra.append(f"{int(event['size_bytes']):,d} bytes")
+            if event.get("previous") is not None:
+                extra.append(f"previous=gen-{event['previous']}")
+            if event.get("rolled_back_from") is not None:
+                extra.append(f"from=gen-{event['rolled_back_from']}")
+            suffix = f"  [{', '.join(extra)}]" if extra else ""
+            print(
+                f"  gen-{event['model_generation']:<4d}"
+                f" {event['kind']:<22s}{suffix}"
+            )
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -288,6 +345,13 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("store_a", help="baseline SQLite event store")
     diff.add_argument("store_b", help="comparison SQLite event store")
     diff.set_defaults(func=cmd_diff)
+
+    provenance = sub.add_parser(
+        "provenance",
+        help="per-generation accounting: requests ⋈ swaps ⋈ artifact lifecycle",
+    )
+    provenance.add_argument("store", help="path to the SQLite event store")
+    provenance.set_defaults(func=cmd_provenance)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -51,6 +51,10 @@ from repro.observability.buffer import BufferedEvent, EventBuffer
 from repro.observability.events import (
     EVENT_KINDS,
     AcceptGateDecision,
+    ArtifactLoaded,
+    ArtifactPromoted,
+    ArtifactRolledBack,
+    ArtifactSaved,
     BatchServed,
     DispatcherBatch,
     DriftTrip,
@@ -73,6 +77,10 @@ from repro.observability.tracing import RequestTrace, SpanHandle, Tracer
 
 __all__ = [
     "AcceptGateDecision",
+    "ArtifactLoaded",
+    "ArtifactPromoted",
+    "ArtifactRolledBack",
+    "ArtifactSaved",
     "BatchServed",
     "BenchRun",
     "BufferedEvent",

@@ -40,6 +40,16 @@ The taxonomy (``kind`` → emitted by):
                           freshly compiled plan goes live with the swap,
                           ``rollback`` when a failed promote leaves the
                           incumbent's plan bound.
+``artifact_saved``        :class:`repro.artifacts.ArtifactStore`, one per
+                          snapshot bundle persisted (build, adaptation
+                          promote, or manual save), keyed by the generation
+                          the bundle serves.
+``artifact_loaded``       the same store, one per verified bundle
+                          deserialized for a cold-start boot.
+``artifact_promoted``     the same store, one per atomic ``latest``-pointer
+                          advance (with the previous generation on record).
+``artifact_rolled_back``  the same store, one per pointer rollback to the
+                          previous generation.
 ``stats_drained``         :meth:`repro.serving.EstimationService.drain_stats`
                           — the drained counter snapshot, so draining moves
                           history into the store instead of discarding it.
@@ -329,6 +339,66 @@ class SpanLinked(Event):
 
 
 @dataclass(frozen=True)
+class ArtifactSaved(Event):
+    """One snapshot bundle persisted to the generational artifact store.
+
+    ``generation`` is the registry model generation the bundle serves — the
+    same number on :class:`ModelSwap` and every
+    :class:`repro.serving.EstimateResult`, so the store's views can join
+    "which snapshot" against "which swap" and "which answers".
+    """
+
+    kind: ClassVar[str] = "artifact_saved"
+
+    generation: int
+    source: str  # "build" | "promote" | "manual"
+    size_bytes: int
+
+    def value(self) -> float:
+        return float(self.size_bytes)
+
+
+@dataclass(frozen=True)
+class ArtifactLoaded(Event):
+    """One checksum-verified bundle deserialized for a cold-start boot."""
+
+    kind: ClassVar[str] = "artifact_loaded"
+
+    generation: int
+    source: str  # the loaded bundle's recorded save source
+    adaptation_downgraded: bool = False
+
+    def value(self) -> float:
+        return float(self.generation)
+
+
+@dataclass(frozen=True)
+class ArtifactPromoted(Event):
+    """One atomic advance of the store's ``latest`` pointer."""
+
+    kind: ClassVar[str] = "artifact_promoted"
+
+    generation: int
+    previous: int | None
+
+    def value(self) -> float:
+        return float(self.generation)
+
+
+@dataclass(frozen=True)
+class ArtifactRolledBack(Event):
+    """One ``latest``-pointer rollback to the previous generation."""
+
+    kind: ClassVar[str] = "artifact_rolled_back"
+
+    generation: int  # now serving again
+    rolled_back_from: int | None
+
+    def value(self) -> float:
+        return float(self.generation)
+
+
+@dataclass(frozen=True)
 class StatsDrained(Event):
     """One drained service-counter snapshot.
 
@@ -367,6 +437,10 @@ EVENT_KINDS: dict[str, type[Event]] = {
         PlanSwap,
         SpanRecorded,
         SpanLinked,
+        ArtifactSaved,
+        ArtifactLoaded,
+        ArtifactPromoted,
+        ArtifactRolledBack,
         StatsDrained,
     )
 }

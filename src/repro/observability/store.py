@@ -21,6 +21,12 @@ columns, so the aggregate views are plain SQL over indexed data:
 * ``view_plan_history`` — every compiled-inference-plan lifecycle event
   (``plan_compile`` / ``plan_swap``), keyed by ``model_generation`` so plan
   compiles and handovers line up next to the swap history they belong to;
+* ``view_artifact_history`` — every artifact lifecycle event (saved /
+  loaded / promoted / rolled back), keyed by ``model_generation`` so the
+  on-disk snapshot record lines up against the swap and plan history;
+* ``view_generation_provenance`` — one row per model generation joining
+  requests served, swaps, and artifact lifecycle counts, so "which snapshot
+  answered this request" is answerable from the store alone;
 * ``view_event_counts`` — events per kind (the taxonomy's census).
 
 The store is thread-safe (one connection, writes serialized on an internal
@@ -134,6 +140,35 @@ CREATE VIEW IF NOT EXISTS view_plan_history AS
     FROM events
     WHERE kind IN ('plan_compile', 'plan_swap')
     ORDER BY model_generation, ts;
+
+CREATE VIEW IF NOT EXISTS view_artifact_history AS
+    SELECT model_generation,
+           ts,
+           kind,
+           json_extract(payload, '$.source')           AS source,
+           json_extract(payload, '$.size_bytes')       AS size_bytes,
+           json_extract(payload, '$.previous')         AS previous,
+           json_extract(payload, '$.rolled_back_from') AS rolled_back_from
+    FROM events
+    WHERE kind IN ('artifact_saved', 'artifact_loaded',
+                   'artifact_promoted', 'artifact_rolled_back')
+    ORDER BY model_generation, ts;
+
+-- One row per model generation, joining serving traffic against the swap
+-- and artifact lifecycle: the provenance answer "which snapshot (and which
+-- swap) stands behind the requests this generation answered".
+CREATE VIEW IF NOT EXISTS view_generation_provenance AS
+    SELECT model_generation,
+           SUM(kind = 'request_served')       AS requests_served,
+           SUM(kind = 'model_swap')           AS swaps,
+           SUM(kind = 'artifact_saved')       AS artifacts_saved,
+           SUM(kind = 'artifact_loaded')      AS artifacts_loaded,
+           SUM(kind = 'artifact_promoted')    AS artifacts_promoted,
+           SUM(kind = 'artifact_rolled_back') AS artifact_rollbacks
+    FROM events
+    WHERE model_generation IS NOT NULL
+    GROUP BY model_generation
+    ORDER BY model_generation;
 
 CREATE VIEW IF NOT EXISTS view_event_counts AS
     SELECT kind, COUNT(*) AS events
@@ -348,6 +383,14 @@ class EventStore:
         """Compiled-plan lifecycle (compiles and handovers) by model generation."""
         return self.query("SELECT * FROM view_plan_history")
 
+    def artifact_history(self) -> list[dict[str, Any]]:
+        """Artifact lifecycle (saves/loads/promotes/rollbacks) by model generation."""
+        return self.query("SELECT * FROM view_artifact_history")
+
+    def generation_provenance(self) -> list[dict[str, Any]]:
+        """The ``view_generation_provenance`` rows: traffic ⋈ swaps ⋈ artifacts."""
+        return self.query("SELECT * FROM view_generation_provenance")
+
     def latency_quantile(
         self, q: float, estimator: str | None = None, window: int | None = None
     ) -> float:
@@ -500,6 +543,7 @@ class EventStore:
             "stored_events": float(sum(counts.values())),
             "stored_swaps": float(counts.get("model_swap", 0)),
             "stored_drift_trips": float(counts.get("drift_trip", 0)),
+            "stored_artifact_saves": float(counts.get("artifact_saved", 0)),
         }
 
     # ------------------------------------------------------------------ #

@@ -65,6 +65,11 @@ forward passes.  This package amortizes that work across requests:
   :mod:`repro.extensions.updates`, incremental escalating to full), gates
   the candidate on a held-out feedback slice, and hot-swaps it with
   ``replace()`` / ``rebind()`` while the dispatcher keeps serving.
+* :mod:`repro.artifacts` (sibling package) -- the versioned artifact store
+  wired in through :class:`ArtifactConfig`: every build and every accepted
+  adaptation candidate persists as a checksummed snapshot generation, and
+  :meth:`ServingClient.from_artifact` cold-boots a bit-identical stack from
+  one without retraining (promote/rollback via ``scripts/artifact_tool.py``).
 
 The whole layer is safe under concurrent access: caches, stats, the
 estimator registry (with :meth:`EstimationService.replace` for zero-downtime
@@ -82,6 +87,7 @@ from repro.serving.cache import CacheStats, EncodingCache, FeaturizationCache
 from repro.serving.client import ServiceStack, ServingClient, build_service_stack
 from repro.serving.config import (
     AdaptationConfig,
+    ArtifactConfig,
     CacheConfig,
     DispatcherConfig,
     EstimatorConfig,
@@ -95,6 +101,10 @@ from repro.serving.config import (
 from repro.serving.inference_plan import InferencePlan, compile_plan
 from repro.serving.dispatcher import DispatcherStats, ServingDispatcher
 from repro.serving.errors import (
+    ArtifactChecksumError,
+    ArtifactError,
+    ArtifactNotFoundError,
+    ArtifactSchemaError,
     DeadlineExceededError,
     DispatcherShutdownError,
     NoMatchingPoolQueryError,
@@ -130,6 +140,11 @@ __all__ = [
     "AdaptationConfig",
     "AdaptationManager",
     "AdaptationOutcome",
+    "ArtifactChecksumError",
+    "ArtifactConfig",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "ArtifactSchemaError",
     "BatchPlan",
     "BatchPlanner",
     "CRNRetrainer",

@@ -39,23 +39,25 @@ before returning.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.cnt2crd import Cnt2CrdEstimator
 from repro.core.crn import CRNEstimator
-from repro.observability.events import PlanCompiled
+from repro.core.featurization import QueryFeaturizer
+from repro.observability.events import ArtifactLoaded, PlanCompiled
 from repro.observability.recorder import EventRecorder
 from repro.observability.store import EventStore
 from repro.observability.tracing import Tracer
 from repro.serving.cache import EncodingCache, FeaturizationCache
 from repro.serving.config import ServingConfig
 from repro.serving.dispatcher import ServingDispatcher
-from repro.serving.errors import ServingError
+from repro.serving.errors import ArtifactSchemaError, ServingError
 from repro.serving.feedback import FeedbackCollector, FeedbackObservation
 from repro.serving.inference_plan import InferencePlan, compile_plan
 from repro.serving.lifecycle import AdaptationManager, AdaptationOutcome, CRNRetrainer
@@ -204,9 +206,16 @@ class ServingClient:
 
     Args:
         config: the frozen deployment description.
+        _restored_generation: internal — set by :meth:`from_artifact` to
+            stamp the snapshot's model generation back into the registry
+            before anything else observes it, so provenance is continuous
+            across a restart (and ``save_on_build`` does not re-save the
+            bundle the client just booted from).
     """
 
-    def __init__(self, config: ServingConfig) -> None:
+    def __init__(
+        self, config: ServingConfig, *, _restored_generation: int | None = None
+    ) -> None:
         self.config = config
         self.recorder: EventRecorder | None = None
         self.event_store: EventStore | None = None
@@ -232,6 +241,10 @@ class ServingClient:
         stack = build_service_stack(config, recorder=self.recorder, tracer=self.tracer)
         self.stack = stack
         self.service = stack.service
+        if _restored_generation is not None:
+            # Before the adaptation manager (which seeds its generation gauge
+            # from the registry) or any request can observe generation 1.
+            self.service.set_generation(config.estimator.name, _restored_generation)
         self.collector: FeedbackCollector | None = None
         self.retrainer: CRNRetrainer | None = None
         self.manager: AdaptationManager | None = None
@@ -272,12 +285,170 @@ class ServingClient:
                 max_batch=config.dispatcher.max_batch,
                 max_wait_ms=config.dispatcher.max_wait_ms,
             )
+        self.artifact_store = None
+        if config.artifacts.enabled:
+            # Imported lazily: repro.artifacts depends on the serving error
+            # taxonomy, so a module-level import here would be circular.
+            from repro.artifacts.store import ArtifactStore
+
+            self.artifact_store = ArtifactStore(
+                config.artifacts.root, recorder=self.recorder
+            )
+            mapping = config.to_mapping()
+            if self.manager is not None and config.artifacts.save_on_promote:
+                self.manager.attach_artifact_store(
+                    self.artifact_store,
+                    mapping,
+                    promote_on_save=config.artifacts.promote_on_save,
+                )
+            if config.artifacts.save_on_build and _restored_generation is None:
+                self.artifact_store.save(
+                    model=config.model,
+                    pool=config.pool,
+                    config_mapping=mapping,
+                    generation=self.service.generation(config.estimator.name),
+                    source="build",
+                    pool_index=stack.pool_index,
+                    promote=config.artifacts.promote_on_save,
+                )
         self._state_lock = threading.Lock()
         self._started = False
         self._closed = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
+
+    @classmethod
+    def from_artifact(
+        cls,
+        root: str | os.PathLike,
+        *,
+        database,
+        generation: int | None = None,
+        fallback_estimator: Any | None = None,
+        extra_estimators: Mapping[str, Any] | None = None,
+        training_result: Any | None = None,
+        oracle: Any | None = None,
+    ) -> "ServingClient":
+        """Boot a client cold from a persisted snapshot — no retraining.
+
+        Loads (and checksum-verifies) the bundle from the
+        :class:`repro.artifacts.ArtifactStore` at ``root`` — the promoted
+        ``latest`` generation by default — and rebuilds the stack around it:
+        the CRN's weights are **restored**, the pool is **replayed**
+        entry-for-entry in saved order, and the full config round-trips
+        through :meth:`ServingConfig.from_mapping` (unknown-field rejection
+        intact).  The featurizer, the caches, the encoding index's slabs,
+        and the compiled inference plan are **rebuilt** — each is a pure
+        function of (weights, pool, database schema), so the rebuilt stack
+        serves estimates bit-identical to the client that saved the snapshot
+        (pinned by ``benchmarks/bench_cold_start.py``).  The snapshot's
+        model generation is stamped back into the registry, so
+        :attr:`EstimateResult.model_generation` provenance is continuous
+        across the restart and the next adaptation promote advances from it.
+
+        Runtime objects a JSON mapping cannot carry are re-supplied here:
+
+        Args:
+            root: the artifact store directory.
+            database: the serving snapshot (the featurizer is rebuilt from
+                its schema; must be the database the saved model serves).
+            generation: boot a specific generation instead of ``latest``.
+            fallback_estimator / extra_estimators / oracle: as on
+                :class:`ServingConfig`.
+            training_result: required to keep a saved
+                ``adaptation.enabled=True`` config adapting after the boot
+                (retraining fine-tunes from it).  When omitted, adaptation
+                is **downgraded to disabled** — recorded on the
+                ``artifact_loaded`` event as ``adaptation_downgraded`` —
+                rather than failing the boot.
+
+        Raises:
+            ArtifactNotFoundError / ArtifactChecksumError /
+            ArtifactSchemaError: the store, the bundle, or its contents are
+                missing, corrupt, or inconsistent (including a ``database``
+                whose schema does not featurize to the saved vector size,
+                and a rebuilt index that does not match the bundle's
+                recorded slab metadata).
+        """
+        from repro.artifacts.store import ArtifactStore
+
+        store = ArtifactStore(root)
+        bundle = store.load(generation)
+        featurizer = QueryFeaturizer(database)
+        if featurizer.vector_size != bundle.model.vector_size:
+            raise ArtifactSchemaError(
+                f"the supplied database featurizes to vector size "
+                f"{featurizer.vector_size}, but the snapshot's model expects "
+                f"{bundle.model.vector_size} — wrong database for this bundle"
+            )
+        mapping = {key: dict(value) for key, value in bundle.config_mapping.items()}
+        adaptation_downgraded = False
+        if mapping.get("adaptation", {}).get("enabled") and training_result is None:
+            # A mapping cannot carry the TrainingResult adaptation fine-tunes
+            # from.  Booting read-only beats refusing to boot; the downgrade
+            # is on the record (artifact_loaded event) and in the docs.
+            mapping["adaptation"]["enabled"] = False
+            adaptation_downgraded = True
+        # The store being booted from is authoritative, wherever the bundle
+        # was saved (a downloaded CI artifact boots against its new path) —
+        # and save_on_build must not re-save the bundle just loaded.
+        artifacts_section = dict(mapping.get("artifacts", {}))
+        artifacts_section["root"] = os.fspath(root)
+        mapping["artifacts"] = artifacts_section
+        observability_section = mapping.get("observability", {})
+        if observability_section.get("enabled") and observability_section.get(
+            "sqlite_path"
+        ):
+            # The saved config's recorder identity belongs to the client that
+            # wrote the snapshot.  A restored client flushing into the same
+            # persistent store under the same source would have its events
+            # silently deduplicated away (the store dedups on
+            # ``(source, sequence)`` and sequences restart at boot) — the
+            # restart would be invisible in the provenance views.  Suffix the
+            # booted generation so both lifetimes coexist in one store.
+            source = observability_section.get("source", "serving")
+            suffix = f"@gen{bundle.manifest.generation}"
+            if not source.endswith(suffix):
+                section = dict(observability_section)
+                section["source"] = source + suffix
+                mapping["observability"] = section
+        config = ServingConfig.from_mapping(
+            mapping,
+            model=bundle.model,
+            featurizer=featurizer,
+            pool=bundle.pool,
+            fallback_estimator=fallback_estimator,
+            extra_estimators=extra_estimators or {},
+            training_result=training_result,
+            database=database,
+            oracle=oracle,
+        )
+        client = cls(config, _restored_generation=bundle.manifest.generation)
+        if (
+            client.stack.pool_index is not None
+            and config.pool_options.warm
+            and bundle.index_meta.get("signatures")
+        ):
+            expected = sum(
+                int(entry["rows"]) for entry in bundle.index_meta["signatures"]
+            )
+            actual = len(client.stack.pool_index)
+            if actual != expected:
+                raise ArtifactSchemaError(
+                    f"rebuilt pool encoding index holds {actual} slab rows, "
+                    f"bundle metadata records {expected} — the snapshot is "
+                    f"internally inconsistent"
+                )
+        if client.recorder is not None:
+            client.recorder.emit(
+                ArtifactLoaded(
+                    generation=bundle.manifest.generation,
+                    source=bundle.manifest.source,
+                    adaptation_downgraded=adaptation_downgraded,
+                )
+            )
+        return client
 
     @classmethod
     def start(cls, config: ServingConfig) -> "ServingClient":

@@ -21,7 +21,10 @@ with one frozen object of nested sections:
   attribution and tail-exemplar sampling (:mod:`repro.observability.tracing`;
   requires observability);
 * :class:`InferenceConfig` — reference ``Tensor`` inference vs a compiled
-  :class:`repro.serving.InferencePlan`, and the compiled plan's slab dtype.
+  :class:`repro.serving.InferencePlan`, and the compiled plan's slab dtype;
+* :class:`ArtifactConfig` — durable snapshot bundles (:mod:`repro.artifacts`):
+  where the generational store lives, and whether builds and adaptation
+  promotes persist their model/pool/config state for cold-start boots.
 
 Every section validates its bounds at construction (``max_batch=0``,
 ``max_cache_entries=-1`` and friends raise a ``ValueError`` here, not
@@ -50,6 +53,7 @@ from repro.db.database import Database
 
 __all__ = [
     "AdaptationConfig",
+    "ArtifactConfig",
     "CacheConfig",
     "DispatcherConfig",
     "EstimatorConfig",
@@ -404,6 +408,49 @@ class AdaptationConfig:
         )
 
 
+@dataclass(frozen=True)
+class ArtifactConfig:
+    """Durable snapshot bundles and the generational artifact store.
+
+    When :attr:`root` is set, the client owns an
+    :class:`repro.artifacts.ArtifactStore` there: builds and adaptation
+    promotes can persist complete snapshot bundles (weights, pool, config,
+    index metadata) that a later process boots from via
+    :meth:`repro.serving.ServingClient.from_artifact` — no retraining.
+
+    Attributes:
+        root: the store's directory (created when missing).  ``None`` — the
+            default — disables artifact persistence entirely; the rest of
+            the section is inert.
+        save_on_build: persist the freshly built stack as a bundle under its
+            registry generation as soon as :class:`ServingClient` finishes
+            wiring it, so even a never-adapted deployment has a cold-start
+            snapshot.
+        save_on_promote: persist every adaptation-accepted candidate as a
+            new bundle keyed by the generation its swap produced.  A failed
+            promote persists nothing (the save runs strictly after the
+            registry swap commits).
+        promote_on_save: saved bundles also re-point the store's ``latest``
+            pointer, so "boot from latest" always means the newest accepted
+            model.  Disable to stage bundles for an explicit
+            ``artifact_tool.py promote``.
+    """
+
+    root: str | None = None
+    save_on_build: bool = True
+    save_on_promote: bool = True
+    promote_on_save: bool = True
+
+    def __post_init__(self) -> None:
+        if self.root is not None and not str(self.root):
+            raise ValueError("artifact root must be a non-empty path or None")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this deployment persists artifacts at all."""
+        return self.root is not None
+
+
 #: The single source of truth for the declarative sections:
 #: ``(mapping key, section dataclass, ServingConfig attribute)``.  The
 #: section order, :meth:`ServingConfig.to_mapping`, and
@@ -419,6 +466,7 @@ _SECTION_SPECS: tuple[tuple[str, type, str], ...] = (
     ("observability", ObservabilityConfig, "observability"),
     ("tracing", TracingConfig, "tracing"),
     ("inference", InferenceConfig, "inference"),
+    ("artifacts", ArtifactConfig, "artifacts"),
 )
 _SECTIONS = tuple(key for key, _, _ in _SECTION_SPECS)
 
@@ -465,6 +513,7 @@ class ServingConfig:
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
     inference: InferenceConfig = field(default_factory=InferenceConfig)
+    artifacts: ArtifactConfig = field(default_factory=ArtifactConfig)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extra_estimators", dict(self.extra_estimators))

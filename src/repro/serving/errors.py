@@ -17,8 +17,15 @@ catching the old types keep working unchanged:
   dispatcher's ``timed_out`` stat.
 * :class:`DispatcherShutdownError` — a submission raced past
   :meth:`repro.serving.ServingDispatcher.shutdown`.  Also a ``RuntimeError``.
+* :class:`ArtifactError` — the durable-artifact subtree
+  (:mod:`repro.artifacts`): :class:`ArtifactSchemaError` for a manifest that
+  fails validation (also a ``ValueError``), :class:`ArtifactChecksumError`
+  for a bundle whose bytes do not match their recorded SHA-256 digests
+  (truncation, bit rot, a torn write — never a silent partial boot), and
+  :class:`ArtifactNotFoundError` for a missing store root, generation, or
+  bundle file (also a ``FileNotFoundError``).
 * :class:`repro.core.cnt2crd.NoMatchingPoolQueryError` is re-exported here as
-  the taxonomy's fourth member: it predates the serving layer (the Cnt2Crd
+  a taxonomy member: it predates the serving layer (the Cnt2Crd
   technique itself raises it), so it cannot subclass :class:`ServingError`
   without inverting the core → serving dependency — but every serving-layer
   surface that raises it is documented to, and catching it by this module's
@@ -30,6 +37,10 @@ from __future__ import annotations
 from repro.core.cnt2crd import NoMatchingPoolQueryError
 
 __all__ = [
+    "ArtifactChecksumError",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "ArtifactSchemaError",
     "DeadlineExceededError",
     "DispatcherShutdownError",
     "NoMatchingPoolQueryError",
@@ -68,3 +79,33 @@ class DeadlineExceededError(ServingError, TimeoutError):
 
 class DispatcherShutdownError(ServingError, RuntimeError):
     """Raised by :meth:`repro.serving.ServingDispatcher.submit` after shutdown began."""
+
+
+class ArtifactError(ServingError):
+    """Base class of every durable-artifact failure (:mod:`repro.artifacts`)."""
+
+
+class ArtifactSchemaError(ArtifactError, ValueError):
+    """An artifact manifest failed schema validation.
+
+    Raised for an unsupported format version, missing or unknown manifest
+    fields, and field values of the wrong type — each named in the message.
+    Also a ``ValueError``, matching the config layer's validation errors.
+    """
+
+
+class ArtifactChecksumError(ArtifactError):
+    """A bundle's bytes do not match the manifest's recorded digests.
+
+    Truncated files, flipped bits, and torn writes all land here — loading
+    refuses the whole bundle rather than booting from a partially valid
+    snapshot.  The message names the offending file and both digests.
+    """
+
+
+class ArtifactNotFoundError(ArtifactError, FileNotFoundError):
+    """A store root, generation, or bundle file does not exist on disk.
+
+    Also a ``FileNotFoundError``, so path-oriented callers (the artifact
+    CLI, deployment scripts) can keep their existing handling.
+    """

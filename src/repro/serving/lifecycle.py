@@ -320,6 +320,8 @@ class LifecycleStats:
         self.post_swap_q_error = float("nan")
         self.requests_between_swaps = 0
         self.model_generation = 0
+        self.artifact_saves = 0
+        self.artifact_save_failures = 0
 
     def record_evaluation(self, triggered: bool) -> None:
         """Count one drift evaluation (and whether the policy fired)."""
@@ -360,6 +362,13 @@ class LifecycleStats:
         """Count one candidate the accept gate turned away."""
         with self._lock:
             self.candidates_rejected += 1
+
+    def record_artifact_save(self, failed: bool) -> None:
+        """Count one post-swap artifact persistence attempt."""
+        with self._lock:
+            self.artifact_saves += 1
+            if failed:
+                self.artifact_save_failures += 1
 
     def record_swap(
         self,
@@ -415,6 +424,8 @@ class LifecycleStats:
                 "post_swap_q_error": self.post_swap_q_error,
                 "requests_between_swaps": float(self.requests_between_swaps),
                 "model_generation": float(self.model_generation),
+                "artifact_saves": float(self.artifact_saves),
+                "artifact_save_failures": float(self.artifact_save_failures),
             }
 
 
@@ -662,6 +673,9 @@ class AdaptationManager:
         self.stats.model_generation = self.service.generation(self.estimator_name)
         self.last_outcome: AdaptationOutcome | None = None
         self.last_error: BaseException | None = None
+        self.artifact_store = None
+        self.artifact_config_mapping: dict | None = None
+        self.artifact_promote_on_save = True
         self._rows_at_refresh = retrainer.database.total_rows
         self._consecutive_failures = 0
         self._cooldown_until = 0.0
@@ -706,6 +720,30 @@ class AdaptationManager:
 
     # ------------------------------------------------------------------ #
     # operator controls
+
+    def attach_artifact_store(
+        self, store, config_mapping, promote_on_save: bool = True
+    ) -> None:
+        """Persist every accepted candidate as a new artifact generation.
+
+        After each successful hot swap the manager writes the promoted
+        model + refreshed pool to ``store`` (an
+        :class:`repro.artifacts.ArtifactStore`) under the swap's registry
+        generation number, so the adapted model survives a client shutdown
+        — a restart via :meth:`repro.serving.ServingClient.from_artifact`
+        serves the promoted generation, not the originally-trained one.
+        ``config_mapping`` is the serving config the bundle embeds
+        (:meth:`repro.serving.ServingConfig.to_mapping`); with
+        ``promote_on_save`` the store's ``latest`` pointer advances to each
+        saved generation (leaving the prior one as the rollback target).
+
+        A persistence failure is recorded (``artifact_save_failures``,
+        :attr:`last_error`) but never fails the already-completed swap —
+        the in-memory promote is authoritative; the snapshot is durability.
+        """
+        self.artifact_store = store
+        self.artifact_config_mapping = dict(config_mapping)
+        self.artifact_promote_on_save = bool(promote_on_save)
 
     def pause(self) -> None:
         """Suspend policy-driven adaptation (manual triggers still run)."""
@@ -928,6 +966,25 @@ class AdaptationManager:
                         outcome="promoted",
                     )
                 )
+        if self.artifact_store is not None and self.artifact_config_mapping is not None:
+            # Durability, not correctness: the swap already completed, so a
+            # failed save is counted and kept for the operator but must not
+            # convert a successful promote into a failed cycle.
+            try:
+                self.artifact_store.save(
+                    model=candidate.model,
+                    pool=refreshed_pool,
+                    config_mapping=self.artifact_config_mapping,
+                    generation=generation,
+                    source="promote",
+                    pool_index=self.service.pool_index,
+                    promote=self.artifact_promote_on_save,
+                )
+            except Exception as error:
+                self.last_error = error
+                self.stats.record_artifact_save(failed=True)
+            else:
+                self.stats.record_artifact_save(failed=False)
         self._consecutive_failures = 0
         self._rows_at_refresh = self.retrainer.database.total_rows
         self._cooldown_until = time.monotonic() + policy.cooldown_seconds

@@ -443,6 +443,31 @@ class EstimationService:
         with self._registry_lock:
             return self._generations.get(name, 0)
 
+    def set_generation(self, name: str, generation: int) -> None:
+        """Stamp the registered entry's model generation to ``generation``.
+
+        This is the cold-boot provenance hook: a stack restored from an
+        artifact snapshot (:mod:`repro.artifacts`) re-registers its estimator
+        — which would start the count back at 1 — and then stamps the
+        *saved* generation here, so
+        :attr:`EstimateResult.model_generation` stays continuous across a
+        restart and the next adaptation promote advances from the restored
+        number, not from 1.
+
+        Raises:
+            UnknownEstimatorError: when ``name`` is not registered.
+            ValueError: when ``generation`` is not a positive int.
+        """
+        if not isinstance(generation, int) or isinstance(generation, bool) or generation <= 0:
+            raise ValueError(f"generation must be a positive int, got {generation!r}")
+        with self._registry_lock:
+            if name not in self._registry:
+                raise UnknownEstimatorError(
+                    f"cannot set generation of unregistered estimator {name!r}; "
+                    f"registered: {sorted(self._registry)}"
+                )
+            self._generations[name] = generation
+
     # ------------------------------------------------------------------ #
     # serving
 

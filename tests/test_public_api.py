@@ -15,6 +15,7 @@ import repro.serving as serving
 from repro.serving import EstimateResult, RequestOptions, ServedEstimate, ServingClient
 from repro.serving.config import (
     AdaptationConfig,
+    ArtifactConfig,
     CacheConfig,
     DispatcherConfig,
     EstimatorConfig,
@@ -30,6 +31,11 @@ EXPECTED_SERVING_ALL = [
     "AdaptationConfig",
     "AdaptationManager",
     "AdaptationOutcome",
+    "ArtifactChecksumError",
+    "ArtifactConfig",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "ArtifactSchemaError",
     "BatchPlan",
     "BatchPlanner",
     "CRNRetrainer",
@@ -121,6 +127,7 @@ EXPECTED_CONFIG_FIELDS = {
         "observability",
         "tracing",
         "inference",
+        "artifacts",
     ],
     EstimatorConfig: ["name", "fallback_name", "final_function", "epsilon", "batch_size"],
     PoolConfig: ["warm", "use_index"],
@@ -153,12 +160,14 @@ EXPECTED_CONFIG_FIELDS = {
         "min_tail_observations",
     ],
     InferenceConfig: ["mode", "slab_dtype", "tolerance"],
+    ArtifactConfig: ["root", "save_on_build", "save_on_promote", "promote_on_save"],
 }
 
 EXPECTED_CLIENT_METHODS = [
     "estimate",
     "estimate_future",
     "estimate_many",
+    "from_artifact",
     "record_feedback",
     "shutdown",
     "start",
@@ -214,3 +223,11 @@ def test_error_taxonomy_shape():
     from repro.core.cnt2crd import NoMatchingPoolQueryError as core_error
 
     assert serving.NoMatchingPoolQueryError is core_error
+    # Artifact errors: one ServingError clause covers persistence too, and
+    # each subtype keeps its stdlib base so generic handlers still work.
+    assert issubclass(serving.ArtifactError, serving.ServingError)
+    assert issubclass(serving.ArtifactSchemaError, serving.ArtifactError)
+    assert issubclass(serving.ArtifactSchemaError, ValueError)
+    assert issubclass(serving.ArtifactChecksumError, serving.ArtifactError)
+    assert issubclass(serving.ArtifactNotFoundError, serving.ArtifactError)
+    assert issubclass(serving.ArtifactNotFoundError, FileNotFoundError)
