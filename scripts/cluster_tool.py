@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Operate on a running serving cluster: status, drain, restart.
+
+A cluster-mode :class:`repro.serving.ServingClient` runs a supervisor that
+(besides keeping the shard workers alive) listens on a loopback control
+socket and maintains a runtime file — ``cluster.json`` under
+``ClusterConfig.runtime_dir`` — recording the control address and the
+per-shard worker map.  This script is the operator's handle on that
+cluster: it reads the runtime file to find the control socket, then speaks
+the same length-prefixed framed protocol the workers speak.  Nothing here
+imports any serving state, so it is safe to run from a separate process
+while the cluster serves.
+
+Subcommands::
+
+    cluster_tool.py status  RUNTIME_DIR [--json]   # probe every worker
+    cluster_tool.py drain   RUNTIME_DIR SHARD      # graceful single-shard stop
+    cluster_tool.py restart RUNTIME_DIR SHARD      # drain + fresh boot
+
+``status`` asks the supervisor for its shard map with live health probes
+(pid, state, address, serving generation, restart count, queue depth) and
+exits 3 when any shard is failed or unhealthy, so CI can gate on it.
+``drain`` gracefully stops one shard — the worker finishes in-flight
+requests, acks, and exits; a drained shard is *not* restarted.  ``restart``
+drains (when ready) and boots a fresh worker process, which re-reads the
+artifact store and serves the currently *promoted* generation.
+
+Exit codes: 0 ok, 2 usage error (no runtime file, stale control address,
+unknown shard), 3 cluster unhealthy (a failed/unhealthy shard in
+``status``, or a drain/restart the supervisor refused) — matching
+``artifact_tool.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import protocol  # noqa: E402
+from repro.cluster.supervisor import RUNTIME_FILENAME  # noqa: E402
+from repro.serving.errors import ClusterError  # noqa: E402
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_UNHEALTHY = 3
+
+#: One generous timeout for control roundtrips: status probes every worker.
+CONTROL_TIMEOUT_SECONDS = 30.0
+
+
+def _read_runtime(runtime_dir: str) -> dict | None:
+    path = Path(runtime_dir) / RUNTIME_FILENAME
+    if not path.is_file():
+        print(f"error: no runtime file at {path}", file=sys.stderr)
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: unreadable runtime file {path}: {error}", file=sys.stderr)
+        return None
+    if payload.get("schema_version") != 1:
+        print(
+            f"error: unsupported runtime schema {payload.get('schema_version')!r}",
+            file=sys.stderr,
+        )
+        return None
+    return payload
+
+
+def _control_roundtrip(runtime: dict, message: dict) -> dict | None:
+    control = runtime.get("control")
+    if not control:
+        print(
+            "error: runtime file records no control address "
+            "(the cluster is stopped)",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        reply = protocol.roundtrip(
+            (control[0], int(control[1])), message, timeout=CONTROL_TIMEOUT_SECONDS
+        )
+    except (OSError, ClusterError) as error:
+        print(
+            f"error: control socket {control[0]}:{control[1]} unreachable "
+            f"(stale runtime file?): {error}",
+            file=sys.stderr,
+        )
+        return None
+    return reply
+
+
+def _print_status(status: dict) -> None:
+    print(
+        f"cluster: {status['num_workers']} worker(s), "
+        f"{status['signatures']} FROM-signature(s)"
+    )
+    for worker in status["workers"]:
+        address = worker.get("address")
+        where = f"{address[0]}:{address[1]}" if address else "-"
+        health = ""
+        if "healthy" in worker:
+            health = " healthy" if worker["healthy"] else " UNHEALTHY"
+        generation = worker.get("generation")
+        print(
+            f"  shard {worker['shard']}: {worker['state']:<10s} pid={worker.get('pid')}"
+            f" addr={where} gen={generation if generation is not None else '-'}"
+            f" restarts={worker['restarts']} signatures={worker['signatures']}"
+            f"{health}"
+        )
+        if worker.get("last_error"):
+            print(f"    last_error: {worker['last_error']}")
+
+
+def _shard_health_ok(status: dict) -> bool:
+    for worker in status["workers"]:
+        if worker["state"] == "failed":
+            return False
+        if worker.get("healthy") is False:
+            return False
+    return True
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    runtime = _read_runtime(args.runtime_dir)
+    if runtime is None:
+        return EXIT_USAGE
+    reply = _control_roundtrip(runtime, protocol.control_request(0, "status"))
+    if reply is None:
+        return EXIT_USAGE
+    if reply.get("type") == "error":
+        print(f"error: {reply['error'].get('message')}", file=sys.stderr)
+        return EXIT_UNHEALTHY
+    status = reply["payload"]
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        _print_status(status)
+    return EXIT_OK if _shard_health_ok(status) else EXIT_UNHEALTHY
+
+
+def _shard_command(args: argparse.Namespace, op: str) -> int:
+    runtime = _read_runtime(args.runtime_dir)
+    if runtime is None:
+        return EXIT_USAGE
+    known = {worker["shard"] for worker in runtime.get("status", {}).get("workers", [])}
+    if known and args.shard not in known:
+        print(
+            f"error: no such shard {args.shard} (cluster has {sorted(known)})",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    reply = _control_roundtrip(
+        runtime, protocol.control_request(0, op, shard=args.shard)
+    )
+    if reply is None:
+        return EXIT_USAGE
+    if reply.get("type") == "error":
+        print(f"error: {op} failed: {reply['error'].get('message')}", file=sys.stderr)
+        return EXIT_UNHEALTHY
+    _print_status(reply["payload"])
+    return EXIT_OK
+
+
+def cmd_drain(args: argparse.Namespace) -> int:
+    return _shard_command(args, "drain")
+
+
+def cmd_restart(args: argparse.Namespace) -> int:
+    return _shard_command(args, "restart")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    status = sub.add_parser("status", help="probe every worker and print the shard map")
+    status.add_argument("runtime_dir", help="ClusterConfig.runtime_dir of the cluster")
+    status.add_argument("--json", action="store_true", help="machine-readable output")
+    status.set_defaults(func=cmd_status)
+
+    drain = sub.add_parser("drain", help="gracefully stop one shard's worker")
+    drain.add_argument("runtime_dir", help="ClusterConfig.runtime_dir of the cluster")
+    drain.add_argument("shard", type=int, help="shard number to drain")
+    drain.set_defaults(func=cmd_drain)
+
+    restart = sub.add_parser(
+        "restart", help="drain one shard and boot a fresh worker for it"
+    )
+    restart.add_argument("runtime_dir", help="ClusterConfig.runtime_dir of the cluster")
+    restart.add_argument("shard", type=int, help="shard number to restart")
+    restart.set_defaults(func=cmd_restart)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,347 @@
+"""The asyncio front-end: route by FROM-signature, fan out, retry, deadline.
+
+The router is the cluster-mode request path of
+:class:`repro.serving.ServingClient`.  One event loop on a dedicated thread
+holds a persistent connection per shard (:class:`_ShardChannel`); callers on
+any thread submit through ``asyncio.run_coroutine_threadsafe``, and each
+channel multiplexes concurrent requests over its one connection by request
+id — the worker answers out of order, the channel's read loop resolves the
+matching future.
+
+Routing is the same FROM-signature key the pool buckets on: a query whose
+signature is in the assignment map goes to the worker that owns that
+bucket; an unknown signature routes by a content hash
+(:func:`repro.cluster.worker.stable_shard`) so fallback behaviour is still
+deterministic.  ``estimate_many`` splits the batch by shard, fans the
+sub-batches out concurrently, and reassembles results in caller order (a
+failure in any sub-batch fails the whole call, matching local-mode
+``estimate_many`` semantics).
+
+Failure semantics: a lost connection fails every pending request on that
+channel, and the router retries each — estimates are pure reads, so a
+retry can never double-apply anything — with linear backoff, re-resolving
+the worker's address from the supervisor each time (a restarted worker
+listens on a new port).  When the bounded budget is spent, the caller gets
+:class:`repro.serving.WorkerUnavailableError`.  Every roundtrip runs under
+a deadline — the caller's ``timeout_seconds`` plus a grace (so the worker's
+own :class:`repro.serving.DeadlineExceededError` usually wins the race and
+carries its message), or ``ClusterConfig.request_timeout_seconds`` when the
+caller set none — so a dead cluster fails typed instead of hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+from repro.artifacts.bundle import query_to_mapping
+from repro.cluster import protocol
+from repro.cluster.worker import stable_shard
+from repro.serving.config import ServingConfig
+from repro.serving.errors import (
+    DeadlineExceededError,
+    ServingError,
+    WorkerUnavailableError,
+)
+from repro.serving.service import EstimateResult, RequestOptions
+from repro.sql.query import Query
+
+__all__ = ["ClusterRouter"]
+
+
+class _ChannelLost(ConnectionError):
+    """Internal: a roundtrip died with the connection; retry may help."""
+
+
+class ClusterRouter:
+    """Routes requests to shard workers over persistent async channels."""
+
+    def __init__(self, supervisor, config: ServingConfig) -> None:
+        self._supervisor = supervisor
+        self._cluster = config.cluster
+        self._assignment = dict(supervisor.assignment)
+        self._num_workers = config.cluster.num_workers
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._channels: dict[int, _ShardChannel] = {}
+        self._ids = itertools.count(1)
+        self._stats_lock = threading.Lock()
+        self._routed = 0
+        self._retries = 0
+        self._unavailable = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> None:
+        if self._loop is not None:
+            return
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._thread = threading.Thread(
+            target=loop.run_forever, name="cluster-router", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        loop, self._loop = self._loop, None
+        if loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self._close_channels(), loop).result(
+            timeout=self._cluster.drain_timeout_seconds
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=self._cluster.drain_timeout_seconds)
+            self._thread = None
+        loop.close()
+
+    async def _close_channels(self) -> None:
+        for channel in self._channels.values():
+            channel.teardown(ConnectionError("router shut down"))
+        self._channels.clear()
+
+    # ------------------------------------------------------------------ #
+    # routing
+
+    def shard_for(self, query: Query) -> int:
+        signature = query.from_signature()
+        shard = self._assignment.get(signature)
+        if shard is not None:
+            return shard
+        return stable_shard(signature, self._num_workers)
+
+    # ------------------------------------------------------------------ #
+    # sync surface (called from any thread)
+
+    def estimate(
+        self, query: Query, options: RequestOptions | None = None
+    ) -> EstimateResult:
+        return self._submit(self._estimate_async(query, options)).result()
+
+    def estimate_many(
+        self, queries: Sequence[Query], options: RequestOptions | None = None
+    ) -> list[EstimateResult]:
+        return self._submit(self._estimate_many_async(list(queries), options)).result()
+
+    def estimate_future(
+        self, query: Query, options: RequestOptions | None = None
+    ) -> Future:
+        return self._submit(self._estimate_async(query, options))
+
+    def _submit(self, coroutine) -> Future:
+        loop = self._loop
+        if loop is None:
+            raise ServingError(
+                "cluster router is not running; start the client first "
+                "(use the context manager or ServingClient.start)"
+            )
+        return asyncio.run_coroutine_threadsafe(coroutine, loop)
+
+    def stats_snapshot(self) -> dict[str, float]:
+        with self._stats_lock:
+            return {
+                "cluster_requests_routed": float(self._routed),
+                "cluster_retries": float(self._retries),
+                "cluster_unavailable": float(self._unavailable),
+            }
+
+    # ------------------------------------------------------------------ #
+    # async internals (all on the router loop)
+
+    def _budget(self, options: RequestOptions | None) -> float:
+        if options is not None and options.timeout_seconds is not None:
+            return options.timeout_seconds + self._cluster.deadline_grace_seconds
+        return self._cluster.request_timeout_seconds
+
+    async def _estimate_async(
+        self, query: Query, options: RequestOptions | None
+    ) -> EstimateResult:
+        shard = self.shard_for(query)
+        payload = query_to_mapping(query)
+        budget = self._budget(options)
+        try:
+            reply = await asyncio.wait_for(
+                self._roundtrip_with_retry(
+                    shard,
+                    lambda rid: protocol.estimate_request(rid, payload, options),
+                ),
+                timeout=budget,
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                f"cluster request to shard {shard} was not answered within "
+                f"{budget:.3f}s"
+            ) from None
+        with self._stats_lock:
+            self._routed += 1
+        if reply["type"] == "error":
+            raise protocol.error_from_payload(reply["error"])
+        return protocol.result_from_payload(reply["result"], query)
+
+    async def _estimate_many_async(
+        self, queries: list[Query], options: RequestOptions | None
+    ) -> list[EstimateResult]:
+        if not queries:
+            return []
+        by_shard: dict[int, list[int]] = {}
+        for index, query in enumerate(queries):
+            by_shard.setdefault(self.shard_for(query), []).append(index)
+
+        async def run_shard(shard: int, indices: list[int]) -> list[EstimateResult]:
+            payload = [query_to_mapping(queries[index]) for index in indices]
+            budget = self._cluster.request_timeout_seconds
+            try:
+                reply = await asyncio.wait_for(
+                    self._roundtrip_with_retry(
+                        shard,
+                        lambda rid: protocol.batch_request(rid, payload, options),
+                    ),
+                    timeout=budget,
+                )
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(
+                    f"cluster batch to shard {shard} was not answered within "
+                    f"{budget:.3f}s"
+                ) from None
+            if reply["type"] == "error":
+                raise protocol.error_from_payload(reply["error"])
+            return [
+                protocol.result_from_payload(item, queries[index])
+                for item, index in zip(reply["results"], indices, strict=True)
+            ]
+
+        shards = sorted(by_shard)
+        outcomes = await asyncio.gather(
+            *(run_shard(shard, by_shard[shard]) for shard in shards),
+            return_exceptions=True,
+        )
+        # Local-mode estimate_many fails the whole batch on any request
+        # failure; raise deterministically (lowest failing shard).
+        results: list[EstimateResult | None] = [None] * len(queries)
+        for shard, outcome in zip(shards, outcomes, strict=True):
+            if isinstance(outcome, BaseException):
+                raise outcome
+            for index, result in zip(by_shard[shard], outcome, strict=True):
+                results[index] = result
+        with self._stats_lock:
+            self._routed += len(queries)
+        return results  # type: ignore[return-value]
+
+    async def _roundtrip_with_retry(
+        self, shard: int, build: Callable[[int], dict[str, Any]]
+    ) -> dict[str, Any]:
+        attempts = self._cluster.retry_attempts + 1
+        last: BaseException | None = None
+        for attempt in range(attempts):
+            if attempt:
+                with self._stats_lock:
+                    self._retries += 1
+                await asyncio.sleep(self._cluster.retry_backoff_seconds * attempt)
+            channel = self._channels.get(shard)
+            if channel is None:
+                channel = _ShardChannel(self, shard)
+                self._channels[shard] = channel
+            try:
+                return await channel.roundtrip(build(next(self._ids)))
+            except (_ChannelLost, WorkerUnavailableError) as error:
+                last = error
+                continue
+        with self._stats_lock:
+            self._unavailable += 1
+        if isinstance(last, WorkerUnavailableError):
+            raise last
+        raise WorkerUnavailableError(
+            f"shard {shard} unavailable after {attempts} attempt(s): {last}"
+        )
+
+
+class _ShardChannel:
+    """One persistent connection to one shard, multiplexed by request id."""
+
+    def __init__(self, router: ClusterRouter, shard: int) -> None:
+        self._router = router
+        self._shard = shard
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._read_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._connect_lock = asyncio.Lock()
+
+    async def roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
+        await self._ensure_connected()
+        request_id = message["id"]
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            assert self._writer is not None
+            self._writer.write(protocol.encode_frame(message))
+            await self._writer.drain()
+            return await future
+        except (ConnectionError, OSError) as error:
+            if not isinstance(error, _ChannelLost):
+                self.teardown(error)
+                raise _ChannelLost(str(error)) from error
+            raise
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _ensure_connected(self) -> None:
+        async with self._connect_lock:
+            if self._writer is not None:
+                return
+            # Re-resolve every time: a restarted worker has a new port, and
+            # a drained/failed shard raises WorkerUnavailableError here.
+            address = self._router._supervisor.address(self._shard)
+            if address is None:
+                raise _ChannelLost(
+                    f"shard {self._shard} is restarting; no address yet"
+                )
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(*address),
+                    timeout=self._router._cluster.connect_timeout_seconds,
+                )
+            except (OSError, asyncio.TimeoutError) as error:
+                raise _ChannelLost(
+                    f"cannot connect to shard {self._shard} at "
+                    f"{address[0]}:{address[1]}: {error}"
+                ) from error
+            self._reader = reader
+            self._writer = writer
+            self._read_task = asyncio.get_running_loop().create_task(
+                self._read_loop(reader)
+            )
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                message = await protocol.read_frame_async(reader)
+                if message is None:
+                    break
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except Exception:  # noqa: BLE001 — any read failure means channel loss
+            pass
+        self.teardown(ConnectionError(f"connection to shard {self._shard} lost"))
+
+    def teardown(self, error: BaseException) -> None:
+        """Fail every pending request and drop the connection."""
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 — closing a broken transport
+                pass
+        if self._read_task is not None and not self._read_task.done():
+            self._read_task.cancel()
+        self._read_task = None
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(_ChannelLost(str(error)))

@@ -70,6 +70,16 @@ forward passes.  This package amortizes that work across requests:
   adaptation candidate persists as a checksummed snapshot generation, and
   :meth:`ServingClient.from_artifact` cold-boots a bit-identical stack from
   one without retraining (promote/rollback via ``scripts/artifact_tool.py``).
+* :mod:`repro.cluster` (sibling package) -- the sharded multi-process
+  serving cluster wired in through :class:`ClusterConfig`
+  (``mode="cluster"``): worker processes each own the pool slice of their
+  assigned FROM-signatures and serve a length-prefixed JSON wire protocol;
+  an asyncio router routes by FROM-signature, fans out ``estimate_many``
+  across shards, and turns worker death into bounded retries +
+  :class:`WorkerUnavailableError`; a supervisor restarts dead workers from
+  the promoted artifact generation (operator CLI:
+  ``scripts/cluster_tool.py``).  Reference-mode estimates are bit-identical
+  between the local and cluster paths.
 
 The whole layer is safe under concurrent access: caches, stats, the
 estimator registry (with :meth:`EstimationService.replace` for zero-downtime
@@ -89,6 +99,7 @@ from repro.serving.config import (
     AdaptationConfig,
     ArtifactConfig,
     CacheConfig,
+    ClusterConfig,
     DispatcherConfig,
     EstimatorConfig,
     FeedbackConfig,
@@ -105,11 +116,14 @@ from repro.serving.errors import (
     ArtifactError,
     ArtifactNotFoundError,
     ArtifactSchemaError,
+    ClusterError,
+    ClusterProtocolError,
     DeadlineExceededError,
     DispatcherShutdownError,
     NoMatchingPoolQueryError,
     ServingError,
     UnknownEstimatorError,
+    WorkerUnavailableError,
 )
 from repro.serving.feedback import (
     FeedbackCollector,
@@ -150,6 +164,9 @@ __all__ = [
     "CRNRetrainer",
     "CacheConfig",
     "CacheStats",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterProtocolError",
     "DeadlineExceededError",
     "DispatcherConfig",
     "DispatcherShutdownError",
@@ -186,6 +203,7 @@ __all__ = [
     "ServingError",
     "TracingConfig",
     "UnknownEstimatorError",
+    "WorkerUnavailableError",
     "build_crn_service",
     "build_service_stack",
     "compile_plan",

@@ -220,6 +220,21 @@ class ServingClient:
         self.recorder: EventRecorder | None = None
         self.event_store: EventStore | None = None
         self.tracer: Tracer | None = None
+        self.stack: ServiceStack | None = None
+        self.service: EstimationService | None = None
+        self.collector: FeedbackCollector | None = None
+        self.retrainer: CRNRetrainer | None = None
+        self.manager: AdaptationManager | None = None
+        self.dispatcher: ServingDispatcher | None = None
+        self.artifact_store = None
+        self.supervisor = None
+        self.router = None
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        if config.cluster.enabled:
+            self._init_cluster(config, _restored_generation)
+            return
         if config.observability.enabled:
             observability = config.observability
             self.event_store = EventStore(observability.sqlite_path or ":memory:")
@@ -245,10 +260,6 @@ class ServingClient:
             # Before the adaptation manager (which seeds its generation gauge
             # from the registry) or any request can observe generation 1.
             self.service.set_generation(config.estimator.name, _restored_generation)
-        self.collector: FeedbackCollector | None = None
-        self.retrainer: CRNRetrainer | None = None
-        self.manager: AdaptationManager | None = None
-        self.dispatcher: ServingDispatcher | None = None
         if config.feedback.enabled:
             self.collector = FeedbackCollector(
                 max_observations=config.feedback.max_observations,
@@ -285,7 +296,6 @@ class ServingClient:
                 max_batch=config.dispatcher.max_batch,
                 max_wait_ms=config.dispatcher.max_wait_ms,
             )
-        self.artifact_store = None
         if config.artifacts.enabled:
             # Imported lazily: repro.artifacts depends on the serving error
             # taxonomy, so a module-level import here would be circular.
@@ -311,9 +321,46 @@ class ServingClient:
                     pool_index=stack.pool_index,
                     promote=config.artifacts.promote_on_save,
                 )
-        self._state_lock = threading.Lock()
-        self._started = False
-        self._closed = False
+
+    def _init_cluster(
+        self, config: ServingConfig, _restored_generation: int | None
+    ) -> None:
+        """Wire the cluster-mode front-end: no in-process stack at all.
+
+        The front-end holds only a supervisor (worker processes), a router
+        (the request path), an optional read-side handle on the shared
+        event store (each worker runs its *own* recorder and flushes into
+        it under a per-lifetime source), and the artifact store the workers
+        cold-boot from.  ``save_on_build`` persists the build bundle before
+        any worker forks, so even a first boot with no promoted generation
+        can serve from artifacts on its next restart.
+        """
+        # Imported lazily: repro.cluster programs against this module, so a
+        # module-level import here would be circular.
+        from repro.cluster.router import ClusterRouter
+        from repro.cluster.supervisor import ClusterSupervisor
+
+        if config.observability.enabled and config.observability.sqlite_path:
+            self.event_store = EventStore(config.observability.sqlite_path)
+        if config.artifacts.enabled:
+            from repro.artifacts.store import ArtifactStore
+
+            self.artifact_store = ArtifactStore(config.artifacts.root)
+            if (
+                config.artifacts.save_on_build
+                and _restored_generation is None
+                and self.artifact_store.latest() is None
+            ):
+                self.artifact_store.save(
+                    model=config.model,
+                    pool=config.pool,
+                    config_mapping=config.to_mapping(),
+                    generation=1,
+                    source="build",
+                    promote=config.artifacts.promote_on_save,
+                )
+        self.supervisor = ClusterSupervisor(config)
+        self.router = ClusterRouter(self.supervisor, config)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -329,6 +376,8 @@ class ServingClient:
         extra_estimators: Mapping[str, Any] | None = None,
         training_result: Any | None = None,
         oracle: Any | None = None,
+        signatures: Sequence[tuple[tuple[str, str], ...]] | None = None,
+        observability_source: str | None = None,
     ) -> "ServingClient":
         """Boot a client cold from a persisted snapshot — no retraining.
 
@@ -362,6 +411,16 @@ class ServingClient:
                 is **downgraded to disabled** — recorded on the
                 ``artifact_loaded`` event as ``adaptation_downgraded`` —
                 rather than failing the boot.
+            signatures: restrict the restored pool to these FROM-signatures
+                (the cluster worker boot path: each worker restores only its
+                shard's buckets, entry-for-entry in saved order).  Forces
+                ``cluster.mode`` to ``"local"`` — a worker is itself a
+                local-mode stack — and scopes the rebuilt-index consistency
+                check to the assigned signatures.
+            observability_source: override the saved recorder source (the
+                worker boot path passes ``worker-<shard>``); the booted
+                generation is suffixed as ``@gen<N>`` exactly like the
+                sqlite-store case below.
 
         Raises:
             ArtifactNotFoundError / ArtifactChecksumError /
@@ -396,9 +455,30 @@ class ServingClient:
         artifacts_section = dict(mapping.get("artifacts", {}))
         artifacts_section["root"] = os.fspath(root)
         mapping["artifacts"] = artifacts_section
+        pool = bundle.pool
+        assigned: set | None = None
+        if signatures is not None:
+            # The cluster worker boot path: restore only this shard's
+            # buckets (in saved order — slab bit-identity depends on it) and
+            # run as a local-mode stack whatever the saved config said.
+            from repro.cluster.worker import slice_pool
+
+            assigned = {
+                tuple(tuple(pair) for pair in signature)
+                for signature in signatures
+            }
+            pool = slice_pool(pool, sorted(assigned))
+            cluster_section = dict(mapping.get("cluster", {}))
+            cluster_section["mode"] = "local"
+            mapping["cluster"] = cluster_section
+        if observability_source is not None:
+            observability_override = dict(mapping.get("observability", {}))
+            observability_override["source"] = observability_source
+            mapping["observability"] = observability_override
         observability_section = mapping.get("observability", {})
-        if observability_section.get("enabled") and observability_section.get(
-            "sqlite_path"
+        if observability_section.get("enabled") and (
+            observability_section.get("sqlite_path")
+            or observability_source is not None
         ):
             # The saved config's recorder identity belongs to the client that
             # wrote the snapshot.  A restored client flushing into the same
@@ -417,7 +497,7 @@ class ServingClient:
             mapping,
             model=bundle.model,
             featurizer=featurizer,
-            pool=bundle.pool,
+            pool=pool,
             fallback_estimator=fallback_estimator,
             extra_estimators=extra_estimators or {},
             training_result=training_result,
@@ -426,12 +506,16 @@ class ServingClient:
         )
         client = cls(config, _restored_generation=bundle.manifest.generation)
         if (
-            client.stack.pool_index is not None
+            client.stack is not None
+            and client.stack.pool_index is not None
             and config.pool_options.warm
             and bundle.index_meta.get("signatures")
         ):
             expected = sum(
-                int(entry["rows"]) for entry in bundle.index_meta["signatures"]
+                int(entry["rows"])
+                for entry in bundle.index_meta["signatures"]
+                if assigned is None
+                or tuple(tuple(pair) for pair in entry["signature"]) in assigned
             )
             actual = len(client.stack.pool_index)
             if actual != expected:
@@ -465,12 +549,19 @@ class ServingClient:
             if self._closed:
                 raise ServingError("serving client has been shut down")
             if not self._started:
-                # Requests must be servable before the adaptation worker's
-                # first evaluation could decide to swap anything.
-                if self.dispatcher is not None:
-                    self.dispatcher.start()
-                if self.manager is not None:
-                    self.manager.start()
+                if self.router is not None:
+                    # Cluster mode: every worker must be ready (handshake
+                    # complete) before the router can route to it.
+                    self.supervisor.start()
+                    self.router.start()
+                else:
+                    # Requests must be servable before the adaptation
+                    # worker's first evaluation could decide to swap
+                    # anything.
+                    if self.dispatcher is not None:
+                        self.dispatcher.start()
+                    if self.manager is not None:
+                        self.manager.start()
                 self._started = True
         return self
 
@@ -487,6 +578,12 @@ class ServingClient:
         """
         with self._state_lock:
             self._closed = True
+        if self.router is not None:
+            # The request path stops before the workers drain, mirroring
+            # the local ordering (dispatcher before service teardown).
+            self.router.stop()
+        if self.supervisor is not None:
+            self.supervisor.stop()
         if self.manager is not None:
             self.manager.stop(wait=wait)
         if self.dispatcher is not None:
@@ -541,7 +638,15 @@ class ServingClient:
                 raise ServingError(
                     "serving client has been shut down; no new requests accepted"
                 )
+            if self.router is not None and not self._started:
+                raise ServingError(
+                    "cluster mode serves only from a started client (use the "
+                    "context manager or ServingClient.start): the workers "
+                    "spawn on start"
+                )
             use_dispatcher = self._started and self.dispatcher is not None
+        if self.router is not None:
+            return self.router.estimate(query, options=options)
         if use_dispatcher:
             return self.dispatcher.estimate(query, options=options)
         if options is not None and options.timeout_seconds is not None:
@@ -571,6 +676,14 @@ class ServingClient:
                 "estimate_many serves synchronously and cannot honor "
                 "timeout_seconds; use estimate()/estimate_future() per query"
             )
+        if self.router is not None:
+            if not self.started:
+                raise ServingError(
+                    "cluster mode serves only from a started client (use the "
+                    "context manager or ServingClient.start): the workers "
+                    "spawn on start"
+                )
+            return self.router.estimate_many(list(queries), options=options)
         return self.service.submit_batch(list(queries), options=options)
 
     def estimate_future(
@@ -583,6 +696,14 @@ class ServingClient:
         Requires a started client with the dispatcher enabled.
         """
         self._ensure_open()
+        if self.router is not None:
+            if not self.started:
+                raise ServingError(
+                    "cluster mode serves only from a started client (use the "
+                    "context manager or ServingClient.start): the workers "
+                    "spawn on start"
+                )
+            return self.router.estimate_future(query, options=options)
         if self.dispatcher is None:
             raise ServingError(
                 "estimate_future needs the dispatcher: enable "
@@ -596,7 +717,13 @@ class ServingClient:
         return self.dispatcher.submit(query, options=options)
 
     def warm(self, queries: Iterable[Query] | None = None) -> None:
-        """Pre-featurize/encode ``queries`` (the whole pool when omitted)."""
+        """Pre-featurize/encode ``queries`` (the whole pool when omitted).
+
+        A no-op in cluster mode: each worker warms its own shard at boot
+        (the warm flag rides in the config the workers build from).
+        """
+        if self.router is not None:
+            return
         if queries is not None:
             self.service.warm(queries)
             return
@@ -646,7 +773,20 @@ class ServingClient:
         Service counters and cache/pool-index gauges, dispatcher counters,
         lifecycle counters, and a ``feedback_*`` block — the union renders
         directly with :func:`repro.evaluation.format_service_stats`.
+
+        In cluster mode the snapshot covers the front-end (router counters,
+        supervisor worker states) plus the shared event store; per-worker
+        service/cache counters live in each worker's own recorder and land
+        in the store under that worker's source.
         """
+        if self.router is not None:
+            merged: dict[str, float] = {}
+            merged.update(self.router.stats_snapshot())
+            if self.supervisor is not None:
+                merged.update(self.supervisor.stats_snapshot())
+            if self.event_store is not None:
+                merged.update(self.event_store.stats_snapshot())
+            return merged
         merged = self.service.stats_snapshot()
         if self.dispatcher is not None:
             merged.update(self.dispatcher.stats.snapshot())

@@ -24,7 +24,12 @@ with one frozen object of nested sections:
   :class:`repro.serving.InferencePlan`, and the compiled plan's slab dtype;
 * :class:`ArtifactConfig` — durable snapshot bundles (:mod:`repro.artifacts`):
   where the generational store lives, and whether builds and adaptation
-  promotes persist their model/pool/config state for cold-start boots.
+  promotes persist their model/pool/config state for cold-start boots;
+* :class:`ClusterConfig` — the sharded multi-process serving cluster
+  (:mod:`repro.cluster`): ``mode="cluster"`` makes the same
+  :class:`~repro.serving.ServingClient` spawn worker processes (one pool
+  slice per FROM-signature shard) behind an asyncio router instead of
+  building the in-process stack.
 
 Every section validates its bounds at construction (``max_batch=0``,
 ``max_cache_entries=-1`` and friends raise a ``ValueError`` here, not
@@ -55,6 +60,7 @@ __all__ = [
     "AdaptationConfig",
     "ArtifactConfig",
     "CacheConfig",
+    "ClusterConfig",
     "DispatcherConfig",
     "EstimatorConfig",
     "FeedbackConfig",
@@ -451,6 +457,114 @@ class ArtifactConfig:
         return self.root is not None
 
 
+#: The serving execution modes: in-process stack vs sharded worker cluster.
+CLUSTER_MODES = ("local", "cluster")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The sharded multi-process serving cluster (:mod:`repro.cluster`).
+
+    With ``mode="cluster"``, :class:`repro.serving.ServingClient` builds no
+    in-process stack: it spawns ``num_workers`` worker processes — each
+    owning the pool slice of its assigned FROM-signatures and serving the
+    length-prefixed JSON wire protocol over loopback TCP — plus an asyncio
+    router and a supervisor that restarts dead workers from the promoted
+    artifact generation.  ``mode="local"`` (the default) leaves everything
+    exactly as before; the section is inert.
+
+    Attributes:
+        mode: ``"local"`` (in-process stack) or ``"cluster"`` (sharded
+            worker processes behind the router).
+        num_workers: worker processes to spawn; FROM-signatures are
+            round-robin assigned across them in sorted order.
+        host: interface the workers and the control server bind (loopback by
+            default; the cluster is a single-machine scale-out, not a
+            distributed system).
+        worker_threads: concurrent request-handler threads per worker —
+            requests received concurrently coalesce in the worker's own
+            dispatcher.
+        request_timeout_seconds: router-side cap on any single roundtrip
+            that carries no caller deadline (a dead cluster must fail
+            typed, never hang).
+        connect_timeout_seconds: cap on one TCP connect to a worker.
+        retry_attempts: times the router re-tries a roundtrip after a lost
+            connection before raising
+            :class:`repro.serving.WorkerUnavailableError`.  Estimates are
+            pure reads, so a retry can never double-apply anything.
+        retry_backoff_seconds: linear backoff between those attempts.
+        deadline_grace_seconds: added to a caller's ``timeout_seconds`` for
+            the router-side guard, so the worker's own
+            :class:`repro.serving.DeadlineExceededError` (which carries the
+            authoritative message) usually wins the race.
+        boot_timeout_seconds: how long the supervisor waits for a spawned
+            worker's ready handshake.
+        poll_interval_seconds: supervisor liveness-poll cadence.
+        max_restarts: crash-restarts the supervisor attempts per shard
+            before marking it failed.
+        drain_timeout_seconds: how long a graceful drain waits for in-flight
+            requests before the worker is terminated.
+        runtime_dir: directory for the cluster runtime file
+            (``cluster.json``: control address + worker map) that
+            ``scripts/cluster_tool.py`` reads; ``None`` writes no file.
+    """
+
+    mode: str = "local"
+    num_workers: int = 2
+    host: str = "127.0.0.1"
+    worker_threads: int = 4
+    request_timeout_seconds: float = 30.0
+    connect_timeout_seconds: float = 5.0
+    retry_attempts: int = 2
+    retry_backoff_seconds: float = 0.05
+    deadline_grace_seconds: float = 0.5
+    boot_timeout_seconds: float = 60.0
+    poll_interval_seconds: float = 0.25
+    max_restarts: int = 5
+    drain_timeout_seconds: float = 10.0
+    runtime_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in CLUSTER_MODES:
+            raise ValueError(
+                f"cluster mode must be one of {CLUSTER_MODES}, got {self.mode!r}"
+            )
+        if not self.host:
+            raise ValueError("cluster host must be non-empty")
+        _positive("num_workers", self.num_workers)
+        _positive("worker_threads", self.worker_threads)
+        _positive("request_timeout_seconds", self.request_timeout_seconds)
+        _positive("connect_timeout_seconds", self.connect_timeout_seconds)
+        _positive("boot_timeout_seconds", self.boot_timeout_seconds)
+        _positive("poll_interval_seconds", self.poll_interval_seconds)
+        _positive("drain_timeout_seconds", self.drain_timeout_seconds)
+        if self.retry_attempts < 0:
+            raise ValueError(
+                f"retry_attempts must be non-negative, got {self.retry_attempts!r}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be non-negative, "
+                f"got {self.retry_backoff_seconds!r}"
+            )
+        if self.deadline_grace_seconds < 0:
+            raise ValueError(
+                f"deadline_grace_seconds must be non-negative, "
+                f"got {self.deadline_grace_seconds!r}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be non-negative, got {self.max_restarts!r}"
+            )
+        if self.runtime_dir is not None and not str(self.runtime_dir):
+            raise ValueError("cluster runtime_dir must be a non-empty path or None")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this deployment serves through the sharded cluster."""
+        return self.mode == "cluster"
+
+
 #: The single source of truth for the declarative sections:
 #: ``(mapping key, section dataclass, ServingConfig attribute)``.  The
 #: section order, :meth:`ServingConfig.to_mapping`, and
@@ -467,6 +581,7 @@ _SECTION_SPECS: tuple[tuple[str, type, str], ...] = (
     ("tracing", TracingConfig, "tracing"),
     ("inference", InferenceConfig, "inference"),
     ("artifacts", ArtifactConfig, "artifacts"),
+    ("cluster", ClusterConfig, "cluster"),
 )
 _SECTIONS = tuple(key for key, _, _ in _SECTION_SPECS)
 
@@ -514,6 +629,7 @@ class ServingConfig:
     tracing: TracingConfig = field(default_factory=TracingConfig)
     inference: InferenceConfig = field(default_factory=InferenceConfig)
     artifacts: ArtifactConfig = field(default_factory=ArtifactConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extra_estimators", dict(self.extra_estimators))
@@ -554,6 +670,26 @@ class ServingConfig:
                     f"smaller than adaptation.min_observations "
                     f"({self.adaptation.min_observations}): the drift conditions "
                     f"could never arm"
+                )
+        if self.cluster.enabled:
+            if self.adaptation.enabled:
+                raise ValueError(
+                    "cluster mode does not support adaptation.enabled: hot "
+                    "swaps are per-process, so sharded workers would diverge; "
+                    "adapt in a local-mode deployment and promote the artifact "
+                    "generation the cluster boots from"
+                )
+            if self.feedback.enabled:
+                raise ValueError(
+                    "cluster mode does not support feedback.enabled: the "
+                    "feedback window lives in the worker processes, not the "
+                    "front-end; collect feedback in a local-mode deployment"
+                )
+            if self.artifacts.enabled and self.database is None:
+                raise ValueError(
+                    "cluster mode with artifacts needs database: workers "
+                    "cold-boot their shard via ServingClient.from_artifact, "
+                    "which rebuilds the featurizer from the database schema"
                 )
 
     # ------------------------------------------------------------------ #

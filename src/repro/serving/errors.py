@@ -24,6 +24,15 @@ catching the old types keep working unchanged:
   (truncation, bit rot, a torn write — never a silent partial boot), and
   :class:`ArtifactNotFoundError` for a missing store root, generation, or
   bundle file (also a ``FileNotFoundError``).
+* :class:`ClusterError` — the sharded multi-process subtree
+  (:mod:`repro.cluster`): :class:`WorkerUnavailableError` when no healthy
+  worker owns a request's shard after the router's bounded retries (also a
+  ``ConnectionError``), and :class:`ClusterProtocolError` when a wire frame
+  fails protocol validation — framing, version, or message schema (also a
+  ``ValueError``).  Errors raised *inside* a worker do not land here: the
+  wire protocol round-trips the whole taxonomy by name, so a worker-side
+  :class:`DeadlineExceededError` surfaces from the cluster client as a
+  :class:`DeadlineExceededError` with the worker's message.
 * :class:`repro.core.cnt2crd.NoMatchingPoolQueryError` is re-exported here as
   a taxonomy member: it predates the serving layer (the Cnt2Crd
   technique itself raises it), so it cannot subclass :class:`ServingError`
@@ -41,11 +50,14 @@ __all__ = [
     "ArtifactError",
     "ArtifactNotFoundError",
     "ArtifactSchemaError",
+    "ClusterError",
+    "ClusterProtocolError",
     "DeadlineExceededError",
     "DispatcherShutdownError",
     "NoMatchingPoolQueryError",
     "ServingError",
     "UnknownEstimatorError",
+    "WorkerUnavailableError",
 ]
 
 
@@ -108,4 +120,33 @@ class ArtifactNotFoundError(ArtifactError, FileNotFoundError):
 
     Also a ``FileNotFoundError``, so path-oriented callers (the artifact
     CLI, deployment scripts) can keep their existing handling.
+    """
+
+
+class ClusterError(ServingError):
+    """Base class of every sharded-cluster failure (:mod:`repro.cluster`).
+
+    Worker boot failures, drained/failed shards, and worker-raised errors
+    whose type the wire protocol does not know all surface as this class;
+    the two subtypes below cover the router and the protocol specifically.
+    """
+
+
+class WorkerUnavailableError(ClusterError, ConnectionError):
+    """No healthy worker owns the request's shard.
+
+    Raised by the cluster router after its bounded retry budget is exhausted
+    — the worker process died and has not been restarted yet, its shard was
+    drained, or the supervisor gave up restarting it.  Also a
+    ``ConnectionError``, so generic network handling keeps working.
+    """
+
+
+class ClusterProtocolError(ClusterError, ValueError):
+    """A wire frame failed protocol validation.
+
+    Covers framing (truncated or oversized frames), a protocol version the
+    receiver does not speak, and messages that are not valid JSON objects of
+    a known type.  Also a ``ValueError``, matching the config layer's
+    validation errors.
     """

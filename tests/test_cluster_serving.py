@@ -1,0 +1,448 @@
+"""End-to-end tests of the sharded serving cluster against a live 2-worker run.
+
+The contract under test is the tentpole's: ``ServingClient`` with
+``cluster.mode = "cluster"`` serves the *same* API with the *same* bits —
+estimates bit-identical to local mode in reference (float64) inference,
+the same error taxonomy (worker-side exceptions cross the wire as the same
+classes with the worker's message), deterministic fan-out/reassembly for
+``estimate_many``, and bounded typed failure instead of hangs.
+
+One module-scoped cluster (2 workers over the synthetic IMDb pool) backs
+the serving tests; drain/restart get their own function-scoped clusters so
+they can break workers without poisoning the shared one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PostgresCardinalityEstimator
+from repro.core import CRNConfig, CRNModel, QueriesPool
+from repro.core.estimators import CardinalityEstimator
+from repro.core.queries_pool import PoolEntry
+from repro.cluster.worker import (
+    assign_shards,
+    slice_pool,
+    stable_shard,
+    worker_source,
+)
+from repro.datasets import build_queries_pool_queries
+from repro.serving import (
+    ClusterConfig,
+    DeadlineExceededError,
+    NoMatchingPoolQueryError,
+    RequestOptions,
+    ServingClient,
+    ServingConfig,
+    ServingError,
+    UnknownEstimatorError,
+    WorkerUnavailableError,
+)
+from repro.serving.config import AdaptationConfig, FeedbackConfig
+from repro.serving.errors import ArtifactChecksumError
+from repro.sql.builder import QueryBuilder
+
+
+class ChecksumRaisingEstimator(CardinalityEstimator):
+    """A stub that fails exactly like a corrupt-slab boot would."""
+
+    name = "poisoned"
+
+    def estimate_cardinality(self, query) -> float:
+        raise ArtifactChecksumError("slab digest mismatch inside the shard worker")
+
+
+class DeadlineRaisingEstimator(CardinalityEstimator):
+    """A stub that raises the dispatcher's deadline error with a known message."""
+
+    name = "strict"
+
+    def estimate_cardinality(self, query) -> float:
+        raise DeadlineExceededError("worker-side deadline expired after 0.007s")
+
+
+class SleepyEstimator(CardinalityEstimator):
+    """A stub slower than any test deadline — forces the router's budget."""
+
+    name = "sleepy"
+
+    def estimate_cardinality(self, query) -> float:
+        time.sleep(5.0)
+        return 1.0
+
+
+@pytest.fixture(scope="module")
+def pool(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=60, seed=17, oracle=imdb_oracle)
+    return QueriesPool.from_labeled_queries(labeled)
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small, imdb_oracle):
+    labeled = build_queries_pool_queries(imdb_small, count=24, seed=23, oracle=imdb_oracle)
+    return [item.query for item in labeled]
+
+
+@pytest.fixture(scope="module")
+def model(imdb_featurizer):
+    return CRNModel(imdb_featurizer.vector_size, CRNConfig(hidden_size=16, seed=5))
+
+
+def make_config(model, imdb_small, imdb_featurizer, pool, **overrides):
+    defaults = dict(
+        model=model,
+        featurizer=imdb_featurizer,
+        pool=pool,
+        fallback_estimator=PostgresCardinalityEstimator(imdb_small),
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+def unmatched_query():
+    # Two fact tables without title never appear in the generated pool.
+    return (
+        QueryBuilder().table("movie_companies", "mc").table("movie_keyword", "mk").build()
+    )
+
+
+@pytest.fixture(scope="module")
+def local_client(model, imdb_small, imdb_featurizer, pool):
+    """The single-process reference every cluster answer is compared against."""
+    return ServingClient(make_config(model, imdb_small, imdb_featurizer, pool))
+
+
+@pytest.fixture(scope="module")
+def cluster_client(model, imdb_small, imdb_featurizer, pool):
+    """One live 2-worker cluster shared by the read-only serving tests."""
+    config = make_config(
+        model,
+        imdb_small,
+        imdb_featurizer,
+        pool,
+        extra_estimators={
+            "poisoned": ChecksumRaisingEstimator(),
+            "strict": DeadlineRaisingEstimator(),
+            "sleepy": SleepyEstimator(),
+        },
+        cluster=ClusterConfig(mode="cluster", num_workers=2),
+    )
+    with ServingClient(config) as client:
+        yield client
+
+
+class TestClusterConfigValidation:
+    def test_mode_and_bounds_are_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            ClusterConfig(mode="distributed")
+        with pytest.raises(ValueError, match="num_workers"):
+            ClusterConfig(num_workers=0)
+        with pytest.raises(ValueError, match="retry_attempts"):
+            ClusterConfig(retry_attempts=-1)
+        with pytest.raises(ValueError, match="request_timeout_seconds"):
+            ClusterConfig(request_timeout_seconds=0.0)
+
+    def test_cluster_mode_forbids_in_process_feedback_loops(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        with pytest.raises(ValueError, match="feedback"):
+            make_config(
+                model, imdb_small, imdb_featurizer, pool,
+                feedback=FeedbackConfig(enabled=True),
+                cluster=ClusterConfig(mode="cluster"),
+            )
+        with pytest.raises(ValueError, match="adaptation"):
+            make_config(
+                model, imdb_small, imdb_featurizer, pool,
+                feedback=FeedbackConfig(enabled=True),
+                adaptation=AdaptationConfig(enabled=True),
+                cluster=ClusterConfig(mode="cluster"),
+            )
+
+    def test_cluster_section_round_trips_through_mapping(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        config = make_config(
+            model, imdb_small, imdb_featurizer, pool,
+            cluster=ClusterConfig(num_workers=3, retry_attempts=4),
+        )
+        mapping = config.to_mapping()
+        assert mapping["cluster"]["num_workers"] == 3
+        rebuilt = ServingConfig.from_mapping(
+            mapping,
+            model=model,
+            featurizer=imdb_featurizer,
+            pool=pool,
+        )
+        assert rebuilt.cluster == config.cluster
+
+    def test_unknown_cluster_field_is_rejected(
+        self, model, imdb_small, imdb_featurizer, pool
+    ):
+        mapping = make_config(model, imdb_small, imdb_featurizer, pool).to_mapping()
+        mapping["cluster"]["replicas"] = 2
+        with pytest.raises(ValueError, match="replicas"):
+            ServingConfig.from_mapping(
+                mapping, model=model, featurizer=imdb_featurizer, pool=pool
+            )
+
+
+class TestShardingHelpers:
+    def test_assignment_is_deterministic_and_balanced(self, pool):
+        signatures = pool.from_signatures()
+        assignment = assign_shards(signatures, 4)
+        again = assign_shards(list(reversed(list(signatures))), 4)
+        assert assignment == again  # input order is irrelevant
+        counts = [list(assignment.values()).count(shard) for shard in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_stable_shard_is_in_range_and_content_addressed(self, pool):
+        for signature in pool.from_signatures():
+            shard = stable_shard(signature, 3)
+            assert 0 <= shard < 3
+            assert shard == stable_shard(tuple(signature), 3)
+
+    def test_slice_pool_partitions_the_pool_exactly(self, pool):
+        assignment = assign_shards(pool.from_signatures(), 2)
+        slices = []
+        for shard in range(2):
+            owned = sorted(s for s, w in assignment.items() if w == shard)
+            slices.append(slice_pool(pool, owned))
+        assert sum(len(s) for s in slices) == len(pool)
+        # Each slice's buckets are entry-for-entry the full pool's buckets.
+        for shard_pool in slices:
+            for signature in shard_pool.from_signatures():
+                sliced, _ = shard_pool.bucket_snapshot(signature)
+                full, _ = pool.bucket_snapshot(signature)
+                assert [e.query for e in sliced] == [e.query for e in full]
+                assert [e.cardinality for e in sliced] == [e.cardinality for e in full]
+
+    def test_worker_source_names_each_lifetime(self):
+        assert worker_source(0, 0, 1) == "worker-0@gen1"
+        assert worker_source(3, 0, 7) == "worker-3@gen7"
+        assert worker_source(1, 2, 7) == "worker-1r2@gen7"
+
+
+class TestBitIdentity:
+    def test_every_workload_query_matches_local_mode_exactly(
+        self, cluster_client, local_client, workload
+    ):
+        for query in workload:
+            local = local_client.estimate(query)
+            clustered = cluster_client.estimate(query)
+            assert clustered.estimate == local.estimate
+            assert clustered.estimate.hex() == local.estimate.hex()
+            assert clustered.estimator_name == local.estimator_name
+            assert clustered.resolution == local.resolution
+            assert clustered.pool_matches == local.pool_matches
+            assert clustered.pairs_scored == local.pairs_scored
+            assert clustered.used_fallback == local.used_fallback
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_random_batches_match_local_mode_exactly(
+        self, cluster_client, local_client, workload, data
+    ):
+        indices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(workload) - 1),
+                min_size=1,
+                max_size=10,
+            )
+        )
+        batch = [workload[i] for i in indices]
+        local = local_client.estimate_many(batch)
+        clustered = cluster_client.estimate_many(batch)
+        assert [r.estimate.hex() for r in clustered] == [
+            r.estimate.hex() for r in local
+        ]
+
+
+class TestFanOut:
+    def test_estimate_many_reassembles_in_caller_order(
+        self, cluster_client, workload
+    ):
+        batch = list(workload) + list(reversed(workload))
+        results = cluster_client.estimate_many(batch)
+        assert len(results) == len(batch)
+        for query, result in zip(batch, results, strict=True):
+            assert result.query is query  # the router re-attaches the original
+
+    def test_batch_spans_both_shards(self, cluster_client, workload):
+        shards = {cluster_client.router.shard_for(query) for query in workload}
+        assert shards == {0, 1}  # the workload genuinely exercises fan-out
+
+    def test_futures_resolve_concurrently(self, cluster_client, workload):
+        futures = [cluster_client.estimate_future(query) for query in workload[:6]]
+        results = [future.result(timeout=30) for future in futures]
+        assert [r.query for r in results] == workload[:6]
+
+    def test_one_bad_query_fails_the_whole_batch(self, cluster_client, workload):
+        batch = [workload[0], unmatched_query(), workload[1]]
+        with pytest.raises(NoMatchingPoolQueryError):
+            cluster_client.estimate_many(
+                batch, options=RequestOptions(fallback_policy="none")
+            )
+
+
+class TestProvenance:
+    def test_tags_and_generation_cross_the_wire(self, cluster_client, workload):
+        options = RequestOptions(tags={"trace": "t-42", "tenant": "acme"})
+        result = cluster_client.estimate(workload[0], options=options)
+        assert result.tags == (("tenant", "acme"), ("trace", "t-42"))
+        assert result.model_generation == 1
+        untagged = cluster_client.estimate(workload[0])
+        assert untagged.tags == ()
+
+    def test_merged_stats_expose_the_cluster_gauges(self, cluster_client, workload):
+        cluster_client.estimate(workload[0])
+        stats = cluster_client.stats()
+        assert stats["cluster_workers"] == 2.0
+        assert stats["cluster_workers_ready"] == 2.0
+        assert stats["cluster_requests_routed"] >= 1.0
+        assert stats["cluster_signatures"] > 0
+
+
+class TestErrorFidelity:
+    """Worker-side exceptions surface as the same class, message preserved."""
+
+    def test_unknown_estimator_crosses_as_itself(self, cluster_client, workload):
+        with pytest.raises(UnknownEstimatorError) as excinfo:
+            cluster_client.estimate(
+                workload[0], options=RequestOptions(estimator="nope")
+            )
+        assert isinstance(excinfo.value, KeyError)
+        assert "unknown estimator" in str(excinfo.value)
+        assert "nope" in str(excinfo.value)
+
+    def test_artifact_checksum_error_crosses_as_itself(
+        self, cluster_client, workload
+    ):
+        with pytest.raises(ArtifactChecksumError) as excinfo:
+            cluster_client.estimate(
+                workload[0], options=RequestOptions(estimator="poisoned")
+            )
+        assert str(excinfo.value) == "slab digest mismatch inside the shard worker"
+
+    def test_deadline_error_crosses_as_itself_with_worker_message(
+        self, cluster_client, workload
+    ):
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            cluster_client.estimate(
+                workload[0], options=RequestOptions(estimator="strict")
+            )
+        assert isinstance(excinfo.value, TimeoutError)
+        assert str(excinfo.value) == "worker-side deadline expired after 0.007s"
+
+    def test_no_matching_pool_query_keeps_local_path_fidelity(
+        self, cluster_client, local_client
+    ):
+        query = unmatched_query()
+        with pytest.raises(NoMatchingPoolQueryError) as clustered:
+            cluster_client.estimate(query, RequestOptions(fallback_policy="none"))
+        with pytest.raises(NoMatchingPoolQueryError) as local:
+            local_client.estimate(query, RequestOptions(fallback_policy="none"))
+        assert str(clustered.value) == str(local.value)
+
+    def test_default_policy_reroutes_inside_the_worker(
+        self, cluster_client, local_client
+    ):
+        query = unmatched_query()
+        clustered = cluster_client.estimate(query)
+        local = local_client.estimate(query)
+        assert clustered.used_fallback and local.used_fallback
+        assert clustered.estimate == local.estimate
+
+    def test_slow_worker_fails_typed_within_the_deadline_budget(
+        self, cluster_client, workload
+    ):
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            cluster_client.estimate(
+                workload[0],
+                options=RequestOptions(estimator="sleepy", timeout_seconds=0.2),
+            )
+        # 0.2s deadline + grace, never the stub's 5s sleep (and never a hang).
+        assert time.monotonic() - started < 4.0
+
+
+class TestClientSurface:
+    def test_unstarted_cluster_client_refuses_requests(
+        self, model, imdb_small, imdb_featurizer, pool, workload
+    ):
+        client = ServingClient(
+            make_config(
+                model, imdb_small, imdb_featurizer, pool,
+                cluster=ClusterConfig(mode="cluster", num_workers=2),
+            )
+        )
+        with pytest.raises(ServingError, match="started"):
+            client.estimate(workload[0])
+        with pytest.raises(ServingError, match="started"):
+            client.estimate_many(workload[:2])
+        client.shutdown()  # never started: a clean no-op
+
+    def test_warm_is_a_no_op_in_cluster_mode(self, cluster_client):
+        cluster_client.warm()  # workers warmed their slices at boot
+
+
+class TestDrainRestartStatus:
+    @pytest.fixture()
+    def small_cluster(self, model, imdb_small, imdb_featurizer, pool, tmp_path):
+        config = make_config(
+            model, imdb_small, imdb_featurizer, pool,
+            cluster=ClusterConfig(
+                mode="cluster", num_workers=2, runtime_dir=str(tmp_path)
+            ),
+        )
+        with ServingClient(config) as client:
+            yield client
+
+    def test_status_reports_every_shard(self, small_cluster):
+        status = small_cluster.supervisor.status(probe=True)
+        assert status["num_workers"] == 2
+        assert [w["shard"] for w in status["workers"]] == [0, 1]
+        for worker in status["workers"]:
+            assert worker["state"] == "ready"
+            assert worker["alive"]
+            assert worker["healthy"]
+            assert worker["generation"] == 1
+
+    def test_runtime_file_tracks_the_cluster(self, small_cluster, tmp_path):
+        import json
+
+        runtime = json.loads((tmp_path / "cluster.json").read_text())
+        assert runtime["schema_version"] == 1
+        assert runtime["control"] is not None
+        assert len(runtime["status"]["workers"]) == 2
+
+    def test_drained_shard_fails_typed_and_the_other_keeps_serving(
+        self, small_cluster, workload
+    ):
+        by_shard = {}
+        for query in workload:
+            by_shard.setdefault(small_cluster.router.shard_for(query), query)
+        small_cluster.supervisor.drain(0)
+        with pytest.raises(WorkerUnavailableError, match="drained"):
+            small_cluster.estimate(by_shard[0])
+        surviving = small_cluster.estimate(by_shard[1])
+        assert surviving.estimate > 0 or surviving.used_fallback is not None
+
+    def test_operator_restart_serves_identically(self, small_cluster, workload):
+        query = next(
+            q for q in workload if small_cluster.router.shard_for(q) == 1
+        )
+        before = small_cluster.estimate(query)
+        status = small_cluster.supervisor.restart(1)
+        restarted = next(w for w in status["workers"] if w["shard"] == 1)
+        assert restarted["state"] == "ready"
+        after = small_cluster.estimate(query)
+        assert after.estimate.hex() == before.estimate.hex()

@@ -17,6 +17,7 @@ from repro.serving.config import (
     AdaptationConfig,
     ArtifactConfig,
     CacheConfig,
+    ClusterConfig,
     DispatcherConfig,
     EstimatorConfig,
     FeedbackConfig,
@@ -41,6 +42,9 @@ EXPECTED_SERVING_ALL = [
     "CRNRetrainer",
     "CacheConfig",
     "CacheStats",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterProtocolError",
     "DeadlineExceededError",
     "DispatcherConfig",
     "DispatcherShutdownError",
@@ -77,6 +81,7 @@ EXPECTED_SERVING_ALL = [
     "ServingError",
     "TracingConfig",
     "UnknownEstimatorError",
+    "WorkerUnavailableError",
     "build_crn_service",
     "build_service_stack",
     "compile_plan",
@@ -128,6 +133,7 @@ EXPECTED_CONFIG_FIELDS = {
         "tracing",
         "inference",
         "artifacts",
+        "cluster",
     ],
     EstimatorConfig: ["name", "fallback_name", "final_function", "epsilon", "batch_size"],
     PoolConfig: ["warm", "use_index"],
@@ -161,6 +167,22 @@ EXPECTED_CONFIG_FIELDS = {
     ],
     InferenceConfig: ["mode", "slab_dtype", "tolerance"],
     ArtifactConfig: ["root", "save_on_build", "save_on_promote", "promote_on_save"],
+    ClusterConfig: [
+        "mode",
+        "num_workers",
+        "host",
+        "worker_threads",
+        "request_timeout_seconds",
+        "connect_timeout_seconds",
+        "retry_attempts",
+        "retry_backoff_seconds",
+        "deadline_grace_seconds",
+        "boot_timeout_seconds",
+        "poll_interval_seconds",
+        "max_restarts",
+        "drain_timeout_seconds",
+        "runtime_dir",
+    ],
 }
 
 EXPECTED_CLIENT_METHODS = [
@@ -231,3 +253,10 @@ def test_error_taxonomy_shape():
     assert issubclass(serving.ArtifactChecksumError, serving.ArtifactError)
     assert issubclass(serving.ArtifactNotFoundError, serving.ArtifactError)
     assert issubclass(serving.ArtifactNotFoundError, FileNotFoundError)
+    # Cluster errors: ServingError subtree with stdlib bases, so the wire
+    # boundary raises the same taxonomy callers already catch.
+    assert issubclass(serving.ClusterError, serving.ServingError)
+    assert issubclass(serving.WorkerUnavailableError, serving.ClusterError)
+    assert issubclass(serving.WorkerUnavailableError, ConnectionError)
+    assert issubclass(serving.ClusterProtocolError, serving.ClusterError)
+    assert issubclass(serving.ClusterProtocolError, ValueError)
